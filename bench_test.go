@@ -1,0 +1,498 @@
+package demaq
+
+// Benchmark harness: one benchmark per experiment in DESIGN.md §6,
+// regenerating the measurements recorded in EXPERIMENTS.md. The paper
+// (CIDR 2007) publishes no quantitative tables; these benchmarks quantify
+// its performance *claims* (Sections 2-4). cmd/demaq-bench runs the same
+// experiments as parameter sweeps and prints result tables.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"demaq/internal/baseline"
+	"demaq/internal/gateway"
+	"demaq/internal/msgstore"
+	"demaq/internal/property"
+	"demaq/internal/slicing"
+	"demaq/internal/store"
+	"demaq/internal/xdm"
+	"demaq/internal/xmldom"
+	"demaq/internal/xquery"
+)
+
+// --- E1: materialized slices vs merged slice queries (Sec. 4.3) ---
+
+func setupSliceBench(b *testing.B, nMsgs, nSlices int, materialized bool) *slicing.Manager {
+	b.Helper()
+	opts := msgstore.DefaultOptions()
+	opts.Store.SyncCommits = false
+	ms, err := msgstore.Open(b.TempDir(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { ms.Close() })
+	props := property.NewManager()
+	props.Define(&property.Def{
+		Name: "k", Type: xdm.TypeString, Fixed: true,
+		PerQueue: map[string]*xquery.Compiled{
+			"q": xquery.MustCompile(`//k`, xquery.CompileOptions{}),
+		},
+	})
+	sm := slicing.NewManager(ms, props, materialized)
+	sm.Define("byK", "k")
+	ms.CreateQueue("q", msgstore.Persistent, 0)
+	tx := ms.Begin()
+	ids := make([]msgstore.MsgID, 0, nMsgs)
+	pvs := make([]map[string]xdm.Value, 0, nMsgs)
+	for i := 0; i < nMsgs; i++ {
+		key := fmt.Sprintf("s%d", i%nSlices)
+		doc := xmldom.MustParse(fmt.Sprintf(`<m><k>%s</k><data>payload %d</data></m>`, key, i))
+		pv := map[string]xdm.Value{"k": xdm.NewString(key)}
+		id, err := tx.Enqueue("q", doc, pv, time.Now())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, id)
+		pvs = append(pvs, pv)
+	}
+	if _, err := tx.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	for i, id := range ids {
+		sm.OnEnqueue(id, "q", pvs[i])
+	}
+	return sm
+}
+
+func BenchmarkE1SliceAccess(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		for _, mat := range []bool{true, false} {
+			name := fmt.Sprintf("msgs=%d/materialized=%v", n, mat)
+			b.Run(name, func(b *testing.B) {
+				sm := setupSliceBench(b, n, n/10, mat)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					members := sm.SliceMembers("byK", fmt.Sprintf("s%d", i%(n/10)))
+					if len(members) != 10 {
+						b.Fatalf("slice size %d", len(members))
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- E2: slice- vs queue-granularity locking (Sec. 4.3) ---
+
+func BenchmarkE2LockGranularity(b *testing.B) {
+	app := `
+		create queue in kind basic mode persistent;
+		create queue out kind basic mode persistent;
+		create property k as xs:string fixed queue in value //k;
+		create slicing byK on k;
+		create rule check for byK
+		  if (qs:slice()[/m] and not(qs:slice()[/never])) then ();
+		create rule fwd for in
+		  if (//m) then do enqueue <done/> into out;
+	`
+	for _, coarse := range []bool{false, true} {
+		name := "slice"
+		if coarse {
+			name = "queue"
+		}
+		b.Run("locking="+name, func(b *testing.B) {
+			srv, err := Open(b.TempDir(), app, &Options{
+				Workers: 8, CoarseLocking: coarse, NoSync: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			srv.Start()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				srv.Enqueue("in", fmt.Sprintf(`<m><k>k%d</k></m>`, i%64), nil)
+			}
+			if !srv.Drain(120 * time.Second) {
+				b.Fatal("drain")
+			}
+		})
+	}
+}
+
+// --- E3: append-only logging and unlogged retention deletes (Sec. 4.1) ---
+
+func BenchmarkE3LoggingRecovery(b *testing.B) {
+	payload := []byte(fmt.Sprintf("<m>%s</m>", stringsRepeat("x", 900)))
+	for _, unlogged := range []bool{true, false} {
+		name := "deletes=unlogged"
+		if !unlogged {
+			name = "deletes=logged"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := store.DefaultOptions()
+			opts.SyncCommits = false
+			opts.UnloggedDeletes = unlogged
+			s, err := store.Open(b.TempDir(), opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			h, _ := s.CreateHeap("q")
+			rids := make([]store.RID, 0, b.N)
+			tx := s.Begin()
+			for i := 0; i < b.N; i++ {
+				rid, err := tx.Insert(h, payload)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rids = append(rids, rid)
+			}
+			tx.Commit()
+			before := s.LogBytes()
+			b.ResetTimer()
+			if err := s.BatchDelete(h, rids); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(s.LogBytes()-before)/float64(b.N), "logB/op")
+		})
+	}
+}
+
+func BenchmarkE3Recovery(b *testing.B) {
+	// Time to recover a store with N committed messages after a crash.
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("msgs=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dir := b.TempDir()
+				opts := store.DefaultOptions()
+				opts.SyncCommits = false
+				s, _ := store.Open(dir, opts)
+				h, _ := s.CreateHeap("q")
+				tx := s.Begin()
+				for j := 0; j < n; j++ {
+					tx.Insert(h, []byte("<m>recovery payload</m>"))
+				}
+				tx.Commit()
+				s.CrashForTest()
+				b.StartTimer()
+				s2, err := store.Open(dir, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				s2.Close()
+			}
+		})
+	}
+}
+
+// --- E4: rule compiler condition dispatch (Sec. 4.4.1) ---
+
+func BenchmarkE4RuleCompiler(b *testing.B) {
+	mkApp := func(nRules int) string {
+		app := "create queue in kind basic mode persistent;\ncreate queue out kind basic mode persistent;\n"
+		for i := 0; i < nRules; i++ {
+			app += fmt.Sprintf(
+				"create rule r%d for in if (//type%d) then do enqueue <hit n=\"%d\"/> into out;\n", i, i, i)
+		}
+		return app
+	}
+	for _, nRules := range []int{4, 16, 64} {
+		for _, optimized := range []bool{true, false} {
+			name := fmt.Sprintf("rules=%d/dispatch=%v", nRules, optimized)
+			b.Run(name, func(b *testing.B) {
+				srv, err := Open(b.TempDir(), mkApp(nRules), &Options{
+					Workers: 2, NoSync: true, NoRuleOptimizations: !optimized,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer srv.Close()
+				srv.Start()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					srv.Enqueue("in", fmt.Sprintf(`<type%d>x</type%d>`, i%nRules, i%nRules), nil)
+				}
+				if !srv.Drain(120 * time.Second) {
+					b.Fatal("drain")
+				}
+			})
+		}
+	}
+}
+
+// --- E5: priority scheduling (Sec. 3.1/4.4.2) ---
+
+func BenchmarkE5Scheduler(b *testing.B) {
+	app := `
+		create queue low kind basic mode persistent priority 1;
+		create queue high kind basic mode persistent priority 10;
+		create queue sink kind basic mode persistent;
+		create rule rl for low if (//m) then do enqueue <l/> into sink;
+		create rule rh for high if (//m) then do enqueue <h/> into sink;
+	`
+	b.Run("high-priority-latency-under-flood", func(b *testing.B) {
+		srv, err := Open(b.TempDir(), app, &Options{Workers: 2, NoSync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		// Flood the low-priority queue before starting.
+		for i := 0; i < 2000; i++ {
+			srv.Enqueue("low", `<m/>`, nil)
+		}
+		srv.Start()
+		var totalLatency time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			srv.Enqueue("high", `<m/>`, nil)
+			// Wait until this high message is processed.
+			for {
+				st := srv.Stats()
+				msgs, _ := srv.eng.MessageStore().Messages("high")
+				done := true
+				for _, m := range msgs {
+					if !m.Processed {
+						done = false
+					}
+				}
+				_ = st
+				if done {
+					break
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+			totalLatency += time.Since(start)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(totalLatency.Microseconds())/float64(b.N), "µs/high-msg")
+		srv.Drain(120 * time.Second)
+	})
+}
+
+// --- E6: state-as-messages vs dehydration store (Sec. 2.1) ---
+
+func BenchmarkE6StateModel(b *testing.B) {
+	const eventsPerInstance = 20
+	b.Run("demaq-messages", func(b *testing.B) {
+		srv, err := Open(b.TempDir(), `
+			create queue events kind basic mode persistent;
+			create property inst as xs:string fixed queue events value //inst;
+			create slicing byInst on inst;
+		`, &Options{Workers: 4, NoSync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		srv.Start()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			inst := (i / eventsPerInstance) % 1000
+			srv.Enqueue("events", fmt.Sprintf(`<event><inst>i%d</inst><data>payload</data></event>`, inst), nil)
+		}
+		srv.Drain(120 * time.Second)
+	})
+	b.Run("dehydration-store", func(b *testing.B) {
+		opts := store.DefaultOptions()
+		opts.SyncCommits = false
+		eng, err := baseline.Open(b.TempDir(), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer eng.Close()
+		ev := xmldom.MustParse(`<event><data>payload</data></event>`)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			inst := fmt.Sprintf("i%d", (i/eventsPerInstance)%1000)
+			if err := eng.HandleEvent(inst, ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E7: end-to-end pipeline throughput (Sec. 1/3) ---
+
+func BenchmarkE7Pipeline(b *testing.B) {
+	app := `
+		create queue inbox kind basic mode persistent;
+		create queue stage1 kind basic mode persistent;
+		create queue stage2 kind basic mode persistent;
+		create queue outbox kind basic mode persistent;
+		create rule s0 for inbox if (//order) then
+		  do enqueue <checked>{//order/id}</checked> into stage1;
+		create rule s1 for stage1 if (//checked) then
+		  do enqueue <priced>{//checked/id}</priced> into stage2;
+		create rule s2 for stage2 if (//priced) then
+		  do enqueue <done>{//priced/id}</done> into outbox;
+	`
+	for _, size := range []int{256, 4096, 65536} {
+		b.Run(fmt.Sprintf("payload=%dB", size), func(b *testing.B) {
+			srv, err := Open(b.TempDir(), app, &Options{Workers: 4, NoSync: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			srv.Start()
+			pad := stringsRepeat("p", size)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				srv.Enqueue("inbox", fmt.Sprintf(`<order><id>%d</id><pad>%s</pad></order>`, i, pad), nil)
+			}
+			if !srv.Drain(300 * time.Second) {
+				b.Fatal("drain")
+			}
+		})
+	}
+}
+
+// --- E8: retention garbage collection off the critical path (Sec. 2.3.3) ---
+
+func BenchmarkE8RetentionGC(b *testing.B) {
+	srv, err := Open(b.TempDir(), `
+		create queue in kind basic mode persistent;
+		create property k as xs:string fixed queue in value //k;
+		create slicing byK on k;
+		create rule done for byK
+		  if (qs:slice()[/finish]) then do reset;
+	`, &Options{Workers: 4, NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Start()
+	b.ResetTimer()
+	collected := 0
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for j := 0; j < 100; j++ {
+			srv.Enqueue("in", fmt.Sprintf(`<m><k>g%d-%d</k></m>`, i, j%10), nil)
+		}
+		for j := 0; j < 10; j++ {
+			srv.Enqueue("in", fmt.Sprintf(`<finish><k>g%d-%d</k></finish>`, i, j), nil)
+		}
+		srv.Drain(60 * time.Second)
+		b.StartTimer()
+		n, err := srv.CollectGarbage()
+		if err != nil {
+			b.Fatal(err)
+		}
+		collected += n
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(collected)/float64(b.N), "collected/pass")
+}
+
+// --- E9: reliable messaging under loss (Sec. 4.2) ---
+
+func BenchmarkE9ReliableMessaging(b *testing.B) {
+	for _, loss := range []float64{0, 0.1, 0.3} {
+		b.Run(fmt.Sprintf("loss=%.0f%%", loss*100), func(b *testing.B) {
+			net := gateway.NewNetwork(99)
+			defer net.Close()
+			net.SetLossRate(loss)
+			recv, _ := gateway.NewReliable(net, "sim://b/in", 2*time.Millisecond, 200)
+			defer recv.Close()
+			recv.Subscribe(func([]byte, map[string]string) error { return nil })
+			send, _ := gateway.NewReliable(net, "sim://a/out", 2*time.Millisecond, 200)
+			defer send.Close()
+			send.Subscribe(func([]byte, map[string]string) error { return nil })
+			payload := []byte("<m>reliable payload</m>")
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				wg.Add(1)
+				send.SendAsync("sim://b/in", payload, nil, func(err error) {
+					if err != nil {
+						b.Error(err)
+					}
+					wg.Done()
+				})
+			}
+			wg.Wait()
+			b.StopTimer()
+			_, retransmits, _ := send.Stats()
+			b.ReportMetric(float64(retransmits)/float64(b.N), "retransmits/op")
+		})
+	}
+}
+
+// --- A2: buffer pool size ablation ---
+
+func BenchmarkA2BufferPool(b *testing.B) {
+	for _, pages := range []int{32, 4096} {
+		b.Run(fmt.Sprintf("pool=%dpages", pages), func(b *testing.B) {
+			opts := store.DefaultOptions()
+			opts.SyncCommits = false
+			opts.BufferPages = pages
+			s, err := store.Open(b.TempDir(), opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			h, _ := s.CreateHeap("q")
+			payload := []byte(stringsRepeat("d", 2000))
+			tx := s.Begin()
+			for i := 0; i < 2000; i++ { // ~500 pages, far beyond the small pool
+				tx.Insert(h, payload)
+			}
+			tx.Commit()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				s.Scan(h, func(store.RID, []byte) bool { n++; return true })
+				if n != 2000 {
+					b.Fatal("scan count")
+				}
+			}
+		})
+	}
+}
+
+// --- A3: commit durability policy ablation ---
+
+func BenchmarkA3CommitPolicy(b *testing.B) {
+	for _, sync := range []bool{true, false} {
+		name := "fsync=on"
+		if !sync {
+			name = "fsync=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := store.DefaultOptions()
+			opts.SyncCommits = sync
+			s, err := store.Open(b.TempDir(), opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			h, _ := s.CreateHeap("q")
+			payload := []byte("<m>committed message</m>")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx := s.Begin()
+				if _, err := tx.Insert(h, payload); err != nil {
+					b.Fatal(err)
+				}
+				if err := tx.Commit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func stringsRepeat(s string, n int) string {
+	out := make([]byte, 0, len(s)*n)
+	for i := 0; i < n; i++ {
+		out = append(out, s...)
+	}
+	return string(out)
+}

@@ -1,0 +1,568 @@
+// Command demaq-bench regenerates the experiment tables recorded in
+// EXPERIMENTS.md: every performance claim of the paper (Sections 2-4) as a
+// parameter sweep, printed as a table. See DESIGN.md §6 for the experiment
+// index.
+//
+//	demaq-bench            # run everything
+//	demaq-bench -e E1,E3   # selected experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"demaq"
+	"demaq/internal/baseline"
+	"demaq/internal/gateway"
+	"demaq/internal/msgstore"
+	"demaq/internal/property"
+	"demaq/internal/slicing"
+	"demaq/internal/store"
+	"demaq/internal/xdm"
+	"demaq/internal/xmldom"
+	"demaq/internal/xquery"
+)
+
+var experiments = []struct {
+	id   string
+	desc string
+	run  func()
+}{
+	{"E1", "materialized slices vs merged slice queries (Sec. 4.3)", runE1},
+	{"E2", "slice- vs queue-granularity locking (Sec. 4.3)", runE2},
+	{"E3", "append-only logging & unlogged retention deletes (Sec. 4.1)", runE3},
+	{"E4", "rule compiler condition dispatch (Sec. 4.4.1)", runE4},
+	{"E5", "priority scheduling (Sec. 3.1/4.4.2)", runE5},
+	{"E6", "state-as-messages vs dehydration store (Sec. 2.1)", runE6},
+	{"E7", "pipeline throughput by payload size (Sec. 1/3)", runE7},
+	{"E8", "retention garbage collection (Sec. 2.3.3)", runE8},
+	{"E9", "reliable messaging under loss (Sec. 4.2)", runE9},
+	{"A2", "buffer pool size ablation", runA2},
+	{"A3", "commit durability policy ablation", runA3},
+}
+
+func main() {
+	sel := flag.String("e", "all", "comma-separated experiment IDs (E1..E9,A2,A3) or 'all'")
+	flag.Parse()
+	want := map[string]bool{}
+	if *sel != "all" {
+		for _, id := range strings.Split(*sel, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+	for _, ex := range experiments {
+		if *sel != "all" && !want[ex.id] {
+			continue
+		}
+		fmt.Printf("\n=== %s: %s ===\n", ex.id, ex.desc)
+		ex.run()
+	}
+}
+
+func tempDir() string {
+	dir, err := os.MkdirTemp("", "demaq-bench")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+func cleanup(dir string) { os.RemoveAll(dir) }
+
+// --- E1 ---
+
+func runE1() {
+	fmt.Printf("%-10s %-14s %-14s %10s\n", "messages", "materialized", "merged", "speedup")
+	for _, n := range []int{1000, 10000, 50000} {
+		var times [2]time.Duration
+		for mi, mat := range []bool{true, false} {
+			dir := tempDir()
+			sm := buildSliceState(dir, n, n/10, mat)
+			const probes = 200
+			start := time.Now()
+			for i := 0; i < probes; i++ {
+				sm.SliceMembers("byK", fmt.Sprintf("s%d", i%(n/10)))
+			}
+			times[mi] = time.Since(start) / probes
+			cleanup(dir)
+		}
+		fmt.Printf("%-10d %-14s %-14s %9.1fx\n", n, times[0], times[1],
+			float64(times[1])/float64(times[0]))
+	}
+}
+
+func buildSliceState(dir string, nMsgs, nSlices int, materialized bool) *slicing.Manager {
+	opts := msgstore.DefaultOptions()
+	opts.Store.SyncCommits = false
+	ms, err := msgstore.Open(dir, opts)
+	if err != nil {
+		panic(err)
+	}
+	props := property.NewManager()
+	props.Define(&property.Def{
+		Name: "k", Type: xdm.TypeString, Fixed: true,
+		PerQueue: map[string]*xquery.Compiled{
+			"q": xquery.MustCompile(`//k`, xquery.CompileOptions{}),
+		},
+	})
+	sm := slicing.NewManager(ms, props, materialized)
+	sm.Define("byK", "k")
+	ms.CreateQueue("q", msgstore.Persistent, 0)
+	tx := ms.Begin()
+	type rec struct {
+		id msgstore.MsgID
+		pv map[string]xdm.Value
+	}
+	var recs []rec
+	for i := 0; i < nMsgs; i++ {
+		key := fmt.Sprintf("s%d", i%nSlices)
+		doc := xmldom.MustParse(fmt.Sprintf(`<m><k>%s</k></m>`, key))
+		pv := map[string]xdm.Value{"k": xdm.NewString(key)}
+		id, err := tx.Enqueue("q", doc, pv, time.Now())
+		if err != nil {
+			panic(err)
+		}
+		recs = append(recs, rec{id, pv})
+	}
+	if _, err := tx.Commit(); err != nil {
+		panic(err)
+	}
+	for _, r := range recs {
+		sm.OnEnqueue(r.id, "q", r.pv)
+	}
+	return sm
+}
+
+// --- E2 ---
+
+func runE2() {
+	// Rule evaluation must dominate for lock granularity to matter: the
+	// slice rule performs a non-trivial XQuery computation per message
+	// (realistic for validation/aggregation rules). Under queue-granularity
+	// locking every message of the hot queue serializes on its X lock;
+	// slice-granularity admits parallel evaluation of distinct slices.
+	app := `
+		create queue in kind basic mode persistent;
+		create queue out kind basic mode persistent;
+		create property k as xs:string fixed queue in value //k;
+		create slicing byK on k;
+		create rule check for byK
+		  if (qs:slice()[/m]) then
+		    do enqueue <audit>
+		      <members>{count(qs:slice())}</members>
+		      <checksum>{sum(for $i in 1 to 1500 return $i * 2)}</checksum>
+		    </audit> into out;
+	`
+	const msgs = 600
+	fmt.Printf("%-9s %-10s %12s %12s %10s\n", "workers", "locking", "elapsed", "msgs/sec", "speedup")
+	for _, workers := range []int{1, 2, 4, 8} {
+		var base float64
+		for _, coarse := range []bool{true, false} {
+			dir := tempDir()
+			srv, err := demaq.Open(dir, app, &demaq.Options{
+				Workers: workers, CoarseLocking: coarse, NoSync: true,
+			})
+			if err != nil {
+				panic(err)
+			}
+			// Preload so the timed phase is pure processing.
+			for i := 0; i < msgs; i++ {
+				srv.Enqueue("in", fmt.Sprintf(`<m><k>k%d</k></m>`, i%64), nil)
+			}
+			start := time.Now()
+			srv.Start()
+			srv.Drain(5 * time.Minute)
+			elapsed := time.Since(start)
+			srv.Close()
+			cleanup(dir)
+			rate := float64(msgs) / elapsed.Seconds()
+			name := "queue"
+			if !coarse {
+				name = "slice"
+			}
+			speedup := 1.0
+			if coarse {
+				base = rate
+			} else if base > 0 {
+				speedup = rate / base
+			}
+			fmt.Printf("%-9d %-10s %12s %12.0f %9.2fx\n", workers, name,
+				elapsed.Round(time.Millisecond), rate, speedup)
+		}
+	}
+}
+
+// --- E3 ---
+
+func runE3() {
+	const msgs = 2000
+	payload := []byte("<m>" + strings.Repeat("x", 900) + "</m>")
+	fmt.Printf("%-18s %14s %14s\n", "delete mode", "log bytes/msg", "delete time")
+	for _, unlogged := range []bool{true, false} {
+		dir := tempDir()
+		opts := store.DefaultOptions()
+		opts.SyncCommits = false
+		opts.UnloggedDeletes = unlogged
+		s, err := store.Open(dir, opts)
+		if err != nil {
+			panic(err)
+		}
+		h, _ := s.CreateHeap("q")
+		var rids []store.RID
+		tx := s.Begin()
+		for i := 0; i < msgs; i++ {
+			rid, _ := tx.Insert(h, payload)
+			rids = append(rids, rid)
+		}
+		tx.Commit()
+		before := s.LogBytes()
+		start := time.Now()
+		s.BatchDelete(h, rids)
+		elapsed := time.Since(start)
+		perMsg := float64(s.LogBytes()-before) / msgs
+		s.Close()
+		cleanup(dir)
+		mode := "unlogged (Demaq)"
+		if !unlogged {
+			mode = "before-images"
+		}
+		fmt.Printf("%-18s %14.1f %14s\n", mode, perMsg, elapsed.Round(time.Microsecond))
+	}
+
+	fmt.Printf("\n%-10s %14s\n", "messages", "recovery time")
+	for _, n := range []int{1000, 10000, 50000} {
+		dir := tempDir()
+		opts := store.DefaultOptions()
+		opts.SyncCommits = false
+		s, _ := store.Open(dir, opts)
+		h, _ := s.CreateHeap("q")
+		tx := s.Begin()
+		for j := 0; j < n; j++ {
+			tx.Insert(h, []byte("<m>recovery payload for the crash test</m>"))
+		}
+		tx.Commit()
+		s.CrashForTest()
+		start := time.Now()
+		s2, err := store.Open(dir, opts)
+		if err != nil {
+			panic(err)
+		}
+		elapsed := time.Since(start)
+		s2.Close()
+		cleanup(dir)
+		fmt.Printf("%-10d %14s\n", n, elapsed.Round(time.Millisecond))
+	}
+}
+
+// --- E4 ---
+
+func runE4() {
+	const msgs = 1500
+	fmt.Printf("%-8s %-10s %12s %14s\n", "rules", "dispatch", "elapsed", "rules eval/msg")
+	for _, nRules := range []int{4, 16, 64} {
+		app := "create queue in kind basic mode persistent;\ncreate queue out kind basic mode persistent;\n"
+		for i := 0; i < nRules; i++ {
+			app += fmt.Sprintf(
+				"create rule r%d for in if (//type%d) then do enqueue <hit/> into out;\n", i, i)
+		}
+		for _, optimized := range []bool{true, false} {
+			dir := tempDir()
+			srv, err := demaq.Open(dir, app, &demaq.Options{
+				Workers: 2, NoSync: true, NoRuleOptimizations: !optimized,
+			})
+			if err != nil {
+				panic(err)
+			}
+			start := time.Now()
+			srv.Start()
+			for i := 0; i < msgs; i++ {
+				srv.Enqueue("in", fmt.Sprintf(`<type%d>x</type%d>`, i%nRules, i%nRules), nil)
+			}
+			srv.Drain(5 * time.Minute)
+			elapsed := time.Since(start)
+			st := srv.Stats()
+			perMsg := float64(st.RulesEvaluated) / float64(st.Processed)
+			srv.Close()
+			cleanup(dir)
+			fmt.Printf("%-8d %-10v %12s %14.1f\n", nRules, optimized,
+				elapsed.Round(time.Millisecond), perMsg)
+		}
+	}
+}
+
+// --- E5 ---
+
+func runE5() {
+	app := `
+		create queue low kind basic mode persistent priority 1;
+		create queue high kind basic mode persistent priority 10;
+		create queue sink kind basic mode persistent;
+		create rule rl for low if (//m) then do enqueue <l/> into sink;
+		create rule rh for high if (//m) then do enqueue <h/> into sink;
+	`
+	fmt.Printf("%-14s %18s\n", "backlog (low)", "high msg latency")
+	for _, backlog := range []int{0, 1000, 5000} {
+		dir := tempDir()
+		srv, err := demaq.Open(dir, app, &demaq.Options{Workers: 2, NoSync: true})
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < backlog; i++ {
+			srv.Enqueue("low", `<m/>`, nil)
+		}
+		srv.Start()
+		const probes = 20
+		var total time.Duration
+		for i := 0; i < probes; i++ {
+			start := time.Now()
+			srv.Enqueue("high", `<m/>`, nil)
+			for {
+				done := true
+				msgs, _ := srv.Queue("high")
+				for _, m := range msgs {
+					if !m.Processed {
+						done = false
+					}
+				}
+				if done {
+					break
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+			total += time.Since(start)
+		}
+		srv.Drain(5 * time.Minute)
+		srv.Close()
+		cleanup(dir)
+		fmt.Printf("%-14d %18s\n", backlog, (total / probes).Round(time.Microsecond))
+	}
+}
+
+// --- E6 ---
+
+func runE6() {
+	const instances = 200
+	fmt.Printf("%-22s %-18s %12s %12s\n", "engine", "events/instance", "elapsed", "events/sec")
+	for _, eventsPer := range []int{10, 50, 200} {
+		total := instances * eventsPer
+		// Demaq: one append-only message per event, correlated by slicing.
+		dir := tempDir()
+		srv, err := demaq.Open(dir, `
+			create queue events kind basic mode persistent;
+			create property inst as xs:string fixed queue events value //inst;
+			create slicing byInst on inst;
+		`, &demaq.Options{Workers: 4, NoSync: true})
+		if err != nil {
+			panic(err)
+		}
+		srv.Start()
+		start := time.Now()
+		for i := 0; i < total; i++ {
+			srv.Enqueue("events", fmt.Sprintf(`<event><inst>i%d</inst><data>payload</data></event>`, i%instances), nil)
+		}
+		srv.Drain(5 * time.Minute)
+		dElapsed := time.Since(start)
+		srv.Close()
+		cleanup(dir)
+		fmt.Printf("%-22s %-18d %12s %12.0f\n", "demaq (messages)", eventsPer,
+			dElapsed.Round(time.Millisecond), float64(total)/dElapsed.Seconds())
+
+		// Baseline: monolithic context per instance, rewritten per event.
+		dir2 := tempDir()
+		opts := store.DefaultOptions()
+		opts.SyncCommits = false
+		eng, err := baseline.Open(dir2, opts)
+		if err != nil {
+			panic(err)
+		}
+		ev := xmldom.MustParse(`<event><data>payload</data></event>`)
+		start = time.Now()
+		for i := 0; i < total; i++ {
+			eng.HandleEvent(fmt.Sprintf("i%d", i%instances), ev)
+		}
+		bElapsed := time.Since(start)
+		eng.Close()
+		cleanup(dir2)
+		fmt.Printf("%-22s %-18d %12s %12.0f\n", "dehydration store", eventsPer,
+			bElapsed.Round(time.Millisecond), float64(total)/bElapsed.Seconds())
+	}
+}
+
+// --- E7 ---
+
+func runE7() {
+	app := `
+		create queue inbox kind basic mode persistent;
+		create queue stage1 kind basic mode persistent;
+		create queue stage2 kind basic mode persistent;
+		create queue outbox kind basic mode persistent;
+		create rule s0 for inbox if (//order) then do enqueue <checked>{//order/id}</checked> into stage1;
+		create rule s1 for stage1 if (//checked) then do enqueue <priced>{//checked/id}</priced> into stage2;
+		create rule s2 for stage2 if (//priced) then do enqueue <done>{//priced/id}</done> into outbox;
+	`
+	const msgs = 1000
+	fmt.Printf("%-12s %12s %14s %12s\n", "payload", "elapsed", "msgs/sec", "MB/sec")
+	for _, size := range []int{256, 4096, 65536} {
+		dir := tempDir()
+		srv, err := demaq.Open(dir, app, &demaq.Options{Workers: 4, NoSync: true})
+		if err != nil {
+			panic(err)
+		}
+		srv.Start()
+		pad := strings.Repeat("p", size)
+		start := time.Now()
+		for i := 0; i < msgs; i++ {
+			srv.Enqueue("inbox", fmt.Sprintf(`<order><id>%d</id><pad>%s</pad></order>`, i, pad), nil)
+		}
+		srv.Drain(10 * time.Minute)
+		elapsed := time.Since(start)
+		srv.Close()
+		cleanup(dir)
+		fmt.Printf("%-12s %12s %14.0f %12.1f\n", fmt.Sprintf("%dB", size),
+			elapsed.Round(time.Millisecond), float64(msgs)/elapsed.Seconds(),
+			float64(msgs*size)/1e6/elapsed.Seconds())
+	}
+}
+
+// --- E8 ---
+
+func runE8() {
+	dir := tempDir()
+	defer cleanup(dir)
+	srv, err := demaq.Open(dir, `
+		create queue in kind basic mode persistent;
+		create property k as xs:string fixed queue in value //k;
+		create slicing byK on k;
+		create rule done for byK if (qs:slice()[/finish]) then do reset;
+	`, &demaq.Options{Workers: 4, NoSync: true})
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+	srv.Start()
+	fmt.Printf("%-10s %12s %12s %12s\n", "round", "produced", "collected", "gc time")
+	for round := 0; round < 3; round++ {
+		const groups = 50
+		for j := 0; j < groups*10; j++ {
+			srv.Enqueue("in", fmt.Sprintf(`<m><k>r%d-%d</k></m>`, round, j%groups), nil)
+		}
+		for j := 0; j < groups; j++ {
+			srv.Enqueue("in", fmt.Sprintf(`<finish><k>r%d-%d</k></finish>`, round, j), nil)
+		}
+		srv.Drain(5 * time.Minute)
+		start := time.Now()
+		n, err := srv.CollectGarbage()
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-10d %12d %12d %12s\n", round, groups*11, n, time.Since(start).Round(time.Microsecond))
+	}
+}
+
+// --- E9 ---
+
+func runE9() {
+	const msgs = 200
+	fmt.Printf("%-10s %14s %16s %14s\n", "loss", "elapsed/msg", "retransmits/msg", "delivered")
+	for _, loss := range []float64{0, 0.1, 0.3} {
+		net := gateway.NewNetwork(99)
+		net.SetLossRate(loss)
+		recv, _ := gateway.NewReliable(net, "sim://b/in", 2*time.Millisecond, 400)
+		var delivered int
+		var mu sync.Mutex
+		recv.Subscribe(func([]byte, map[string]string) error {
+			mu.Lock()
+			delivered++
+			mu.Unlock()
+			return nil
+		})
+		send, _ := gateway.NewReliable(net, "sim://a/out", 2*time.Millisecond, 400)
+		send.Subscribe(func([]byte, map[string]string) error { return nil })
+		payload := []byte("<m>reliable payload</m>")
+		var wg sync.WaitGroup
+		start := time.Now()
+		for i := 0; i < msgs; i++ {
+			wg.Add(1)
+			send.SendAsync("sim://b/in", payload, nil, func(err error) {
+				if err != nil {
+					panic(err)
+				}
+				wg.Done()
+			})
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		_, retransmits, _ := send.Stats()
+		send.Close()
+		recv.Close()
+		net.Close()
+		mu.Lock()
+		d := delivered
+		mu.Unlock()
+		fmt.Printf("%-10s %14s %16.2f %10d/%d\n", fmt.Sprintf("%.0f%%", loss*100),
+			(elapsed / msgs).Round(time.Microsecond), float64(retransmits)/msgs, d, msgs)
+	}
+}
+
+// --- A2 ---
+
+func runA2() {
+	fmt.Printf("%-14s %14s %14s\n", "pool pages", "scan time", "evictions")
+	for _, pages := range []int{32, 512, 4096} {
+		dir := tempDir()
+		opts := store.DefaultOptions()
+		opts.SyncCommits = false
+		opts.BufferPages = pages
+		s, _ := store.Open(dir, opts)
+		h, _ := s.CreateHeap("q")
+		payload := []byte(strings.Repeat("d", 2000))
+		tx := s.Begin()
+		for i := 0; i < 4000; i++ {
+			tx.Insert(h, payload)
+		}
+		tx.Commit()
+		start := time.Now()
+		for r := 0; r < 5; r++ {
+			s.Scan(h, func(store.RID, []byte) bool { return true })
+		}
+		elapsed := time.Since(start) / 5
+		ev := s.Stats().Evictions
+		s.Close()
+		cleanup(dir)
+		fmt.Printf("%-14d %14s %14d\n", pages, elapsed.Round(time.Microsecond), ev)
+	}
+}
+
+// --- A3 ---
+
+func runA3() {
+	const msgs = 300
+	fmt.Printf("%-12s %14s %14s\n", "fsync", "elapsed/msg", "msgs/sec")
+	for _, sync := range []bool{true, false} {
+		dir := tempDir()
+		opts := store.DefaultOptions()
+		opts.SyncCommits = sync
+		s, _ := store.Open(dir, opts)
+		h, _ := s.CreateHeap("q")
+		payload := []byte("<m>committed message</m>")
+		start := time.Now()
+		for i := 0; i < msgs; i++ {
+			tx := s.Begin()
+			tx.Insert(h, payload)
+			tx.Commit()
+		}
+		elapsed := time.Since(start)
+		s.Close()
+		cleanup(dir)
+		mode := "on"
+		if !sync {
+			mode = "off"
+		}
+		fmt.Printf("%-12s %14s %14.0f\n", mode, (elapsed / msgs).Round(time.Microsecond),
+			float64(msgs)/elapsed.Seconds())
+	}
+}

@@ -1,0 +1,93 @@
+// Command demaqctl is the client-side companion of demaqd.
+//
+//	demaqctl validate application.dq
+//	demaqctl send http://host:port/queues/in message.xml [key=value ...]
+//	demaqctl send http://host:port/queues/in - < message.xml
+//
+// "send" POSTs an XML message to an HTTP incoming-gateway endpoint of a
+// running server; key=value pairs become explicit message properties
+// (X-Demaq-* headers).
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"demaq"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "validate":
+		if len(os.Args) != 3 {
+			usage()
+		}
+		src, err := os.ReadFile(os.Args[2])
+		if err != nil {
+			fatal(err)
+		}
+		if err := demaq.Validate(string(src)); err != nil {
+			fatal(fmt.Errorf("%s: %w", os.Args[2], err))
+		}
+		fmt.Printf("%s: OK\n", os.Args[2])
+	case "send":
+		if len(os.Args) < 4 {
+			usage()
+		}
+		url, file := os.Args[2], os.Args[3]
+		var body []byte
+		var err error
+		if file == "-" {
+			body, err = io.ReadAll(os.Stdin)
+		} else {
+			body, err = os.ReadFile(file)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(string(body)))
+		if err != nil {
+			fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/xml")
+		for _, kv := range os.Args[4:] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				fatal(fmt.Errorf("property argument %q is not key=value", kv))
+			}
+			req.Header.Set("X-Demaq-"+k, v)
+		}
+		client := &http.Client{Timeout: 30 * time.Second}
+		resp, err := client.Do(req)
+		if err != nil {
+			fatal(err)
+		}
+		defer resp.Body.Close()
+		out, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode >= 300 {
+			fatal(fmt.Errorf("server returned %s: %s", resp.Status, strings.TrimSpace(string(out))))
+		}
+		fmt.Printf("accepted (%s)\n", resp.Status)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  demaqctl validate <application.dq>
+  demaqctl send <endpoint-url> <message.xml|-> [prop=value ...]`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "demaqctl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Command demaqd runs a Demaq server: it loads a declarative application
+// (QDL + QML statements) and executes it against a persistent data
+// directory until interrupted.
+//
+//	demaqd -app application.dq -data ./data [-workers 4] [-http] [-gc 30s]
+//	demaqd -app application.dq -check          # validate only
+//
+// Gateway queues resolve their endpoints from WSDL files relative to the
+// application file's directory. With -http the HTTP transport is attached,
+// so incoming gateway queues with http:// addresses accept messages POSTed
+// by demaqctl or any HTTP client.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"log/slog"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"demaq"
+)
+
+func main() {
+	var (
+		appFile  = flag.String("app", "", "application file (QDL+QML statements)")
+		dataDir  = flag.String("data", "./demaq-data", "data directory")
+		workers  = flag.Int("workers", 4, "message-processing workers")
+		check    = flag.Bool("check", false, "validate the application and exit")
+		useHTTP  = flag.Bool("http", false, "attach the HTTP gateway transport")
+		simSeed  = flag.Int64("sim", 0, "attach the simulated network transport with this seed")
+		gcEvery  = flag.Duration("gc", 30*time.Second, "retention GC interval (0 disables)")
+		noSync   = flag.Bool("nosync", false, "disable fsync on commit")
+		statsSec = flag.Duration("stats", 10*time.Second, "stats reporting interval (0 disables)")
+	)
+	flag.Parse()
+	if *appFile == "" {
+		fmt.Fprintln(os.Stderr, "usage: demaqd -app application.dq [-data dir]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	source, err := os.ReadFile(*appFile)
+	if err != nil {
+		log.Fatalf("demaqd: %v", err)
+	}
+	if *check {
+		if err := demaq.Validate(string(source)); err != nil {
+			log.Fatalf("demaqd: %s: %v", *appFile, err)
+		}
+		fmt.Printf("%s: OK\n", *appFile)
+		return
+	}
+
+	opts := &demaq.Options{
+		Workers:    *workers,
+		GCInterval: *gcEvery,
+		NoSync:     *noSync,
+		EnableHTTP: *useHTTP,
+		Resources:  os.DirFS(filepath.Dir(*appFile)),
+		Logger:     slog.New(slog.NewTextHandler(os.Stderr, nil)),
+	}
+	if *simSeed != 0 {
+		opts.NetworkSeed = *simSeed
+	}
+	srv, err := demaq.Open(*dataDir, string(source), opts)
+	if err != nil {
+		log.Fatalf("demaqd: %v", err)
+	}
+	srv.Start()
+	log.Printf("demaqd: serving %s from %s (queues: %v)", *appFile, *dataDir, srv.Queues())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if *statsSec > 0 {
+		ticker := time.NewTicker(*statsSec)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				log.Printf("demaqd: %s", demaq.FormatStats(srv.Stats()))
+			}
+		}()
+	}
+	<-stop
+	log.Printf("demaqd: shutting down: %s", demaq.FormatStats(srv.Stats()))
+	if err := srv.Close(); err != nil {
+		log.Fatalf("demaqd: close: %v", err)
+	}
+}

@@ -1,0 +1,349 @@
+// Package demaq is a declarative XML message processing system: a Go
+// implementation of the Demaq model from "Demaq: A Foundation for
+// Declarative XML Message Processing" (Böhm, Kanne, Moerkotte, CIDR 2007).
+//
+// A Demaq application is a set of XML message queues and fully declarative
+// rules: queues (and slicings — virtual queues grouping correlated
+// messages) are declared in the Queue Definition Language, application
+// logic is expressed as XQuery-based rules that react to message arrival
+// exclusively by creating new messages. The engine persists messages in a
+// recoverable append-only store, schedules rule evaluation with
+// transactional exactly-once semantics, retains messages according to
+// declarative slice lifetimes, and talks to remote nodes through gateway
+// queues.
+//
+//	srv, err := demaq.Open(dir, `
+//	    create queue in  kind basic mode persistent;
+//	    create queue out kind basic mode persistent;
+//	    create rule respond for in
+//	      if (//ping) then do enqueue <pong>{//ping/text()}</pong> into out;
+//	`, nil)
+//	srv.Start()
+//	srv.Enqueue("in", "<ping>hello</ping>", nil)
+//	srv.Drain(time.Second)
+//	msgs, _ := srv.Queue("out")
+package demaq
+
+import (
+	"fmt"
+	"io/fs"
+	"log/slog"
+	"time"
+
+	"demaq/internal/engine"
+	"demaq/internal/gateway"
+	"demaq/internal/msgstore"
+	"demaq/internal/qdl"
+	"demaq/internal/rule"
+	"demaq/internal/xdm"
+	"demaq/internal/xmldom"
+)
+
+// Options configure a server. The zero value (nil pointer) gives production
+// defaults: 4 workers, slice-granularity locking, durable commits,
+// materialized slices, all rule optimizations.
+type Options struct {
+	// Workers sets the number of concurrent message processors.
+	Workers int
+	// CoarseLocking switches from slice- to queue-granularity locks
+	// (the experiment E2 baseline; slower under contention).
+	CoarseLocking bool
+	// NoSync disables fsync on commit, trading the durability of the most
+	// recent transactions for throughput (experiment A3).
+	NoSync bool
+	// NoMaterializedSlices evaluates slice access by re-running the slice
+	// definition instead of maintaining the B-tree index (experiment E1).
+	NoMaterializedSlices bool
+	// NoRuleOptimizations disables condition dispatch and property
+	// inlining in the rule compiler (experiment E4 baseline).
+	NoRuleOptimizations bool
+	// GCInterval enables periodic retention garbage collection.
+	GCInterval time.Duration
+	// Resources resolves WSDL, policy and schema files referenced by the
+	// application.
+	Resources fs.FS
+	// NetworkSeed, when non-zero, attaches the simulated network transport
+	// (addresses "sim://...") with deterministic behavior.
+	NetworkSeed int64
+	// EnableHTTP attaches the HTTP transport (addresses "http://...").
+	EnableHTTP bool
+	// Logger receives engine diagnostics.
+	Logger *slog.Logger
+}
+
+// Message is a queued message as seen through the public API.
+type Message struct {
+	ID        uint64
+	Queue     string
+	XML       string
+	Props     map[string]string
+	Enqueued  time.Time
+	Processed bool
+}
+
+// Stats reports engine counters.
+type Stats = engine.Stats
+
+// Server is a running Demaq node.
+type Server struct {
+	eng  *engine.Engine
+	net  *SimNetwork
+	http *gateway.HTTPTransport
+}
+
+// Open loads (or re-loads after a restart) the application program in
+// source form and opens the data directory, running crash recovery. The
+// server does not process messages until Start is called.
+func Open(dir, source string, opts *Options) (*Server, error) {
+	app, err := qdl.Parse(source)
+	if err != nil {
+		return nil, err
+	}
+	return OpenApplication(dir, app, opts)
+}
+
+// OpenApplication is Open for a pre-parsed application.
+func OpenApplication(dir string, app *qdl.Application, opts *Options) (*Server, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	storeOpts := msgstore.DefaultOptions()
+	storeOpts.Store.SyncCommits = !opts.NoSync
+	ruleOpts := rule.DefaultOptions()
+	if opts.NoRuleOptimizations {
+		ruleOpts = rule.Options{}
+	}
+	gran := engine.LockSlice
+	if opts.CoarseLocking {
+		gran = engine.LockQueue
+	}
+	materialized := !opts.NoMaterializedSlices
+	cfg := engine.Config{
+		Dir:          dir,
+		Workers:      opts.Workers,
+		Granularity:  gran,
+		Store:        storeOpts,
+		Rules:        ruleOpts,
+		Materialized: &materialized,
+		GCInterval:   opts.GCInterval,
+		Logger:       opts.Logger,
+		Resources:    opts.Resources,
+	}
+	srv := &Server{}
+	reg := gateway.NewRegistry()
+	if opts.NetworkSeed != 0 {
+		srv.net = &SimNetwork{n: gateway.NewNetwork(opts.NetworkSeed)}
+		reg.Add(srv.net.n)
+	}
+	if opts.EnableHTTP {
+		srv.http = gateway.NewHTTPTransport()
+		reg.Add(srv.http)
+	}
+	cfg.Transports = reg
+	eng, err := engine.New(cfg, app)
+	if err != nil {
+		return nil, err
+	}
+	srv.eng = eng
+	return srv, nil
+}
+
+// Start launches message processing and background services.
+func (s *Server) Start() { s.eng.Start() }
+
+// Close stops the server and closes the store. The data directory can be
+// re-opened with the same application to resume processing.
+func (s *Server) Close() error {
+	err := s.eng.Stop()
+	if s.net != nil {
+		s.net.n.Close()
+	}
+	if s.http != nil {
+		s.http.Close()
+	}
+	return err
+}
+
+// Drain waits until no messages are pending or in flight (timers excluded),
+// or the timeout elapses; it reports whether the system became idle.
+func (s *Server) Drain(timeout time.Duration) bool { return s.eng.Drain(timeout) }
+
+// Enqueue inserts an XML message into a queue; props set explicit property
+// values (they must be declared on the queue, or be system properties such
+// as "Sender", "timeout", "target").
+func (s *Server) Enqueue(queue, xml string, props map[string]string) (uint64, error) {
+	var explicit map[string]xdm.Value
+	if len(props) > 0 {
+		explicit = make(map[string]xdm.Value, len(props))
+		for k, v := range props {
+			explicit[k] = xdm.NewString(v)
+		}
+	}
+	id, err := s.eng.EnqueueXML(queue, xml, explicit)
+	return uint64(id), err
+}
+
+// Queue returns the live messages of a queue in arrival order.
+func (s *Server) Queue(name string) ([]Message, error) {
+	msgs, err := s.eng.MessageStore().Messages(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Message, 0, len(msgs))
+	for _, m := range msgs {
+		doc, err := s.eng.MessageStore().Doc(m.ID)
+		if err != nil {
+			return nil, err
+		}
+		props := make(map[string]string, len(m.Props))
+		for k, v := range m.Props {
+			props[k] = v.StringValue()
+		}
+		out = append(out, Message{
+			ID: uint64(m.ID), Queue: m.Queue, XML: xmldom.Serialize(doc),
+			Props: props, Enqueued: m.Enqueued, Processed: m.Processed,
+		})
+	}
+	return out, nil
+}
+
+// Queues lists the declared queue names.
+func (s *Server) Queues() []string { return s.eng.MessageStore().QueueNames() }
+
+// SliceMembers returns the IDs of the messages currently visible in a
+// slice (introspection).
+func (s *Server) SliceMembers(slicing, key string) []uint64 {
+	ids := s.eng.Slices().SliceMembers(slicing, key)
+	out := make([]uint64, len(ids))
+	for i, id := range ids {
+		out[i] = uint64(id)
+	}
+	return out
+}
+
+// AddMasterData appends a document to a collection (fn:collection).
+func (s *Server) AddMasterData(collection, xml string) error {
+	doc, err := xmldom.ParseString(xml)
+	if err != nil {
+		return err
+	}
+	return s.eng.MessageStore().AddToCollection(collection, doc)
+}
+
+// CollectGarbage runs one retention GC pass and returns the number of
+// messages physically removed.
+func (s *Server) CollectGarbage() (int, error) { return s.eng.CollectGarbage() }
+
+// Reload replaces the application program at runtime — the dynamic rule
+// evolution the paper lists as future work (Sec. 5). The engine must be
+// idle (Drain first); queues can be added but not removed or re-typed;
+// rules, properties, slicings and collections may change freely.
+func (s *Server) Reload(source string) error {
+	app, err := qdl.Parse(source)
+	if err != nil {
+		return err
+	}
+	return s.eng.Reload(app)
+}
+
+// Stats returns engine counters.
+func (s *Server) Stats() Stats { return s.eng.Stats() }
+
+// Network returns the simulated network attached via Options.NetworkSeed,
+// or nil.
+func (s *Server) Network() *SimNetwork { return s.net }
+
+// ConnectTo shares this server's simulated network with another server
+// configuration: pass the returned value as the Transports of a second
+// node. Used by multi-node examples.
+func (s *Server) shareNet() *gateway.Network {
+	if s.net == nil {
+		return nil
+	}
+	return s.net.n
+}
+
+// OpenPeer opens a second node sharing this server's transports (simulated
+// network and/or HTTP), so multi-node applications run in one process.
+func (s *Server) OpenPeer(dir, source string, opts *Options) (*Server, error) {
+	app, err := qdl.Parse(source)
+	if err != nil {
+		return nil, err
+	}
+	if opts == nil {
+		opts = &Options{}
+	}
+	storeOpts := msgstore.DefaultOptions()
+	storeOpts.Store.SyncCommits = !opts.NoSync
+	ruleOpts := rule.DefaultOptions()
+	if opts.NoRuleOptimizations {
+		ruleOpts = rule.Options{}
+	}
+	materialized := !opts.NoMaterializedSlices
+	reg := gateway.NewRegistry()
+	peer := &Server{}
+	if n := s.shareNet(); n != nil {
+		peer.net = s.net
+		reg.Add(n)
+	}
+	if s.http != nil {
+		peer.http = s.http
+		reg.Add(s.http)
+	}
+	cfg := engine.Config{
+		Dir: dir, Workers: opts.Workers,
+		Store: storeOpts, Rules: ruleOpts, Materialized: &materialized,
+		GCInterval: opts.GCInterval, Logger: opts.Logger,
+		Resources: opts.Resources, Transports: reg,
+	}
+	eng, err := engine.New(cfg, app)
+	if err != nil {
+		return nil, err
+	}
+	peer.eng = eng
+	return peer, nil
+}
+
+// SimNetwork exposes the failure-injection knobs of the simulated network.
+type SimNetwork struct {
+	n *gateway.Network
+}
+
+// SetLatency sets the one-way delivery delay.
+func (sn *SimNetwork) SetLatency(d time.Duration) { sn.n.SetLatency(d) }
+
+// SetLossRate silently drops the given fraction of transmissions.
+func (sn *SimNetwork) SetLossRate(p float64) { sn.n.SetLossRate(p) }
+
+// SetDupRate duplicates the given fraction of transmissions.
+func (sn *SimNetwork) SetDupRate(p float64) { sn.n.SetDupRate(p) }
+
+// SetDown marks an endpoint address unreachable.
+func (sn *SimNetwork) SetDown(addr string, down bool) { sn.n.SetDown(addr, down) }
+
+// ProcurementApplication is the complete QDL/QML source of the paper's
+// running example (Figs. 3-10, Examples 3.1-3.5): the chemical-industry
+// procurement scenario with parallel checks joined through a slicing,
+// payment reminders via an echo queue, and error handling. It is used by
+// examples/procurement and the integration tests.
+const ProcurementApplication = qdl.ProcurementApp
+
+// Validate parses and compiles an application without opening a store;
+// useful for "demaqd -check".
+func Validate(source string) error {
+	app, err := qdl.Parse(source)
+	if err != nil {
+		return err
+	}
+	if _, err := rule.Compile(app, rule.DefaultOptions()); err != nil {
+		return err
+	}
+	return nil
+}
+
+// FormatStats renders stats for human consumption.
+func FormatStats(st Stats) string {
+	return fmt.Sprintf("processed=%d rules=%d fired=%d enqueued=%d resets=%d errors=%d deadlocks=%d collected=%d backlog=%d",
+		st.Processed, st.RulesEvaluated, st.RulesFired, st.Enqueued, st.Resets,
+		st.Errors, st.Deadlocks, st.Collected, st.Backlog)
+}

@@ -1,0 +1,156 @@
+package demaq
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const quickApp = `
+create queue in  kind basic mode persistent;
+create queue out kind basic mode persistent;
+create rule respond for in
+  if (//ping) then do enqueue <pong>{//ping/text()}</pong> into out;
+`
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	srv, err := Open(t.TempDir(), quickApp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Start()
+	if _, err := srv.Enqueue("in", `<ping>hi</ping>`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !srv.Drain(5 * time.Second) {
+		t.Fatal("drain")
+	}
+	msgs, err := srv.Queue("out")
+	if err != nil || len(msgs) != 1 {
+		t.Fatalf("out: %v %v", msgs, err)
+	}
+	if !strings.Contains(msgs[0].XML, "<pong>hi</pong>") {
+		t.Fatalf("xml: %s", msgs[0].XML)
+	}
+	st := srv.Stats()
+	if st.Processed == 0 || st.Enqueued < 2 {
+		t.Fatalf("stats: %s", FormatStats(st))
+	}
+	if len(srv.Queues()) != 2 {
+		t.Fatal("queues")
+	}
+}
+
+func TestPublicAPIRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := Open(dir, quickApp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	srv.Enqueue("in", `<ping>persisted</ping>`, nil)
+	srv.Drain(5 * time.Second)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, err := Open(dir, quickApp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	msgs, _ := srv2.Queue("out")
+	if len(msgs) != 1 || !strings.Contains(msgs[0].XML, "persisted") {
+		t.Fatalf("after restart: %v", msgs)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(quickApp); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(`create queue q kind wrong mode persistent;`); err == nil {
+		t.Fatal("bad app accepted")
+	}
+	if err := Validate(`
+		create queue q kind basic mode persistent;
+		create rule r for q do enqueue <x/> into missing;`); err == nil {
+		t.Fatal("unknown enqueue target accepted")
+	}
+}
+
+func TestMasterDataAndGC(t *testing.T) {
+	srv, err := Open(t.TempDir(), `
+		create queue in kind basic mode persistent;
+		create queue out kind basic mode persistent;
+		create collection prices;
+		create rule lookup for in
+		  if (//q) then
+		    do enqueue <price>{collection("prices")//p[@sku = "A"]/text()}</price> into out;
+	`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.AddMasterData("prices", `<list><p sku="A">42</p></list>`); err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	srv.Enqueue("in", `<q/>`, nil)
+	srv.Drain(5 * time.Second)
+	msgs, _ := srv.Queue("out")
+	if len(msgs) != 1 || !strings.Contains(msgs[0].XML, ">42<") {
+		t.Fatalf("master data lookup: %v", msgs)
+	}
+	// The input is processed and sliceless: collectable.
+	if n, err := srv.CollectGarbage(); err != nil || n == 0 {
+		t.Fatalf("gc: %d %v", n, err)
+	}
+}
+
+func TestReloadThroughPublicAPI(t *testing.T) {
+	srv, err := Open(t.TempDir(), `
+		create queue in kind basic mode persistent;
+		create queue out kind basic mode persistent;
+	`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Start()
+	srv.Enqueue("in", `<m/>`, nil)
+	srv.Drain(5 * time.Second)
+	if err := srv.Reload(`
+		create queue in kind basic mode persistent;
+		create queue out kind basic mode persistent;
+		create rule fwd for in if (//m) then do enqueue <seen/> into out;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	srv.Enqueue("in", `<m/>`, nil)
+	srv.Drain(5 * time.Second)
+	msgs, _ := srv.Queue("out")
+	if len(msgs) != 1 {
+		t.Fatalf("reloaded rule output: %d", len(msgs))
+	}
+}
+
+func TestExplicitProps(t *testing.T) {
+	srv, err := Open(t.TempDir(), `
+		create queue in kind basic mode persistent;
+		create property level as xs:integer queue in value 0;
+	`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	id, err := srv.Enqueue("in", `<m/>`, map[string]string{"level": "7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs, _ := srv.Queue("in")
+	if len(msgs) != 1 || msgs[0].ID != id || msgs[0].Props["level"] != "7" {
+		t.Fatalf("props: %+v", msgs)
+	}
+}

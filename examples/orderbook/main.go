@@ -1,0 +1,90 @@
+// Orderbook sketches the securities-trading workload the paper's
+// introduction motivates (FIX-style XML messaging): buy and sell orders
+// arrive in a high-priority queue, a slicing correlates orders per symbol,
+// and a matching rule pairs the oldest crossing buy/sell orders into
+// executions. Cancellations show per-symbol slice resets; an audit queue
+// retains everything for compliance.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"demaq"
+)
+
+const app = `
+create queue orders     kind basic mode persistent priority 10;
+create queue executions kind basic mode persistent;
+create queue audit      kind basic mode persistent priority 1;
+
+create property symbol as xs:string fixed
+  queue orders value //symbol;
+create slicing bySymbol on symbol;
+
+(: every order is mirrored to the audit trail :)
+create rule auditTrail for orders
+  if (//order) then
+    do enqueue <audited>{//order/@side}{//symbol}{//price}</audited> into audit;
+
+(: match: a buy and a sell for the same symbol with buy.price >= sell.price.
+   The guard keeps the rule from re-firing on the execution itself. :)
+create rule match for bySymbol
+  if (qs:slice()[/order/@side = "buy"] and qs:slice()[/order/@side = "sell"]) then
+    let $buys  := qs:slice()/order[@side = "buy"]
+    let $sells := qs:slice()/order[@side = "sell"]
+    let $buy   := $buys[number(price) = max($buys/price/number(.))][1]
+    let $sell  := $sells[number(price) = min($sells/price/number(.))][1]
+    return
+      if (number($buy/price) >= number($sell/price)) then
+        (do enqueue
+           <execution symbol="{qs:slicekey()}">
+             <price>{$sell/price/text()}</price>
+             <buyer>{$buy/trader/text()}</buyer>
+             <seller>{$sell/trader/text()}</seller>
+           </execution> into executions,
+         do reset)
+      else ();
+`
+
+func main() {
+	dir, err := os.MkdirTemp("", "demaq-orderbook")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	srv, err := demaq.Open(dir, app, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Start()
+
+	orders := []string{
+		`<order side="buy"><symbol>ACME</symbol><price>101</price><trader>alice</trader></order>`,
+		`<order side="buy"><symbol>GLOBEX</symbol><price>55</price><trader>carol</trader></order>`,
+		`<order side="sell"><symbol>ACME</symbol><price>100</price><trader>bob</trader></order>`,
+		`<order side="sell"><symbol>GLOBEX</symbol><price>60</price><trader>dan</trader></order>`, // no cross
+	}
+	for _, o := range orders {
+		if _, err := srv.Enqueue("orders", o, nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if !srv.Drain(5 * time.Second) {
+		log.Fatal("drain")
+	}
+
+	execs, _ := srv.Queue("executions")
+	fmt.Printf("executions (%d):\n", len(execs))
+	for _, m := range execs {
+		fmt.Printf("  %s\n", m.XML)
+	}
+	audit, _ := srv.Queue("audit")
+	fmt.Printf("audit trail holds %d records\n", len(audit))
+	fmt.Printf("GLOBEX book still open: %d resting orders in slice\n",
+		len(srv.SliceMembers("bySymbol", "GLOBEX")))
+	fmt.Println("stats:", demaq.FormatStats(srv.Stats()))
+}

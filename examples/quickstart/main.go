@@ -1,0 +1,57 @@
+// Quickstart: the smallest complete Demaq application — one rule that
+// reacts to a ping message by producing a pong. Demonstrates opening a
+// server, loading an application, enqueuing messages and inspecting
+// queues through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"demaq"
+)
+
+const app = `
+create queue in  kind basic mode persistent;
+create queue out kind basic mode persistent;
+
+create rule respond for in
+  if (//ping) then
+    do enqueue <pong at="{current-dateTime()}">{//ping/text()}</pong> into out;
+`
+
+func main() {
+	dir, err := os.MkdirTemp("", "demaq-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	srv, err := demaq.Open(dir, app, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Start()
+
+	for i := 1; i <= 3; i++ {
+		if _, err := srv.Enqueue("in", fmt.Sprintf("<ping>hello %d</ping>", i), nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if !srv.Drain(5 * time.Second) {
+		log.Fatal("engine did not become idle")
+	}
+
+	msgs, err := srv.Queue("out")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("the out queue holds %d messages:\n", len(msgs))
+	for _, m := range msgs {
+		fmt.Printf("  #%d %s\n", m.ID, m.XML)
+	}
+	fmt.Println("stats:", demaq.FormatStats(srv.Stats()))
+}

@@ -1,0 +1,54 @@
+package baseline
+
+import (
+	"fmt"
+	"testing"
+
+	"demaq/internal/store"
+	"demaq/internal/xmldom"
+)
+
+func TestContextEngineAccumulatesEvents(t *testing.T) {
+	e, err := Open(t.TempDir(), store.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for i := 0; i < 10; i++ {
+		ev := xmldom.MustParse(fmt.Sprintf(`<event n="%d">payload</event>`, i))
+		if err := e.HandleEvent("inst-1", ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := e.EventCount("inst-1")
+	if err != nil || n != 10 {
+		t.Fatalf("events: %d %v", n, err)
+	}
+	if e.Instances() != 1 {
+		t.Fatal("instances")
+	}
+}
+
+func TestContextEngineMultiInstanceAndRestart(t *testing.T) {
+	dir := t.TempDir()
+	e, _ := Open(dir, store.DefaultOptions())
+	for i := 0; i < 5; i++ {
+		inst := fmt.Sprintf("inst-%d", i)
+		for j := 0; j <= i; j++ {
+			e.HandleEvent(inst, xmldom.MustParse(`<event/>`))
+		}
+	}
+	e.Close()
+	e2, err := Open(dir, store.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if e2.Instances() != 5 {
+		t.Fatalf("instances after restart: %d", e2.Instances())
+	}
+	n, _ := e2.EventCount("inst-4")
+	if n != 5 {
+		t.Fatalf("inst-4 events: %d", n)
+	}
+}

@@ -1,0 +1,209 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"demaq/internal/msgstore"
+	"demaq/internal/property"
+	locks "demaq/internal/txn"
+	"demaq/internal/xdm"
+	"demaq/internal/xmldom"
+	"demaq/internal/xquery"
+)
+
+// evalRuntime implements xquery.Runtime against the engine inside one
+// message-processing transaction. Reads acquire the logical locks that make
+// concurrent processing serializable (Sec. 4.3).
+type evalRuntime struct {
+	eng   *Engine
+	txnID uint64
+	msgID msgstore.MsgID
+	doc   *xmldom.Node
+	queue string
+	props map[string]xdm.Value
+	now   time.Time
+
+	curSlicing string
+	curKey     string
+}
+
+func (rt *evalRuntime) Message() (*xmldom.Node, error) { return rt.doc, nil }
+
+func (rt *evalRuntime) Queue(name string) ([]*xmldom.Node, error) {
+	if name == "" {
+		name = rt.queue
+	}
+	// Whole-queue read: shared lock at queue granularity.
+	if err := rt.eng.lm.Acquire(rt.txnID, locks.Resource("q", name), locks.S); err != nil {
+		return nil, err
+	}
+	return rt.eng.ms.QueueDocs(name)
+}
+
+func (rt *evalRuntime) Property(name string) (xdm.Value, error) {
+	if v, ok := rt.props[name]; ok {
+		return v, nil
+	}
+	return xdm.Value{}, fmt.Errorf("message has no property %q", name)
+}
+
+func (rt *evalRuntime) Slice() ([]*xmldom.Node, error) {
+	if rt.curSlicing == "" {
+		return nil, fmt.Errorf("qs:slice() outside a slicing rule")
+	}
+	if rt.eng.cfg.Granularity == LockSlice {
+		if err := rt.eng.lm.Acquire(rt.txnID, locks.Resource("sl", rt.curSlicing, rt.curKey), locks.S); err != nil {
+			return nil, err
+		}
+	}
+	ids := rt.eng.slices.SliceMembers(rt.curSlicing, rt.curKey)
+	docs := make([]*xmldom.Node, 0, len(ids))
+	for _, id := range ids {
+		d, err := rt.eng.ms.Doc(id)
+		if err != nil {
+			return nil, err
+		}
+		docs = append(docs, d)
+	}
+	return docs, nil
+}
+
+func (rt *evalRuntime) SliceKey() (xdm.Value, error) {
+	if rt.curSlicing == "" {
+		return xdm.Value{}, fmt.Errorf("qs:slicekey() outside a slicing rule")
+	}
+	// Return the typed property value where possible.
+	if prop, ok := rt.eng.prog.SlicingProps[rt.curSlicing]; ok {
+		if v, ok := rt.props[prop]; ok {
+			return v, nil
+		}
+	}
+	return xdm.NewString(rt.curKey), nil
+}
+
+func (rt *evalRuntime) Collection(name string) ([]*xmldom.Node, error) {
+	return rt.eng.ms.Collection(name), nil
+}
+
+func (rt *evalRuntime) Now() time.Time { return rt.now }
+
+// applyUpdates executes a pending update list and marks the triggering
+// message processed, in one message-store transaction. Target queues and
+// slices are locked before any effect is applied (strict 2PL: everything is
+// held until the worker releases at transaction end).
+func (e *Engine) applyUpdates(txnID uint64, id msgstore.MsgID, queue string,
+	parentProps map[string]xdm.Value, updates *xquery.UpdateList, now time.Time, ruleName string) error {
+
+	type staged struct {
+		up    *xquery.EnqueueUpdate
+		props map[string]xdm.Value
+		id    msgstore.MsgID
+		queue *msgstore.Queue
+	}
+	var stagedEnqs []staged
+
+	// Lock targets first.
+	for _, up := range updates.Updates {
+		switch u := up.(type) {
+		case *xquery.EnqueueUpdate:
+			mode := locks.IX
+			if e.cfg.Granularity == LockQueue {
+				mode = locks.X
+			}
+			if err := e.lm.Acquire(txnID, locks.Resource("q", u.Queue), mode); err != nil {
+				return err
+			}
+		case *xquery.ResetUpdate:
+			if e.cfg.Granularity == LockSlice {
+				if err := e.lm.Acquire(txnID, locks.Resource("sl", u.Slicing, u.Key.StringValue()), locks.X); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	tx := e.ms.Begin()
+	for _, up := range updates.Updates {
+		switch u := up.(type) {
+		case *xquery.EnqueueUpdate:
+			q, ok := e.ms.Queue(u.Queue)
+			if !ok {
+				tx.Abort()
+				return fmt.Errorf("engine: enqueue into unknown queue %q", u.Queue)
+			}
+			system := map[string]xdm.Value{
+				property.SysCreatingRule: xdm.NewString(ruleName),
+				property.SysCreated:      xdm.NewDateTime(now),
+			}
+			props, err := e.prog.Properties.Evaluate(u.Queue, u.Doc, u.Props, parentProps, system, now)
+			if err != nil {
+				tx.Abort()
+				return err
+			}
+			// Validate against the queue schema, if declared.
+			if decl := e.queueDecl(u.Queue); decl != nil && decl.Schema != "" {
+				if err := e.validateSchema(decl, u.Doc); err != nil {
+					tx.Abort()
+					return err
+				}
+			}
+			nid, err := tx.Enqueue(u.Queue, u.Doc, props, now)
+			if err != nil {
+				tx.Abort()
+				return err
+			}
+			// Lock the new message's slices (they change shape).
+			if e.cfg.Granularity == LockSlice {
+				for propName, v := range props {
+					for _, sl := range e.slicingsOn(propName, u.Queue) {
+						if err := e.lm.Acquire(txnID, locks.Resource("sl", sl, v.StringValue()), locks.X); err != nil {
+							tx.Abort()
+							return err
+						}
+					}
+				}
+			}
+			stagedEnqs = append(stagedEnqs, staged{up: u, props: props, id: nid, queue: q})
+		case *xquery.ResetUpdate:
+			tx.RecordReset(u.Slicing, u.Key.StringValue())
+		}
+	}
+	if err := tx.MarkProcessed(id); err != nil {
+		tx.Abort()
+		return err
+	}
+	if _, err := tx.Commit(); err != nil {
+		return err
+	}
+
+	// Post-commit: derived state and routing.
+	for _, st := range stagedEnqs {
+		e.slices.OnEnqueue(st.id, st.up.Queue, st.props)
+		e.stats.enqueued.Add(1)
+		e.routeNewMessage(st.queue, st.id)
+	}
+	for _, re := range tx.AppliedResets {
+		e.slices.Reset(re.Slicing, re.Key, msgstore.MsgID(re.Watermark))
+		e.stats.resets.Add(1)
+	}
+	return nil
+}
+
+// slicingsOn returns the slicings over a property applicable to a queue.
+func (e *Engine) slicingsOn(propName, queue string) []string {
+	def, ok := e.prog.Properties.Def(propName)
+	if !ok {
+		return nil
+	}
+	if _, onQueue := def.PerQueue[queue]; !onQueue {
+		return nil
+	}
+	var out []string
+	for sl, p := range e.prog.SlicingProps {
+		if p == propName {
+			out = append(out, sl)
+		}
+	}
+	return out
+}

@@ -1,0 +1,598 @@
+// Package engine implements the Demaq server: it executes a compiled
+// application (internal/rule) against the message store, realizing the
+// execution model of Sec. 3.1 — every unprocessed message is processed
+// exactly once, in scheduler order, by evaluating all rules attached to its
+// queue and to the slices it belongs to, collecting a pending update list,
+// and applying it in one transaction. Error handling (Sec. 3.6), echo-queue
+// timers (Sec. 2.1.3), gateway communication (Sec. 4.2) and retention-based
+// garbage collection (Sec. 2.3.3) run as engine services.
+package engine
+
+import (
+	"fmt"
+	"io/fs"
+	"log/slog"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing/fstest"
+	"time"
+
+	"demaq/internal/gateway"
+	"demaq/internal/msgstore"
+	"demaq/internal/qdl"
+	"demaq/internal/rule"
+	"demaq/internal/schema"
+	"demaq/internal/slicing"
+	locks "demaq/internal/txn"
+	"demaq/internal/xdm"
+	"demaq/internal/xmldom"
+	"demaq/internal/xquery"
+)
+
+// LockGranularity selects the logical locking scheme (experiment E2).
+type LockGranularity uint8
+
+// Lock granularities.
+const (
+	// LockSlice locks individual slices and messages under queue
+	// intention locks — the paper's recommendation (Sec. 4.3).
+	LockSlice LockGranularity = iota
+	// LockQueue locks whole queues, the coarse baseline.
+	LockQueue
+)
+
+// Config configures an engine.
+type Config struct {
+	// Dir is the data directory.
+	Dir string
+	// Workers is the number of message-processing workers (default 4).
+	Workers int
+	// Granularity selects slice- or queue-level locking.
+	Granularity LockGranularity
+	// Store configures the message store.
+	Store msgstore.Options
+	// Rules configures the rule compiler.
+	Rules rule.Options
+	// Materialized selects the slice index implementation (E1).
+	Materialized *bool
+	// GCInterval runs the retention garbage collector periodically;
+	// zero disables the background task (CollectGarbage can be called
+	// manually).
+	GCInterval time.Duration
+	// MaxRetries bounds deadlock retries per message (default 32).
+	MaxRetries int
+	// Logger receives engine diagnostics (default slog.Default).
+	Logger *slog.Logger
+	// Resources resolves files referenced by the application: WSDL
+	// interfaces, policy files, schema files (default: empty).
+	Resources fs.FS
+	// Transports carries the gateway transports, keyed by scheme.
+	Transports *gateway.Registry
+}
+
+// Stats are engine counters.
+type Stats struct {
+	Processed      uint64
+	RulesEvaluated uint64
+	RulesFired     uint64 // produced at least one update
+	Enqueued       uint64
+	Resets         uint64
+	Errors         uint64
+	Deadlocks      uint64
+	Collected      uint64
+	Backlog        int
+}
+
+// Engine is a running Demaq server instance.
+type Engine struct {
+	cfg    Config
+	log    *slog.Logger
+	ms     *msgstore.Store
+	prog   *rule.Program
+	slices *slicing.Manager
+	lm     *locks.LockManager
+	sched  *scheduler
+	timers *timerService
+	gws    *gatewayService
+
+	txnSeq atomic.Uint64
+
+	stats struct {
+		processed, rulesEval, rulesFired, enqueued, resets, errors, deadlocks, collected atomic.Uint64
+	}
+
+	schemas map[string]*schema.Schema
+
+	wg      sync.WaitGroup
+	stopGC  chan struct{}
+	started bool
+	mu      sync.Mutex
+}
+
+// validateSchema checks a message against the queue's declared schema,
+// compiling it on first use. Schemas whose declaration begins with '<' are
+// inline documents; anything else is a file resolved via Config.Resources.
+func (e *Engine) validateSchema(decl *qdl.QueueDecl, doc *xmldom.Node) error {
+	e.mu.Lock()
+	if e.schemas == nil {
+		e.schemas = map[string]*schema.Schema{}
+	}
+	s, ok := e.schemas[decl.Name]
+	e.mu.Unlock()
+	if !ok {
+		src := decl.Schema
+		if !strings.HasPrefix(strings.TrimSpace(src), "<") {
+			data, err := fs.ReadFile(e.cfg.Resources, src)
+			if err != nil {
+				return fmt.Errorf("engine: schema of queue %q: %w", decl.Name, err)
+			}
+			src = string(data)
+		}
+		var err error
+		s, err = schema.Parse(src)
+		if err != nil {
+			return fmt.Errorf("engine: schema of queue %q: %w", decl.Name, err)
+		}
+		e.mu.Lock()
+		e.schemas[decl.Name] = s
+		e.mu.Unlock()
+	}
+	return s.Validate(doc)
+}
+
+// New opens the store and deploys the application program.
+func New(cfg Config, app *qdl.Application) (*Engine, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 32
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	if cfg.Store.CacheDocs == 0 {
+		cfg.Store = msgstore.DefaultOptions()
+	}
+	if cfg.Resources == nil {
+		cfg.Resources = fstest.MapFS{}
+	}
+	if cfg.Transports == nil {
+		cfg.Transports = gateway.NewRegistry()
+	}
+	prog, err := rule.Compile(app, cfg.Rules)
+	if err != nil {
+		return nil, err
+	}
+	// Rules on echo and outgoing gateway queues would race with the
+	// engine-internal consumers of those queues; reject them early.
+	for _, q := range app.Queues {
+		if q.Kind == qdl.KindEcho || q.Kind == qdl.KindOutgoingGateway {
+			if plan := prog.QueuePlans[q.Name]; plan != nil && len(plan.Rules) > 0 {
+				return nil, fmt.Errorf("engine: rules cannot be attached to %s queue %q", q.Kind, q.Name)
+			}
+		}
+	}
+
+	ms, err := msgstore.Open(cfg.Dir, cfg.Store)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:   cfg,
+		log:   cfg.Logger,
+		ms:    ms,
+		prog:  prog,
+		lm:    locks.NewLockManager(),
+		sched: newScheduler(),
+	}
+	materialized := true
+	if cfg.Materialized != nil {
+		materialized = *cfg.Materialized
+	}
+	e.slices = slicing.NewManager(ms, prog.Properties, materialized)
+	for name, propName := range prog.SlicingProps {
+		e.slices.Define(name, propName)
+	}
+
+	// Declare queues and collections.
+	for _, q := range app.Queues {
+		mode := msgstore.Persistent
+		if !q.Persistent {
+			mode = msgstore.Transient
+		}
+		if _, err := ms.CreateQueue(q.Name, mode, q.Priority); err != nil {
+			ms.Close()
+			return nil, err
+		}
+		e.sched.DeclareQueue(q.Name, q.Priority)
+	}
+	for _, c := range app.Collections {
+		if err := ms.CreateCollection(c.Name); err != nil {
+			ms.Close()
+			return nil, err
+		}
+	}
+
+	// Rebuild derived state: slice memberships, reset watermarks,
+	// scheduler backlog, pending timers.
+	if err := e.slices.Rebuild(); err != nil {
+		ms.Close()
+		return nil, err
+	}
+	events, err := ms.ResetEvents()
+	if err != nil {
+		ms.Close()
+		return nil, err
+	}
+	for _, ev := range events {
+		e.slices.Reset(ev.Slicing, ev.Key, msgstore.MsgID(ev.Watermark))
+	}
+	e.timers = newTimerService(e)
+	e.gws = newGatewayService(e)
+	for _, q := range app.Queues {
+		switch q.Kind {
+		case qdl.KindEcho:
+			for _, id := range ms.UnprocessedIDs(q.Name) {
+				e.timers.schedule(q.Name, id)
+			}
+		case qdl.KindOutgoingGateway:
+			e.gws.declareOutgoing(q)
+			for _, id := range ms.UnprocessedIDs(q.Name) {
+				e.gws.submit(q.Name, id)
+			}
+		case qdl.KindIncomingGateway:
+			e.gws.declareIncoming(q)
+			for _, id := range ms.UnprocessedIDs(q.Name) {
+				e.sched.Add(q.Name, id)
+			}
+		default:
+			for _, id := range ms.UnprocessedIDs(q.Name) {
+				e.sched.Add(q.Name, id)
+			}
+		}
+	}
+	return e, nil
+}
+
+// Program exposes the compiled application.
+func (e *Engine) Program() *rule.Program { return e.prog }
+
+// MessageStore exposes the message store (introspection, tests).
+func (e *Engine) MessageStore() *msgstore.Store { return e.ms }
+
+// Slices exposes the slicing manager.
+func (e *Engine) Slices() *slicing.Manager { return e.slices }
+
+// Gateways exposes the communication subsystem.
+func (e *Engine) Gateways() *gatewayService { return e.gws }
+
+// Start launches the worker pool and background services.
+func (e *Engine) Start() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		return
+	}
+	e.started = true
+	for i := 0; i < e.cfg.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	e.timers.start()
+	e.gws.start()
+	if e.cfg.GCInterval > 0 {
+		e.stopGC = make(chan struct{})
+		e.wg.Add(1)
+		go e.gcLoop()
+	}
+}
+
+// Stop shuts the engine down and closes the store.
+func (e *Engine) Stop() error {
+	e.mu.Lock()
+	if !e.started {
+		e.mu.Unlock()
+		return e.ms.Close()
+	}
+	e.started = false
+	e.mu.Unlock()
+	e.sched.Close()
+	e.timers.shutdown()
+	e.gws.stop()
+	if e.stopGC != nil {
+		close(e.stopGC)
+	}
+	e.wg.Wait()
+	return e.ms.Close()
+}
+
+// Drain blocks until the scheduler has no pending or in-flight work, or the
+// timeout elapses. Timers that have not fired and in-flight gateway
+// transfers are not waited for.
+func (e *Engine) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if e.sched.Idle() && e.gws.idle() {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return e.sched.Idle() && e.gws.idle()
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Processed:      e.stats.processed.Load(),
+		RulesEvaluated: e.stats.rulesEval.Load(),
+		RulesFired:     e.stats.rulesFired.Load(),
+		Enqueued:       e.stats.enqueued.Load(),
+		Resets:         e.stats.resets.Load(),
+		Errors:         e.stats.errors.Load(),
+		Deadlocks:      e.stats.deadlocks.Load(),
+		Collected:      e.stats.collected.Load(),
+		Backlog:        e.sched.Backlog(),
+	}
+}
+
+// CollectGarbage runs one retention GC pass (Sec. 2.3.3).
+func (e *Engine) CollectGarbage() (int, error) {
+	n, err := e.slices.CollectGarbage()
+	e.stats.collected.Add(uint64(n))
+	return n, err
+}
+
+func (e *Engine) gcLoop() {
+	defer e.wg.Done()
+	t := time.NewTicker(e.cfg.GCInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.stopGC:
+			return
+		case <-t.C:
+			if _, err := e.CollectGarbage(); err != nil {
+				e.log.Error("gc failed", "err", err)
+			}
+		}
+	}
+}
+
+// Enqueue inserts an external message into a queue (the API used by
+// gateways, clients and tests). Property expressions of the target queue
+// are evaluated; explicit props (e.g. the Sender system property) may be
+// supplied.
+func (e *Engine) Enqueue(queue string, doc *xmldom.Node, explicit map[string]xdm.Value) (msgstore.MsgID, error) {
+	q, ok := e.ms.Queue(queue)
+	if !ok {
+		return 0, fmt.Errorf("engine: unknown queue %q", queue)
+	}
+	if decl := e.queueDecl(queue); decl != nil && decl.Schema != "" {
+		if err := e.validateSchema(decl, doc); err != nil {
+			return 0, err
+		}
+	}
+	now := time.Now().UTC()
+	system := map[string]xdm.Value{}
+	props, err := e.prog.Properties.Evaluate(queue, doc, explicit, nil, system, now)
+	if err != nil {
+		return 0, err
+	}
+	tx := e.ms.Begin()
+	id, err := tx.Enqueue(queue, doc, props, now)
+	if err != nil {
+		tx.Abort()
+		return 0, err
+	}
+	if _, err := tx.Commit(); err != nil {
+		return 0, err
+	}
+	e.slices.OnEnqueue(id, queue, props)
+	e.stats.enqueued.Add(1)
+	e.routeNewMessage(q, id)
+	return id, nil
+}
+
+// EnqueueXML parses and enqueues.
+func (e *Engine) EnqueueXML(queue, xml string, explicit map[string]xdm.Value) (msgstore.MsgID, error) {
+	doc, err := xmldom.ParseString(xml)
+	if err != nil {
+		return 0, err
+	}
+	return e.Enqueue(queue, doc, explicit)
+}
+
+// routeNewMessage hands a committed message to its consumer: the rule
+// scheduler, the timer service (echo queues) or the gateway sender.
+func (e *Engine) routeNewMessage(q *msgstore.Queue, id msgstore.MsgID) {
+	kind := e.queueKind(q.Name)
+	switch kind {
+	case qdl.KindEcho:
+		e.timers.schedule(q.Name, id)
+	case qdl.KindOutgoingGateway:
+		e.gws.submit(q.Name, id)
+	default:
+		e.sched.Add(q.Name, id)
+	}
+}
+
+func (e *Engine) queueKind(name string) qdl.QueueKind {
+	for _, q := range e.prog.App.Queues {
+		if q.Name == name {
+			return q.Kind
+		}
+	}
+	return qdl.KindBasic
+}
+
+func (e *Engine) queueDecl(name string) *qdl.QueueDecl {
+	for _, q := range e.prog.App.Queues {
+		if q.Name == name {
+			return q
+		}
+	}
+	return nil
+}
+
+// worker is the message-processing loop.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		queue, id, ok := e.sched.Claim()
+		if !ok {
+			return
+		}
+		e.processWithRetry(queue, id)
+	}
+}
+
+func (e *Engine) processWithRetry(queue string, id msgstore.MsgID) {
+	backoff := time.Microsecond * 50
+	for attempt := 0; ; attempt++ {
+		err := e.processMessage(queue, id)
+		if err == nil {
+			e.sched.Done()
+			return
+		}
+		if err == locks.ErrDeadlock && attempt < e.cfg.MaxRetries {
+			e.stats.deadlocks.Add(1)
+			time.Sleep(backoff)
+			if backoff < 10*time.Millisecond {
+				backoff *= 2
+			}
+			continue
+		}
+		// Non-retryable (or retry budget exhausted): route to the error
+		// queue and consume the message so it is processed exactly once.
+		e.handleRuleError(queue, id, err)
+		e.sched.Done()
+		return
+	}
+}
+
+// processMessage runs the execution-model cycle for one message: evaluate
+// all applicable rules (queue plan + slice plans), then apply the combined
+// pending update list and the processed flag in a single transaction.
+func (e *Engine) processMessage(queue string, id msgstore.MsgID) error {
+	txnID := e.txnSeq.Add(1)
+	defer e.lm.ReleaseAll(txnID)
+
+	// Home-queue lock: coarse X, or IX + message X under slice locking.
+	if e.cfg.Granularity == LockQueue {
+		if err := e.lm.Acquire(txnID, locks.Resource("q", queue), locks.X); err != nil {
+			return err
+		}
+	} else {
+		if err := e.lm.Acquire(txnID, locks.Resource("q", queue), locks.IX); err != nil {
+			return err
+		}
+		if err := e.lm.Acquire(txnID, locks.Resource("m", fmt.Sprint(id)), locks.X); err != nil {
+			return err
+		}
+	}
+
+	doc, err := e.ms.Doc(id)
+	if err != nil {
+		return err
+	}
+	msg, ok := e.ms.Get(id)
+	if !ok {
+		return fmt.Errorf("engine: message %d vanished", id)
+	}
+	if msg.Processed {
+		return nil // duplicate schedule after crash recovery
+	}
+	now := time.Now().UTC()
+	names := rule.ElementNames(doc)
+
+	// Lock the slices of the message (they are read by slice rules and
+	// advanced by resets).
+	memberships := e.slices.SlicesOf(id)
+	if e.cfg.Granularity == LockSlice {
+		for _, mb := range memberships {
+			if err := e.lm.Acquire(txnID, locks.Resource("sl", mb.Slicing, mb.Key), locks.X); err != nil {
+				return err
+			}
+		}
+	}
+
+	rt := &evalRuntime{eng: e, txnID: txnID, msgID: id, doc: doc, queue: queue, props: msg.Props, now: now}
+	combined := &xquery.UpdateList{}
+	type ruleCtx struct {
+		r       *rule.Rule
+		slicing string
+		key     string
+	}
+	var toRun []ruleCtx
+	if plan := e.prog.QueuePlans[queue]; plan != nil {
+		for _, r := range plan.RulesFor(names) {
+			toRun = append(toRun, ruleCtx{r: r})
+		}
+	}
+	for _, mb := range memberships {
+		if plan := e.prog.SlicePlans[mb.Slicing]; plan != nil {
+			for _, r := range plan.RulesFor(names) {
+				toRun = append(toRun, ruleCtx{r: r, slicing: mb.Slicing, key: mb.Key})
+			}
+		}
+	}
+
+	var failed *ruleError
+	for _, rc := range toRun {
+		rt.curSlicing, rt.curKey = rc.slicing, rc.key
+		e.stats.rulesEval.Add(1)
+		seq, updates, err := xquery.Eval(rc.r.Body, rt, xquery.EvalOptions{ContextDoc: doc})
+		_ = seq
+		if err != nil {
+			if err == locks.ErrDeadlock {
+				return err
+			}
+			failed = &ruleError{rule: rc.r, err: err}
+			break
+		}
+		if updates.Len() > 0 {
+			e.stats.rulesFired.Add(1)
+		}
+		for _, up := range updates.Updates {
+			if r, isReset := up.(*xquery.ResetUpdate); isReset && r.Implicit {
+				// Resolve the implicit reset against the rule's slice.
+				if rc.slicing == "" {
+					failed = &ruleError{rule: rc.r, err: fmt.Errorf("bare 'do reset' outside a slicing rule")}
+					break
+				}
+				r.Slicing, r.Key = rc.slicing, xdm.NewString(rc.key)
+			}
+			combined.Append(up)
+		}
+		if failed != nil {
+			break
+		}
+	}
+	if failed != nil {
+		// Error path: the message still counts as processed (Sec. 3.6);
+		// the error becomes a message in the appropriate error queue.
+		if err := e.applyUpdates(txnID, id, queue, msg.Props, &xquery.UpdateList{}, now, ""); err != nil {
+			return err
+		}
+		e.emitError(queue, id, doc, failed.rule, failed.err)
+		e.stats.processed.Add(1)
+		return nil
+	}
+
+	ruleName := ""
+	if len(toRun) > 0 {
+		ruleName = toRun[0].r.Name
+	}
+	if err := e.applyUpdates(txnID, id, queue, msg.Props, combined, now, ruleName); err != nil {
+		return err
+	}
+	e.stats.processed.Add(1)
+	return nil
+}
+
+type ruleError struct {
+	rule *rule.Rule
+	err  error
+}

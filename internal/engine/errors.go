@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"demaq/internal/msgstore"
+	"demaq/internal/property"
+	"demaq/internal/rule"
+	"demaq/internal/xdm"
+	"demaq/internal/xmldom"
+	"demaq/internal/xquery"
+)
+
+// Error handling (paper Sec. 3.6): "like all other events in the Demaq
+// system, errors are represented by XML messages sent to error queues".
+// The error document follows the predefined schema below; it embeds the
+// triggering message so error handlers (e.g. the deadLink rule of Fig. 10)
+// can compensate. Error queues are resolved rule → queue → system.
+
+// SystemErrorQueue is the engine-declared fallback error queue. It is a
+// persistent basic queue so that "eventual reaction to an error" survives
+// failures, as the paper recommends.
+const SystemErrorQueue = "systemErrors"
+
+// ErrorKind classifies errors per Sec. 3.6.
+type ErrorKind string
+
+// Error kinds.
+const (
+	ErrorApplication ErrorKind = "application"
+	ErrorMessage     ErrorKind = "message"
+	ErrorNetwork     ErrorKind = "network"
+	ErrorSystem      ErrorKind = "system"
+)
+
+// buildErrorDoc constructs the error message document:
+//
+//	<error>
+//	  <kind>application</kind>
+//	  <code>XPTY0004</code>
+//	  <rule>checkCreditRating</rule>
+//	  <queue>finance</queue>
+//	  <description>...</description>
+//	  <disconnectedTransport/>          (network errors only)
+//	  <initialMessage> ...payload... </initialMessage>
+//	</error>
+func buildErrorDoc(kind ErrorKind, code, ruleName, queue, description string, initial *xmldom.Node) *xmldom.Node {
+	b := xmldom.NewBuilder()
+	b.StartElement(xmldom.Name{Local: "error"})
+	b.Element(xmldom.Name{Local: "kind"}, string(kind))
+	if code != "" {
+		b.Element(xmldom.Name{Local: "code"}, code)
+	}
+	if ruleName != "" {
+		b.Element(xmldom.Name{Local: "rule"}, ruleName)
+	}
+	if queue != "" {
+		b.Element(xmldom.Name{Local: "queue"}, queue)
+	}
+	b.Element(xmldom.Name{Local: "description"}, description)
+	if kind == ErrorNetwork {
+		b.StartElement(xmldom.Name{Local: "disconnectedTransport"})
+		b.EndElement()
+	}
+	if initial != nil {
+		b.StartElement(xmldom.Name{Local: "initialMessage"})
+		b.Subtree(initial)
+		b.EndElement()
+	}
+	b.EndElement()
+	return b.Done()
+}
+
+// classify derives the error kind and code.
+func classify(err error) (ErrorKind, string) {
+	switch e := err.(type) {
+	case *xquery.DynError:
+		return ErrorApplication, e.Code
+	case *xmldom.ParseError:
+		return ErrorMessage, "DQME0001"
+	}
+	return ErrorSystem, ""
+}
+
+// errorQueueFor resolves the error queue for a rule/queue pair.
+func (e *Engine) errorQueueFor(r *rule.Rule, queue string) string {
+	if r != nil && r.ErrorQueue != "" {
+		return r.ErrorQueue
+	}
+	if decl := e.queueDecl(queue); decl != nil && decl.ErrorQueue != "" {
+		return decl.ErrorQueue
+	}
+	if _, ok := e.ms.Queue(SystemErrorQueue); ok {
+		return SystemErrorQueue
+	}
+	return ""
+}
+
+// emitError enqueues an error message (its own transaction: the failing
+// processing transaction has been rolled back or completed separately).
+func (e *Engine) emitError(queue string, id msgstore.MsgID, doc *xmldom.Node, r *rule.Rule, cause error) {
+	e.stats.errors.Add(1)
+	kind, code := classify(cause)
+	ruleName := ""
+	if r != nil {
+		ruleName = r.Name
+	}
+	target := e.errorQueueFor(r, queue)
+	if target == "" {
+		e.log.Error("rule error with no error queue configured",
+			"queue", queue, "rule", ruleName, "msg", id, "err", cause)
+		return
+	}
+	var initial *xmldom.Node
+	if doc != nil {
+		initial = doc.Root()
+	}
+	errDoc := buildErrorDoc(kind, code, ruleName, queue, cause.Error(), initial)
+	now := time.Now().UTC()
+	system := map[string]xdm.Value{
+		property.SysCreatingRule: xdm.NewString("demaq:errorHandler"),
+		property.SysCreated:      xdm.NewDateTime(now),
+	}
+	props, err := e.prog.Properties.Evaluate(target, errDoc, nil, nil, system, now)
+	if err != nil {
+		e.log.Error("error-message property evaluation failed", "err", err)
+		props = system
+	}
+	tx := e.ms.Begin()
+	nid, err := tx.Enqueue(target, errDoc, props, now)
+	if err != nil {
+		tx.Abort()
+		e.log.Error("error enqueue failed", "target", target, "err", err)
+		return
+	}
+	if _, err := tx.Commit(); err != nil {
+		e.log.Error("error enqueue commit failed", "target", target, "err", err)
+		return
+	}
+	e.slices.OnEnqueue(nid, target, props)
+	if q, ok := e.ms.Queue(target); ok {
+		e.routeNewMessage(q, nid)
+	}
+	e.log.Warn("error routed to error queue",
+		"queue", queue, "rule", ruleName, "target", target, "err", cause)
+}
+
+// handleRuleError consumes a message whose processing failed
+// unrecoverably: the message is marked processed (exactly-once) and the
+// error is materialized.
+func (e *Engine) handleRuleError(queue string, id msgstore.MsgID, cause error) {
+	doc, _ := e.ms.Doc(id)
+	tx := e.ms.Begin()
+	tx.MarkProcessed(id)
+	if _, err := tx.Commit(); err != nil {
+		e.log.Error("failed to consume message after error", "id", id, "err", err)
+	}
+	e.stats.processed.Add(1)
+	e.emitError(queue, id, doc, nil, cause)
+}
+
+var _ = fmt.Sprintf

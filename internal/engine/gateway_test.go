@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"testing"
+	"testing/fstest"
+	"time"
+
+	"demaq/internal/gateway"
+	"demaq/internal/qdl"
+)
+
+// Two Demaq nodes connected over the simulated network: a buyer node sends
+// capacity requests through an outgoing gateway; the supplier node receives
+// them on an incoming gateway, processes them with a rule, and replies
+// through its own outgoing gateway back to the buyer (Sec. 2.1.2: "the
+// distribution of applications over several nodes by replacing local queues
+// with pairs of gateway queues").
+const buyerApp = `
+create queue work kind basic mode persistent;
+create queue supplierOut kind outgoingGateway mode persistent
+  interface supplier.wsdl port CapacityPort
+  using WS-ReliableMessaging policy rm.xml
+  errorqueue netErrors;
+create queue replies kind incomingGateway mode persistent
+  interface buyer.wsdl port ReplyPort
+  using WS-ReliableMessaging policy rm.xml;
+create queue results kind basic mode persistent;
+create queue netErrors kind basic mode persistent;
+create rule forward for work errorqueue netErrors
+  if (//capacityRequest) then
+    do enqueue <plantCapacityInfo>{//requestID} {//qty}</plantCapacityInfo>
+      into supplierOut;
+create rule collect for replies
+  if (//capacityResult) then
+    do enqueue <result>{//requestID}{//verdict}</result> into results;
+`
+
+const supplierApp = `
+create queue requests kind incomingGateway mode persistent
+  interface supplier.wsdl port CapacityPort
+  using WS-ReliableMessaging policy rm.xml;
+create queue buyerOut kind outgoingGateway mode persistent
+  interface buyer.wsdl port ReplyPort
+  using WS-ReliableMessaging policy rm.xml;
+create rule answer for requests
+  if (//plantCapacityInfo) then
+    do enqueue <capacityResult>{//requestID}
+      <verdict>{if (number(//qty) < 100) then "accept" else "exceeded"}</verdict>
+    </capacityResult> into buyerOut;
+`
+
+var gatewayFiles = fstest.MapFS{
+	"supplier.wsdl": &fstest.MapFile{Data: []byte(`
+		<definitions><service name="Supplier">
+		  <port name="CapacityPort"><address location="sim://supplier/requests"/></port>
+		</service></definitions>`)},
+	"buyer.wsdl": &fstest.MapFile{Data: []byte(`
+		<definitions><service name="Buyer">
+		  <port name="ReplyPort"><address location="sim://buyer/replies"/></port>
+		</service></definitions>`)},
+	"rm.xml": &fstest.MapFile{Data: []byte(`<policy/>`)},
+}
+
+func twoNodes(t *testing.T, net *gateway.Network) (buyer, supplier *Engine) {
+	t.Helper()
+	reg := gateway.NewRegistry(net)
+	mk := func(src string) *Engine {
+		app, err := qdl.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := New(Config{
+			Dir: t.TempDir(), Workers: 2,
+			Resources:  gatewayFiles,
+			Transports: reg,
+		}, app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { e.Stop() })
+		return e
+	}
+	buyer = mk(buyerApp)
+	supplier = mk(supplierApp)
+	supplier.Start() // incoming endpoint must exist before the buyer sends
+	buyer.Start()
+	return buyer, supplier
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition never satisfied")
+}
+
+func TestGatewayRoundTrip(t *testing.T) {
+	net := gateway.NewNetwork(11)
+	defer net.Close()
+	buyer, _ := twoNodes(t, net)
+	buyer.EnqueueXML("work", `<capacityRequest><requestID>g1</requestID><qty>5</qty></capacityRequest>`, nil)
+	waitFor(t, 10*time.Second, func() bool {
+		docs, _ := buyer.MessageStore().QueueDocs("results")
+		return len(docs) == 1
+	})
+	docs, _ := buyer.MessageStore().QueueDocs("results")
+	if docs[0].Root().FirstChildElement("verdict").StringValue() != "accept" {
+		t.Fatalf("verdict: %s", docs[0].StringValue())
+	}
+	// The outgoing message was consumed after the ack.
+	msgs, _ := buyer.MessageStore().Messages("supplierOut")
+	if len(msgs) != 1 || !msgs[0].Processed {
+		t.Fatalf("outgoing gateway queue: %+v", msgs)
+	}
+}
+
+func TestGatewayReliableUnderLoss(t *testing.T) {
+	net := gateway.NewNetwork(23)
+	defer net.Close()
+	net.SetLossRate(0.35)
+	buyer, _ := twoNodes(t, net)
+	const n = 10
+	for i := 0; i < n; i++ {
+		buyer.EnqueueXML("work",
+			`<capacityRequest><requestID>L`+string(rune('0'+i))+`</requestID><qty>5</qty></capacityRequest>`, nil)
+	}
+	waitFor(t, 30*time.Second, func() bool {
+		docs, _ := buyer.MessageStore().QueueDocs("results")
+		return len(docs) == n
+	})
+	// Exactly-once to the application despite loss and retransmission.
+	docs, _ := buyer.MessageStore().QueueDocs("results")
+	seen := map[string]bool{}
+	for _, d := range docs {
+		key := d.Root().FirstChildElement("requestID").StringValue()
+		if seen[key] {
+			t.Fatalf("duplicate result %s", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestGatewayDisconnectedProducesErrorMessage(t *testing.T) {
+	net := gateway.NewNetwork(31)
+	defer net.Close()
+	buyer, _ := twoNodes(t, net)
+	net.SetDown("sim://supplier/requests", true)
+	buyer.EnqueueXML("work", `<capacityRequest><requestID>d1</requestID><qty>5</qty></capacityRequest>`, nil)
+	waitFor(t, 10*time.Second, func() bool {
+		docs, _ := buyer.MessageStore().QueueDocs("netErrors")
+		return len(docs) == 1
+	})
+	docs, _ := buyer.MessageStore().QueueDocs("netErrors")
+	root := docs[0].Root()
+	if root.FirstChildElement("kind").StringValue() != "network" {
+		t.Fatalf("error kind: %s", xmlOf(root))
+	}
+	if root.FirstChildElement("disconnectedTransport") == nil {
+		t.Fatal("missing disconnectedTransport marker (Fig. 10)")
+	}
+	if root.FirstChildElement("initialMessage") == nil {
+		t.Fatal("missing initial message")
+	}
+}
+
+func xmlOf(n *docNode) string { return n.StringValue() }

@@ -1,0 +1,390 @@
+package engine
+
+import (
+	"fmt"
+	"io/fs"
+	"strings"
+	"sync"
+	"time"
+
+	"demaq/internal/gateway"
+	"demaq/internal/msgstore"
+	"demaq/internal/property"
+	"demaq/internal/qdl"
+	"demaq/internal/wsdl"
+	"demaq/internal/xdm"
+	"demaq/internal/xmldom"
+)
+
+// gatewayService connects gateway queues to transports (paper Sec. 2.1.2 /
+// 4.2). Outgoing gateway queues are consumed by sender workers: each
+// unprocessed message is transmitted to the endpoint resolved from the
+// queue's WSDL interface; the message is marked processed only once the
+// transfer completed (with the reliable-messaging policy: acknowledged), so
+// in-flight transfers survive crashes in the persistent queue. Incoming
+// gateway queues subscribe an endpoint and enqueue every delivery with the
+// Sender system property.
+//
+// Network failures are not hidden (Sec. 2.1.2): a failed transfer becomes
+// an <error><disconnectedTransport/> message in the error queue, which
+// application rules compensate (Fig. 10's deadLink rule).
+type gatewayService struct {
+	eng *Engine
+
+	mu       sync.Mutex
+	outgoing map[string]*outgoingGW
+	incoming map[string]*incomingGW
+	inflight int
+	started  bool
+	stopCh   chan struct{}
+	unsubs   []func()
+}
+
+type outgoingGW struct {
+	decl     *qdl.QueueDecl
+	dest     string
+	element  string
+	reliable *gateway.Reliable
+	tr       gateway.Transport
+	work     chan msgstore.MsgID
+}
+
+type incomingGW struct {
+	decl *qdl.QueueDecl
+	addr string
+}
+
+func newGatewayService(e *Engine) *gatewayService {
+	return &gatewayService{
+		eng:      e,
+		outgoing: map[string]*outgoingGW{},
+		incoming: map[string]*incomingGW{},
+		stopCh:   make(chan struct{}),
+	}
+}
+
+// resolve reads the queue's WSDL interface and returns its port.
+func (g *gatewayService) resolve(decl *qdl.QueueDecl) (*wsdl.Port, error) {
+	if decl.Interface == "" {
+		return nil, fmt.Errorf("engine: gateway queue %q has no interface", decl.Name)
+	}
+	data, err := fs.ReadFile(g.eng.cfg.Resources, decl.Interface)
+	if err != nil {
+		return nil, fmt.Errorf("engine: gateway %q: %w", decl.Name, err)
+	}
+	def, err := wsdl.Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	return def.Port(decl.Port)
+}
+
+// transportFor builds the (possibly policy-wrapped) transport for a
+// declaration.
+func (g *gatewayService) transportFor(decl *qdl.QueueDecl, addr string) (gateway.Transport, *qdl.Policy, error) {
+	base, err := g.eng.cfg.Transports.For(addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	var reliablePolicy *qdl.Policy
+	tr := base
+	for i := range decl.Policies {
+		pol := &decl.Policies[i]
+		switch pol.Name {
+		case "WS-ReliableMessaging":
+			reliablePolicy = pol
+		case "WS-Security":
+			key, err := fs.ReadFile(g.eng.cfg.Resources, pol.File)
+			if err != nil {
+				return nil, nil, fmt.Errorf("engine: gateway %q: security policy: %w", decl.Name, err)
+			}
+			tr = gateway.NewSecured(tr, []byte(strings.TrimSpace(string(key))))
+		default:
+			return nil, nil, fmt.Errorf("engine: gateway %q: unknown policy %q", decl.Name, pol.Name)
+		}
+	}
+	return tr, reliablePolicy, nil
+}
+
+func (g *gatewayService) declareOutgoing(decl *qdl.QueueDecl) {
+	port, err := g.resolve(decl)
+	if err != nil {
+		g.eng.log.Error("outgoing gateway disabled", "queue", decl.Name, "err", err)
+		return
+	}
+	tr, reliablePol, err := g.transportFor(decl, port.Address)
+	if err != nil {
+		g.eng.log.Error("outgoing gateway disabled", "queue", decl.Name, "err", err)
+		return
+	}
+	gw := &outgoingGW{decl: decl, dest: port.Address, element: port.Element, tr: tr,
+		work: make(chan msgstore.MsgID, 1024)}
+	if reliablePol != nil {
+		source := port.Address + "#reply-" + decl.Name
+		rel, err := gateway.NewReliable(tr, source, 25*time.Millisecond, 40)
+		if err != nil {
+			g.eng.log.Error("outgoing gateway disabled", "queue", decl.Name, "err", err)
+			return
+		}
+		// Subscribe only to receive acknowledgements.
+		if err := rel.Subscribe(func([]byte, map[string]string) error { return nil }); err != nil {
+			g.eng.log.Error("outgoing gateway ack endpoint failed", "queue", decl.Name, "err", err)
+			return
+		}
+		gw.reliable = rel
+	}
+	g.mu.Lock()
+	g.outgoing[decl.Name] = gw
+	g.mu.Unlock()
+}
+
+func (g *gatewayService) declareIncoming(decl *qdl.QueueDecl) {
+	port, err := g.resolve(decl)
+	if err != nil {
+		g.eng.log.Error("incoming gateway disabled", "queue", decl.Name, "err", err)
+		return
+	}
+	g.mu.Lock()
+	g.incoming[decl.Name] = &incomingGW{decl: decl, addr: port.Address}
+	g.mu.Unlock()
+}
+
+// start subscribes incoming endpoints and launches outgoing senders.
+func (g *gatewayService) start() {
+	g.mu.Lock()
+	if g.started {
+		g.mu.Unlock()
+		return
+	}
+	g.started = true
+	incoming := make([]*incomingGW, 0, len(g.incoming))
+	for _, in := range g.incoming {
+		incoming = append(incoming, in)
+	}
+	outgoing := make([]*outgoingGW, 0, len(g.outgoing))
+	for _, out := range g.outgoing {
+		outgoing = append(outgoing, out)
+	}
+	g.mu.Unlock()
+
+	for _, in := range incoming {
+		in := in
+		tr, _, err := g.transportFor(in.decl, in.addr)
+		if err != nil {
+			g.eng.log.Error("incoming gateway failed", "queue", in.decl.Name, "err", err)
+			continue
+		}
+		handler := func(payload []byte, props map[string]string) error {
+			return g.deliver(in.decl.Name, payload, props)
+		}
+		// Incoming reliable endpoints ack and deduplicate.
+		reliable := false
+		for _, pol := range in.decl.Policies {
+			if pol.Name == "WS-ReliableMessaging" {
+				reliable = true
+			}
+		}
+		if reliable {
+			rel, err := gateway.NewReliable(tr, in.addr, 25*time.Millisecond, 40)
+			if err == nil {
+				err = rel.Subscribe(handler)
+			}
+			if err != nil {
+				g.eng.log.Error("incoming gateway failed", "queue", in.decl.Name, "err", err)
+			}
+			continue
+		}
+		unsub, err := tr.Subscribe(in.addr, handler)
+		if err != nil {
+			g.eng.log.Error("incoming gateway failed", "queue", in.decl.Name, "err", err)
+			continue
+		}
+		g.mu.Lock()
+		g.unsubs = append(g.unsubs, unsub)
+		g.mu.Unlock()
+	}
+
+	for _, out := range outgoing {
+		out := out
+		g.eng.wg.Add(1)
+		go g.senderLoop(out)
+	}
+}
+
+func (g *gatewayService) stop() {
+	g.mu.Lock()
+	if !g.started {
+		g.mu.Unlock()
+		return
+	}
+	g.started = false
+	for _, out := range g.outgoing {
+		if out.reliable != nil {
+			out.reliable.Close()
+		}
+	}
+	for _, u := range g.unsubs {
+		u()
+	}
+	g.unsubs = nil
+	g.mu.Unlock()
+	close(g.stopCh)
+}
+
+// submit queues an outgoing message for transmission. On overflow or
+// shutdown the message simply stays unprocessed in its persistent queue
+// and is re-submitted on the next start.
+func (g *gatewayService) submit(queue string, id msgstore.MsgID) {
+	g.mu.Lock()
+	gw, ok := g.outgoing[queue]
+	if ok {
+		g.inflight++
+	}
+	g.mu.Unlock()
+	if !ok {
+		g.eng.log.Warn("message in outgoing gateway queue without transport", "queue", queue, "id", id)
+		return
+	}
+	select {
+	case gw.work <- id:
+	default:
+		g.mu.Lock()
+		g.inflight--
+		g.mu.Unlock()
+		g.eng.log.Warn("outgoing gateway backlog full; message deferred to restart", "queue", queue, "id", id)
+	}
+}
+
+func (g *gatewayService) idle() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inflight == 0
+}
+
+func (g *gatewayService) senderLoop(gw *outgoingGW) {
+	defer g.eng.wg.Done()
+	for {
+		select {
+		case <-g.stopCh:
+			return
+		case id := <-gw.work:
+			g.sendOne(gw, id)
+			g.mu.Lock()
+			g.inflight--
+			g.mu.Unlock()
+		}
+	}
+}
+
+func (g *gatewayService) sendOne(gw *outgoingGW, id msgstore.MsgID) {
+	e := g.eng
+	msg, ok := e.ms.Get(id)
+	if !ok || msg.Processed {
+		return
+	}
+	doc, err := e.ms.Doc(id)
+	if err != nil {
+		e.log.Error("gateway payload load failed", "id", id, "err", err)
+		return
+	}
+	if gw.element != "" && doc.Root() != nil && doc.Root().Name.Local != gw.element {
+		e.handleRuleError(gw.decl.Name, id,
+			fmt.Errorf("payload element <%s> does not match interface element <%s>", doc.Root().Name.Local, gw.element))
+		return
+	}
+	payload := []byte(xmldom.Serialize(doc))
+	props := map[string]string{}
+	for k, v := range msg.Props {
+		props[k] = v.StringValue()
+	}
+	complete := func(err error) {
+		if err != nil {
+			// Network failure surfaces as an application-visible error
+			// message (Sec. 3.6), and the message is consumed.
+			e.consumeGatewayMessage(id)
+			e.emitNetworkError(gw.decl.Name, doc, err)
+			return
+		}
+		e.consumeGatewayMessage(id)
+	}
+	if gw.reliable != nil {
+		done := make(chan error, 1)
+		gw.reliable.SendAsync(gw.dest, payload, props, func(err error) { done <- err })
+		complete(<-done)
+		return
+	}
+	complete(gw.tr.Send(gw.dest, payload, props))
+}
+
+func (e *Engine) consumeGatewayMessage(id msgstore.MsgID) {
+	tx := e.ms.Begin()
+	tx.MarkProcessed(id)
+	if _, err := tx.Commit(); err != nil {
+		e.log.Error("gateway consume failed", "id", id, "err", err)
+	}
+	e.stats.processed.Add(1)
+}
+
+func (e *Engine) emitNetworkError(queue string, doc *xmldom.Node, cause error) {
+	e.stats.errors.Add(1)
+	target := e.errorQueueFor(nil, queue)
+	if target == "" {
+		e.log.Error("network error with no error queue", "queue", queue, "err", cause)
+		return
+	}
+	var initial *xmldom.Node
+	if doc != nil {
+		initial = doc.Root()
+	}
+	errDoc := buildErrorDoc(ErrorNetwork, "DQNET0001", "", queue, cause.Error(), initial)
+	now := time.Now().UTC()
+	props := map[string]xdm.Value{
+		property.SysCreatingRule: xdm.NewString("demaq:gateway"),
+		property.SysCreated:      xdm.NewDateTime(now),
+	}
+	if pv, err := e.prog.Properties.Evaluate(target, errDoc, nil, nil, props, now); err == nil {
+		props = pv
+	}
+	tx := e.ms.Begin()
+	nid, err := tx.Enqueue(target, errDoc, props, now)
+	if err != nil {
+		tx.Abort()
+		e.log.Error("network error enqueue failed", "err", err)
+		return
+	}
+	if _, err := tx.Commit(); err != nil {
+		return
+	}
+	e.slices.OnEnqueue(nid, target, props)
+	if q, ok := e.ms.Queue(target); ok {
+		e.routeNewMessage(q, nid)
+	}
+}
+
+// deliver enqueues an external message arriving at an incoming gateway,
+// validating against the queue schema and recording transport metadata as
+// system properties (Sec. 2.2 "System").
+func (g *gatewayService) deliver(queue string, payload []byte, props map[string]string) error {
+	e := g.eng
+	doc, err := xmldom.Parse(payload)
+	if err != nil {
+		// Message-related error (Sec. 3.6): a malformed external document.
+		e.emitError(queue, 0, nil, nil, err)
+		return err
+	}
+	explicit := map[string]xdm.Value{}
+	if s := props["Sender"]; s != "" {
+		explicit[property.SysSender] = xdm.NewString(s)
+	}
+	if c := props["Connection"]; c != "" {
+		explicit[property.SysConnection] = xdm.NewString(c)
+	}
+	if decl := e.queueDecl(queue); decl != nil && decl.Schema != "" {
+		if err := e.validateSchema(decl, doc); err != nil {
+			e.emitError(queue, 0, doc, nil, err)
+			return err
+		}
+	}
+	_, err = e.Enqueue(queue, doc, explicit)
+	return err
+}

@@ -1,0 +1,7 @@
+package engine
+
+import "demaq/internal/xmldom"
+
+type docNode = xmldom.Node
+
+func parseDoc(src string) (*xmldom.Node, error) { return xmldom.ParseString(src) }

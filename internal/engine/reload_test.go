@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"demaq/internal/qdl"
+	"demaq/internal/xdm"
+)
+
+func TestReloadAddsRuleAtRuntime(t *testing.T) {
+	e := newEngine(t, `
+		create queue in kind basic mode persistent;
+		create queue out kind basic mode persistent;
+	`, nil)
+	// No rules yet: messages just sit processed-but-ignored.
+	e.EnqueueXML("in", `<m>first</m>`, nil)
+	drain(t, e)
+	if got := queueBodies(t, e, "out"); len(got) != 0 {
+		t.Fatal("no rules should produce nothing")
+	}
+	// Evolve: add a rule and a new queue.
+	app := qdl.MustParse(`
+		create queue in kind basic mode persistent;
+		create queue out kind basic mode persistent;
+		create queue audit kind basic mode persistent;
+		create rule fwd for in if (//m) then
+		  (do enqueue <fwd/> into out, do enqueue <log/> into audit);
+	`)
+	if err := e.Reload(app); err != nil {
+		t.Fatal(err)
+	}
+	e.EnqueueXML("in", `<m>second</m>`, nil)
+	drain(t, e)
+	if got := queueBodies(t, e, "out"); len(got) != 1 {
+		t.Fatalf("new rule not active: %v", got)
+	}
+	if got := queueBodies(t, e, "audit"); len(got) != 1 {
+		t.Fatalf("new queue not usable: %v", got)
+	}
+}
+
+func TestReloadEvolutionGuards(t *testing.T) {
+	e := newEngine(t, `
+		create queue in kind basic mode persistent;
+	`, nil)
+	cases := []string{
+		// remove a queue
+		`create queue other kind basic mode persistent;`,
+		// change mode
+		`create queue in kind basic mode transient;`,
+		// change kind
+		`create queue in kind echo mode persistent;`,
+		// add a gateway at runtime
+		`create queue in kind basic mode persistent;
+		 create queue gw kind outgoingGateway mode persistent interface x.wsdl;`,
+	}
+	for _, src := range cases {
+		app, err := qdl.Parse(src)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		if err := e.Reload(app); err == nil {
+			t.Errorf("reload should have been rejected for %q", src)
+		}
+	}
+}
+
+func TestReloadRebuildSlicingState(t *testing.T) {
+	e := newEngine(t, `
+		create queue in kind basic mode persistent;
+		create property k as xs:string fixed queue in value //k;
+		create slicing byK on k;
+	`, nil)
+	e.EnqueueXML("in", `<m><k>a</k></m>`, nil)
+	e.EnqueueXML("in", `<m><k>a</k></m>`, nil)
+	drain(t, e)
+	// Reload with a new rule over the existing slicing; memberships of
+	// pre-existing messages must survive the rebuild.
+	app := qdl.MustParse(`
+		create queue in kind basic mode persistent;
+		create queue joined kind basic mode persistent;
+		create property k as xs:string fixed queue in value //k;
+		create slicing byK on k;
+		create rule pair for byK
+		  if (count(qs:slice()) >= 3) then
+		    do enqueue <trio>{qs:slicekey()}</trio> into joined;
+	`)
+	if err := e.Reload(app); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(e.Slices().SliceMembers("byK", "a")); n != 2 {
+		t.Fatalf("memberships after reload: %d", n)
+	}
+	e.EnqueueXML("in", `<m><k>a</k></m>`, nil)
+	drain(t, e)
+	if got := queueBodies(t, e, "joined"); len(got) != 1 || got[0] != "trio" {
+		t.Fatalf("slicing rule after reload: %v", got)
+	}
+}
+
+func TestEchoTimersSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	app := `
+		create queue echoQueue kind echo mode persistent;
+		create queue target kind basic mode persistent;
+	`
+	e, err := New(Config{Dir: dir, Workers: 1}, qdl.MustParse(app))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Register a timer but crash before it fires (engine never started,
+	// so the timer service is not running).
+	_, err = e.EnqueueXML("echoQueue", `<wake/>`, map[string]xdm.Value{
+		"timeout": xdm.NewInteger(30),
+		"target":  xdm.NewString("target"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.MessageStore().Crash()
+
+	e2, err := New(Config{Dir: dir, Workers: 1}, qdl.MustParse(app))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Stop()
+	e2.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if got := queueBodies(t, e2, "target"); len(got) == 1 && got[0] == "wake" {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("echo timer did not survive the restart")
+}

@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"sync"
+
+	"demaq/internal/msgstore"
+)
+
+// scheduler implements the execution model of Sec. 3.1/4.4.2: it maintains
+// the set of unprocessed messages and hands them to workers one at a time,
+// honoring queue priorities first and temporal order (message ID) second —
+// "a message in a high priority queue may be processed before another one
+// stored in a queue with a lower priority, even if it has been created
+// more recently".
+type scheduler struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queues   map[string]*schedQueue
+	pending  int
+	inflight int
+	closed   bool
+}
+
+type schedQueue struct {
+	name     string
+	priority int
+	fifo     []msgstore.MsgID
+}
+
+func newScheduler() *scheduler {
+	s := &scheduler{queues: map[string]*schedQueue{}}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// DeclareQueue registers a queue with its priority.
+func (s *scheduler) DeclareQueue(name string, priority int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if q, ok := s.queues[name]; ok {
+		q.priority = priority
+		return
+	}
+	s.queues[name] = &schedQueue{name: name, priority: priority}
+}
+
+// Add makes a message available for processing.
+func (s *scheduler) Add(queue string, id msgstore.MsgID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queues[queue]
+	if !ok {
+		q = &schedQueue{name: queue}
+		s.queues[queue] = q
+	}
+	q.fifo = append(q.fifo, id)
+	s.pending++
+	// Broadcast, not Signal: Claim and WaitIdle share the condition
+	// variable, and a Signal could wake only a WaitIdle waiter.
+	s.cond.Broadcast()
+}
+
+// Requeue returns a message to the front of its queue after a retryable
+// failure (deadlock victim).
+func (s *scheduler) Requeue(queue string, id msgstore.MsgID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := s.queues[queue]
+	if q == nil {
+		q = &schedQueue{name: queue}
+		s.queues[queue] = q
+	}
+	q.fifo = append([]msgstore.MsgID{id}, q.fifo...)
+	s.pending++
+	s.inflight--
+	s.cond.Broadcast()
+}
+
+// Claim blocks until a message is available (or the scheduler closes) and
+// returns the next message to process: from the highest-priority non-empty
+// queue, oldest head first on ties.
+func (s *scheduler) Claim() (queue string, id msgstore.MsgID, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			return "", 0, false
+		}
+		var best *schedQueue
+		for _, q := range s.queues {
+			if len(q.fifo) == 0 {
+				continue
+			}
+			if best == nil || q.priority > best.priority ||
+				(q.priority == best.priority && q.fifo[0] < best.fifo[0]) {
+				best = q
+			}
+		}
+		if best != nil {
+			id := best.fifo[0]
+			best.fifo = best.fifo[1:]
+			s.pending--
+			s.inflight++
+			return best.name, id, true
+		}
+		s.cond.Wait()
+	}
+}
+
+// Done reports completion of a claimed message.
+func (s *scheduler) Done() {
+	s.mu.Lock()
+	s.inflight--
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Close wakes all workers and stops further claims.
+func (s *scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Idle reports whether no work is pending or in flight.
+func (s *scheduler) Idle() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending == 0 && s.inflight == 0
+}
+
+// WaitIdle blocks until the scheduler is idle (tests, Drain).
+func (s *scheduler) WaitIdle() {
+	s.mu.Lock()
+	for !(s.pending == 0 && s.inflight == 0) && !s.closed {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// Backlog returns the number of pending messages.
+func (s *scheduler) Backlog() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending
+}

@@ -1,0 +1,147 @@
+package gateway
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// HTTPTransport is the real network binding: messages are POSTed as the
+// request body with properties in X-Demaq-* headers — the shape of the
+// paper's SOAP/HTTP binding without the envelope ceremony. Addresses have
+// the form "http://host:port/path". One HTTPTransport can both serve local
+// endpoints (it runs one shared listener per host:port it subscribes on)
+// and send to remote ones.
+type HTTPTransport struct {
+	mu        sync.Mutex
+	client    *http.Client
+	servers   map[string]*httpServer // host:port → server
+	endpoints map[string]Handler     // full address → handler
+}
+
+type httpServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewHTTPTransport creates an HTTP transport.
+func NewHTTPTransport() *HTTPTransport {
+	return &HTTPTransport{
+		client:    &http.Client{Timeout: 30 * time.Second},
+		servers:   map[string]*httpServer{},
+		endpoints: map[string]Handler{},
+	}
+}
+
+// Scheme implements Transport.
+func (t *HTTPTransport) Scheme() string { return "http" }
+
+const headerPrefix = "X-Demaq-"
+
+// Send implements Transport.
+func (t *HTTPTransport) Send(dest string, payload []byte, props map[string]string) error {
+	req, err := http.NewRequest(http.MethodPost, dest, strings.NewReader(string(payload)))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/xml")
+	for k, v := range props {
+		req.Header.Set(headerPrefix+k, v)
+	}
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return ErrDisconnected
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("gateway: http endpoint returned %s", resp.Status)
+	}
+	return nil
+}
+
+// Subscribe implements Transport: it lazily starts a listener for the
+// address's host:port and routes by path.
+func (t *HTTPTransport) Subscribe(addr string, h Handler) (func(), error) {
+	hostPort, _, err := splitHTTPAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.endpoints[addr]; dup {
+		return nil, fmt.Errorf("gateway: endpoint %s already subscribed", addr)
+	}
+	if _, ok := t.servers[hostPort]; !ok {
+		ln, err := net.Listen("tcp", hostPort)
+		if err != nil {
+			return nil, err
+		}
+		srv := &http.Server{Handler: http.HandlerFunc(t.serve)}
+		t.servers[hostPort] = &httpServer{ln: ln, srv: srv}
+		go srv.Serve(ln)
+	}
+	t.endpoints[addr] = h
+	return func() {
+		t.mu.Lock()
+		delete(t.endpoints, addr)
+		t.mu.Unlock()
+	}, nil
+}
+
+// Close shuts down all listeners.
+func (t *HTTPTransport) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, s := range t.servers {
+		s.srv.Close()
+	}
+	t.servers = map[string]*httpServer{}
+}
+
+func (t *HTTPTransport) serve(w http.ResponseWriter, r *http.Request) {
+	addr := "http://" + r.Host + r.URL.Path
+	t.mu.Lock()
+	h, ok := t.endpoints[addr]
+	t.mu.Unlock()
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		http.Error(w, "read error", http.StatusBadRequest)
+		return
+	}
+	props := map[string]string{}
+	for k, vs := range r.Header {
+		if strings.HasPrefix(k, headerPrefix) && len(vs) > 0 {
+			props[k[len(headerPrefix):]] = vs[0]
+		}
+	}
+	// Remote address as the sender when the peer did not identify itself.
+	if props["Sender"] == "" {
+		props["Sender"] = "http://" + r.RemoteAddr
+	}
+	if err := h(body, props); err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+}
+
+func splitHTTPAddr(addr string) (hostPort, path string, err error) {
+	rest, ok := strings.CutPrefix(addr, "http://")
+	if !ok {
+		return "", "", fmt.Errorf("gateway: not an http address: %s", addr)
+	}
+	i := strings.Index(rest, "/")
+	if i < 0 {
+		return rest, "/", nil
+	}
+	return rest[:i], rest[i:], nil
+}

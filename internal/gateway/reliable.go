@@ -1,0 +1,232 @@
+package gateway
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Reliable implements at-least-once delivery with receiver-side
+// de-duplication over an unreliable Transport — the stand-in for
+// WS-ReliableMessaging (paper Sec. 2.1.2). Each message carries a source
+// address and sequence number; the receiver acknowledges over the same
+// transport and suppresses replays. Senders retransmit until acknowledged
+// or the retry budget is exhausted.
+//
+// The paper notes that reliable sending across system failures requires
+// persistent queues: the engine keeps a sent message unprocessed in its
+// persistent outgoing gateway queue until the ack arrives, so retransmission
+// state survives crashes by construction.
+type Reliable struct {
+	tr     Transport
+	source string // our ack endpoint address
+
+	mu       sync.Mutex
+	nextSeq  uint64
+	pending  map[uint64]*pendingSend
+	seen     map[string]map[uint64]bool // dedup per remote source
+	interval time.Duration
+	retries  int
+	closed   bool
+	unsub    func()
+
+	acked, retransmits, duplicates uint64
+}
+
+type pendingSend struct {
+	dest    string
+	payload []byte
+	props   map[string]string
+	done    func(error)
+	tries   int
+	timer   *time.Timer
+}
+
+// Property keys used by the reliability protocol.
+const (
+	propSeq    = "demaq-rm-seq"
+	propSource = "demaq-rm-source"
+	propAck    = "demaq-rm-ack"
+)
+
+// NewReliable layers reliability over tr. source is the address this side
+// listens on for acknowledgements (and, when used bidirectionally, for
+// application messages via Subscribe).
+func NewReliable(tr Transport, source string, retryInterval time.Duration, maxRetries int) (*Reliable, error) {
+	if retryInterval <= 0 {
+		retryInterval = 50 * time.Millisecond
+	}
+	if maxRetries <= 0 {
+		maxRetries = 20
+	}
+	r := &Reliable{
+		tr: tr, source: source,
+		pending:  map[uint64]*pendingSend{},
+		seen:     map[string]map[uint64]bool{},
+		interval: retryInterval,
+		retries:  maxRetries,
+	}
+	return r, nil
+}
+
+// Stats returns (acked sends, retransmissions, duplicate receives).
+func (r *Reliable) Stats() (acked, retransmits, duplicates uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.acked, r.retransmits, r.duplicates
+}
+
+// Close cancels pending retransmissions, failing their completions so no
+// caller blocks on a send that will never be acknowledged.
+func (r *Reliable) Close() {
+	r.mu.Lock()
+	r.closed = true
+	pending := r.pending
+	r.pending = map[uint64]*pendingSend{}
+	for _, p := range pending {
+		if p.timer != nil {
+			p.timer.Stop()
+		}
+	}
+	if r.unsub != nil {
+		r.unsub()
+		r.unsub = nil
+	}
+	r.mu.Unlock()
+	for _, p := range pending {
+		p.done(fmt.Errorf("gateway: reliable layer closed"))
+	}
+}
+
+// SendAsync transmits payload to dest; done is called exactly once with nil
+// after the acknowledgement arrives, or with an error when the retry budget
+// is exhausted or the endpoint is disconnected.
+func (r *Reliable) SendAsync(dest string, payload []byte, props map[string]string, done func(error)) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		done(fmt.Errorf("gateway: reliable layer closed"))
+		return
+	}
+	r.nextSeq++
+	seq := r.nextSeq
+	pr := make(map[string]string, len(props)+2)
+	for k, v := range props {
+		pr[k] = v
+	}
+	pr[propSeq] = strconv.FormatUint(seq, 10)
+	pr[propSource] = r.source
+	ps := &pendingSend{dest: dest, payload: payload, props: pr, done: done}
+	r.pending[seq] = ps
+	r.mu.Unlock()
+	r.transmit(seq, ps)
+}
+
+func (r *Reliable) transmit(seq uint64, ps *pendingSend) {
+	ps.tries++
+	err := r.tr.Send(ps.dest, ps.payload, ps.props)
+	if err == ErrDisconnected {
+		// Immediate, permanent failure: report without retrying; the
+		// application handles it (deadLink rule in Fig. 10).
+		r.finish(seq, err)
+		return
+	}
+	r.mu.Lock()
+	if _, stillPending := r.pending[seq]; !stillPending || r.closed {
+		r.mu.Unlock()
+		return
+	}
+	if ps.tries > r.retries {
+		r.mu.Unlock()
+		r.finish(seq, fmt.Errorf("gateway: no acknowledgement after %d attempts", ps.tries-1))
+		return
+	}
+	ps.timer = time.AfterFunc(r.interval, func() {
+		r.mu.Lock()
+		_, stillPending := r.pending[seq]
+		if stillPending {
+			r.retransmits++
+		}
+		r.mu.Unlock()
+		if stillPending {
+			r.transmit(seq, ps)
+		}
+	})
+	r.mu.Unlock()
+}
+
+func (r *Reliable) finish(seq uint64, err error) {
+	r.mu.Lock()
+	ps, ok := r.pending[seq]
+	if ok {
+		delete(r.pending, seq)
+		if ps.timer != nil {
+			ps.timer.Stop()
+		}
+		if err == nil {
+			r.acked++
+		}
+	}
+	r.mu.Unlock()
+	if ok {
+		ps.done(err)
+	}
+}
+
+// Subscribe registers the receiving side: application messages are
+// de-duplicated, acknowledged, and handed to h; acknowledgements complete
+// pending sends.
+func (r *Reliable) Subscribe(h Handler) error {
+	unsub, err := r.tr.Subscribe(r.source, func(payload []byte, props map[string]string) error {
+		if ackStr, isAck := props[propAck]; isAck {
+			seq, err := strconv.ParseUint(ackStr, 10, 64)
+			if err == nil {
+				r.finish(seq, nil)
+			}
+			return nil
+		}
+		seqStr, hasSeq := props[propSeq]
+		source := props[propSource]
+		if !hasSeq || source == "" {
+			// Not a reliable-protocol message; deliver as-is.
+			return h(payload, props)
+		}
+		seq, err := strconv.ParseUint(seqStr, 10, 64)
+		if err != nil {
+			return fmt.Errorf("gateway: bad sequence number %q", seqStr)
+		}
+		r.mu.Lock()
+		seen := r.seen[source]
+		if seen == nil {
+			seen = map[uint64]bool{}
+			r.seen[source] = seen
+		}
+		dup := seen[seq]
+		if dup {
+			r.duplicates++
+		}
+		r.mu.Unlock()
+		if dup {
+			// Re-acknowledge: the previous ack may have been lost.
+			_ = r.tr.Send(source, nil, map[string]string{propAck: seqStr})
+			return nil
+		}
+		if err := h(payload, props); err != nil {
+			// No ack: the sender retransmits and the message is retried.
+			return err
+		}
+		r.mu.Lock()
+		seen[seq] = true
+		r.mu.Unlock()
+		_ = r.tr.Send(source, nil, map[string]string{propAck: seqStr})
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.unsub = unsub
+	r.mu.Unlock()
+	return nil
+}

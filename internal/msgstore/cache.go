@@ -1,0 +1,63 @@
+package msgstore
+
+import (
+	"container/list"
+	"sync"
+
+	"demaq/internal/xmldom"
+)
+
+// docCache is an LRU cache of parsed message documents. Message trees are
+// immutable, so cached documents can be shared freely between concurrent
+// rule evaluations.
+type docCache struct {
+	mu  sync.Mutex
+	cap int
+	lru *list.List
+	m   map[MsgID]*list.Element
+}
+
+type cacheEntry struct {
+	id  MsgID
+	doc *xmldom.Node
+}
+
+func newDocCache(capacity int) *docCache {
+	return &docCache{cap: capacity, lru: list.New(), m: map[MsgID]*list.Element{}}
+}
+
+func (c *docCache) get(id MsgID) (*xmldom.Node, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[id]; ok {
+		c.lru.MoveToFront(el)
+		return el.Value.(*cacheEntry).doc, true
+	}
+	return nil, false
+}
+
+func (c *docCache) put(id MsgID, doc *xmldom.Node) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[id]; ok {
+		el.Value.(*cacheEntry).doc = doc
+		c.lru.MoveToFront(el)
+		return
+	}
+	el := c.lru.PushFront(&cacheEntry{id: id, doc: doc})
+	c.m[id] = el
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.m, back.Value.(*cacheEntry).id)
+	}
+}
+
+func (c *docCache) drop(id MsgID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[id]; ok {
+		c.lru.Remove(el)
+		delete(c.m, id)
+	}
+}

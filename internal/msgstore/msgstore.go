@@ -1,0 +1,335 @@
+// Package msgstore implements the Demaq message store: transactional XML
+// message queues (persistent and transient), message properties, and
+// master-data collections, layered over the page store (internal/store).
+//
+// The store follows the paper's append-only model (Sec. 2.3.3): message
+// payloads are never modified after enqueue; the only in-place mutation is
+// the processed flag, and physical removal is driven by the retention
+// logic in internal/slicing via redo-only batch deletes.
+package msgstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"demaq/internal/store"
+	"demaq/internal/xdm"
+	"demaq/internal/xmldom"
+)
+
+// MsgID identifies a message; IDs are assigned in enqueue order and define
+// the temporal order the scheduler respects.
+type MsgID uint64
+
+// QueueMode distinguishes persistent from transient queues (Sec. 2.1.1).
+type QueueMode uint8
+
+// Queue modes.
+const (
+	Persistent QueueMode = iota
+	Transient
+)
+
+// msgMeta is the in-memory descriptor of one message. Payloads of
+// persistent messages stay on disk and are parsed on demand through the
+// document cache; transient messages keep their document in memory.
+type msgMeta struct {
+	id        MsgID
+	rid       store.RID // persistent queues
+	doc       *xmldom.Node
+	props     map[string]xdm.Value
+	enqueued  time.Time
+	processed bool
+	dead      bool // physically removed
+}
+
+// Queue is one message queue.
+type Queue struct {
+	Name     string
+	Mode     QueueMode
+	Priority int
+
+	heap store.HeapID // persistent queues
+	msgs []*msgMeta   // in id order; GC'd entries flagged dead and compacted
+	live int
+}
+
+// Message is the externally visible message descriptor.
+type Message struct {
+	ID        MsgID
+	Queue     string
+	Props     map[string]xdm.Value
+	Enqueued  time.Time
+	Processed bool
+}
+
+// Store is the message store.
+type Store struct {
+	mu     sync.RWMutex
+	ps     *store.Store
+	queues map[string]*Queue
+	byID   map[MsgID]*msgMeta
+	owner  map[MsgID]*Queue
+	colls  map[string]*collection
+	cache  *docCache
+
+	nextID MsgID
+}
+
+type collection struct {
+	name string
+	heap store.HeapID
+	docs []*xmldom.Node
+}
+
+// Options configure the message store.
+type Options struct {
+	Store     store.Options
+	CacheDocs int // parsed-document cache capacity (default 4096)
+}
+
+// DefaultOptions returns production settings.
+func DefaultOptions() Options {
+	return Options{Store: store.DefaultOptions(), CacheDocs: 4096}
+}
+
+// Open opens the message store in dir, recovering state from disk:
+// persistent queues and their messages (including processed flags) are
+// rebuilt by scanning the heaps, exactly as the paper's recovery story
+// requires — scheduler and slice state are derived data.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.CacheDocs == 0 {
+		opts.CacheDocs = 4096
+	}
+	ps, err := store.Open(dir, opts.Store)
+	if err != nil {
+		return nil, err
+	}
+	ms := &Store{
+		ps:     ps,
+		queues: map[string]*Queue{},
+		byID:   map[MsgID]*msgMeta{},
+		owner:  map[MsgID]*Queue{},
+		colls:  map[string]*collection{},
+		cache:  newDocCache(opts.CacheDocs),
+		nextID: 1,
+	}
+	for _, name := range ps.HeapNames() {
+		switch {
+		case len(name) > 2 && name[:2] == "q:":
+			if err := ms.loadQueue(name[2:]); err != nil {
+				ps.Close()
+				return nil, err
+			}
+		case len(name) > 2 && name[:2] == "c:":
+			if err := ms.loadCollection(name[2:]); err != nil {
+				ps.Close()
+				return nil, err
+			}
+		}
+	}
+	return ms, nil
+}
+
+// Close closes the underlying store.
+func (ms *Store) Close() error { return ms.ps.Close() }
+
+// Crash simulates a crash for tests.
+func (ms *Store) Crash() { ms.ps.CrashForTest() }
+
+// PageStore exposes the underlying page store (stats, checkpoints).
+func (ms *Store) PageStore() *store.Store { return ms.ps }
+
+// CreateQueue declares a queue. Declaring an existing queue updates its
+// priority and verifies the mode matches.
+func (ms *Store) CreateQueue(name string, mode QueueMode, priority int) (*Queue, error) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if q, ok := ms.queues[name]; ok {
+		if q.Mode != mode {
+			return nil, fmt.Errorf("msgstore: queue %q exists with different mode", name)
+		}
+		q.Priority = priority
+		return q, nil
+	}
+	q := &Queue{Name: name, Mode: mode, Priority: priority}
+	if mode == Persistent {
+		h, err := ms.ps.CreateHeap("q:" + name)
+		if err != nil {
+			return nil, err
+		}
+		q.heap = h
+	}
+	ms.queues[name] = q
+	return q, nil
+}
+
+// Queue returns a queue by name.
+func (ms *Store) Queue(name string) (*Queue, bool) {
+	ms.mu.RLock()
+	defer ms.mu.RUnlock()
+	q, ok := ms.queues[name]
+	return q, ok
+}
+
+// QueueNames lists declared queues.
+func (ms *Store) QueueNames() []string {
+	ms.mu.RLock()
+	defer ms.mu.RUnlock()
+	out := make([]string, 0, len(ms.queues))
+	for n := range ms.queues {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (ms *Store) loadQueue(name string) error {
+	h, _ := ms.ps.Heap("q:" + name)
+	q := &Queue{Name: name, Mode: Persistent, heap: h}
+	err := ms.ps.Scan(h, func(rid store.RID, payload []byte) bool {
+		m, err := decodeMessage(payload)
+		if err != nil {
+			return true // skip corrupt records; recovery guarantees should prevent this
+		}
+		m.rid = rid
+		q.msgs = append(q.msgs, m)
+		if !m.dead {
+			q.live++
+		}
+		ms.byID[m.id] = m
+		ms.owner[m.id] = q
+		if m.id >= ms.nextID {
+			ms.nextID = m.id + 1
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	sort.Slice(q.msgs, func(i, j int) bool { return q.msgs[i].id < q.msgs[j].id })
+	ms.queues[name] = q
+	return nil
+}
+
+func (ms *Store) loadCollection(name string) error {
+	h, _ := ms.ps.Heap("c:" + name)
+	c := &collection{name: name, heap: h}
+	err := ms.ps.Scan(h, func(_ store.RID, payload []byte) bool {
+		doc, err := xmldom.Parse(payload)
+		if err == nil {
+			c.docs = append(c.docs, doc)
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	ms.colls[name] = c
+	return nil
+}
+
+// --- message record encoding ---
+//
+//	[0]   status byte: bit0 processed
+//	[1:9] msgID
+//	[9:17] enqueued unix nanos
+//	[17:19] property count
+//	per property: u16 name len, name, u8 type, u16 value len, value (lexical)
+//	u32 payload len, payload (serialized XML)
+
+func encodeMessage(m *msgMeta, payload []byte) []byte {
+	size := 19
+	type kv struct {
+		k, v string
+		t    uint8
+	}
+	props := make([]kv, 0, len(m.props))
+	for k, v := range m.props {
+		e := kv{k: k, v: v.StringValue(), t: uint8(v.T)}
+		props = append(props, e)
+		size += 2 + len(e.k) + 1 + 2 + len(e.v)
+	}
+	sort.Slice(props, func(i, j int) bool { return props[i].k < props[j].k })
+	size += 4 + len(payload)
+	out := make([]byte, 0, size)
+	status := byte(0)
+	if m.processed {
+		status |= 1
+	}
+	out = append(out, status)
+	out = binary.LittleEndian.AppendUint64(out, uint64(m.id))
+	out = binary.LittleEndian.AppendUint64(out, uint64(m.enqueued.UnixNano()))
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(props)))
+	for _, p := range props {
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(p.k)))
+		out = append(out, p.k...)
+		out = append(out, p.t)
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(p.v)))
+		out = append(out, p.v...)
+	}
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = append(out, payload...)
+	return out
+}
+
+func decodeMessage(data []byte) (*msgMeta, error) {
+	if len(data) < 19 {
+		return nil, fmt.Errorf("msgstore: record too short")
+	}
+	m := &msgMeta{
+		processed: data[0]&1 != 0,
+		id:        MsgID(binary.LittleEndian.Uint64(data[1:])),
+		enqueued:  time.Unix(0, int64(binary.LittleEndian.Uint64(data[9:]))).UTC(),
+	}
+	n := int(binary.LittleEndian.Uint16(data[17:]))
+	off := 19
+	if n > 0 {
+		m.props = make(map[string]xdm.Value, n)
+	}
+	for i := 0; i < n; i++ {
+		if off+2 > len(data) {
+			return nil, fmt.Errorf("msgstore: truncated property")
+		}
+		kl := int(binary.LittleEndian.Uint16(data[off:]))
+		off += 2
+		key := string(data[off : off+kl])
+		off += kl
+		typ := xdm.Type(data[off])
+		off++
+		vl := int(binary.LittleEndian.Uint16(data[off:]))
+		off += 2
+		val := string(data[off : off+vl])
+		off += vl
+		v, err := xdm.NewString(val).Cast(typ)
+		if err != nil {
+			v = xdm.NewString(val)
+		}
+		m.props[key] = v
+	}
+	if off+4 > len(data) {
+		return nil, fmt.Errorf("msgstore: truncated payload length")
+	}
+	plen := int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	if off+plen > len(data) {
+		return nil, fmt.Errorf("msgstore: truncated payload")
+	}
+	return m, nil
+}
+
+// payloadOffset computes where the XML payload starts in an encoded record.
+func payloadOffset(data []byte) int {
+	n := int(binary.LittleEndian.Uint16(data[17:]))
+	off := 19
+	for i := 0; i < n; i++ {
+		kl := int(binary.LittleEndian.Uint16(data[off:]))
+		off += 2 + kl + 1
+		vl := int(binary.LittleEndian.Uint16(data[off:]))
+		off += 2 + vl
+	}
+	return off + 4
+}

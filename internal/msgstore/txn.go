@@ -1,0 +1,423 @@
+package msgstore
+
+import (
+	"fmt"
+	"time"
+
+	"demaq/internal/store"
+	"demaq/internal/xdm"
+	"demaq/internal/xmldom"
+)
+
+// Txn is a message-store transaction. Mutations are buffered and applied
+// atomically at Commit: the persistent part through one page-store
+// transaction, the in-memory indexes under the store lock afterwards. This
+// mirrors the paper's execution model, where rule evaluation produces a
+// pending action list that is applied as a unit (Sec. 3.1).
+type Txn struct {
+	ms   *Store
+	done bool
+
+	enqueues  []*pendingEnqueue
+	processed []MsgID
+	resets    []ResetEvent
+
+	// AppliedResets holds the reset events with their watermarks as
+	// committed; the engine feeds them to the slicing manager.
+	AppliedResets []ResetEvent
+}
+
+type pendingEnqueue struct {
+	queue string
+	doc   *xmldom.Node
+	props map[string]xdm.Value
+	at    time.Time
+	id    MsgID
+}
+
+// Begin starts a transaction.
+func (ms *Store) Begin() *Txn { return &Txn{ms: ms} }
+
+// Enqueue stages a message for insertion and returns its pre-assigned ID.
+// The document must be a sealed document node.
+func (t *Txn) Enqueue(queue string, doc *xmldom.Node, props map[string]xdm.Value, at time.Time) (MsgID, error) {
+	if t.done {
+		return 0, fmt.Errorf("msgstore: transaction finished")
+	}
+	t.ms.mu.Lock()
+	_, ok := t.ms.queues[queue]
+	if !ok {
+		t.ms.mu.Unlock()
+		return 0, fmt.Errorf("msgstore: unknown queue %q", queue)
+	}
+	id := t.ms.nextID
+	t.ms.nextID++
+	t.ms.mu.Unlock()
+	if doc.Kind != xmldom.DocumentNode {
+		doc = doc.CloneAsDocument()
+	}
+	t.enqueues = append(t.enqueues, &pendingEnqueue{queue: queue, doc: doc, props: props, at: at.UTC(), id: id})
+	return id, nil
+}
+
+// MarkProcessed stages setting the processed flag of a message.
+func (t *Txn) MarkProcessed(id MsgID) error {
+	if t.done {
+		return fmt.Errorf("msgstore: transaction finished")
+	}
+	t.processed = append(t.processed, id)
+	return nil
+}
+
+// Commit applies the staged mutations atomically and durably.
+func (t *Txn) Commit() ([]Message, error) {
+	if t.done {
+		return nil, fmt.Errorf("msgstore: transaction finished")
+	}
+	t.done = true
+	ms := t.ms
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+
+	// Persistent phase first: if it fails, nothing is applied.
+	var pt *store.Txn
+	needDisk := false
+	type diskEnq struct {
+		pe  *pendingEnqueue
+		q   *Queue
+		rid store.RID
+	}
+	var diskEnqs []diskEnq
+	for _, pe := range t.enqueues {
+		if q := ms.queues[pe.queue]; q != nil && q.Mode == Persistent {
+			needDisk = true
+		}
+	}
+	for _, id := range t.processed {
+		if m := ms.byID[id]; m != nil && ms.owner[id] != nil && ms.owner[id].Mode == Persistent {
+			needDisk = true
+		}
+	}
+	if len(t.resets) > 0 {
+		needDisk = true
+	}
+	if needDisk {
+		pt = ms.ps.Begin()
+	}
+	for _, pe := range t.enqueues {
+		q := ms.queues[pe.queue]
+		if q == nil {
+			if pt != nil {
+				pt.Abort()
+			}
+			return nil, fmt.Errorf("msgstore: unknown queue %q", pe.queue)
+		}
+		if q.Mode != Persistent {
+			continue
+		}
+		m := &msgMeta{id: pe.id, props: pe.props, enqueued: pe.at}
+		rec := encodeMessage(m, []byte(xmldom.Serialize(pe.doc)))
+		rid, err := pt.Insert(q.heap, rec)
+		if err != nil {
+			pt.Abort()
+			return nil, err
+		}
+		diskEnqs = append(diskEnqs, diskEnq{pe: pe, q: q, rid: rid})
+	}
+	for _, id := range t.processed {
+		m := ms.byID[id]
+		q := ms.owner[id]
+		if m == nil || q == nil || m.dead {
+			continue
+		}
+		if q.Mode == Persistent {
+			// Status byte is payload offset 0.
+			cur := byte(0)
+			if m.processed {
+				cur = 1
+			}
+			if err := pt.SetByte(m.rid, 0, cur|1); err != nil {
+				pt.Abort()
+				return nil, err
+			}
+		}
+	}
+	// Persist slice resets with the current ID high-water mark (every
+	// message that exists now is dismissed from the slice).
+	for _, re := range t.resets {
+		re.Watermark = ms.nextID - 1
+		if err := ms.writeReset(pt, re); err != nil {
+			pt.Abort()
+			return nil, err
+		}
+		t.AppliedResets = append(t.AppliedResets, re)
+	}
+	if pt != nil {
+		if err := pt.Commit(); err != nil {
+			return nil, err
+		}
+	}
+
+	// In-memory phase: cannot fail.
+	var out []Message
+	for _, pe := range t.enqueues {
+		q := ms.queues[pe.queue]
+		m := &msgMeta{id: pe.id, props: pe.props, enqueued: pe.at}
+		if q.Mode == Persistent {
+			for _, de := range diskEnqs {
+				if de.pe == pe {
+					m.rid = de.rid
+					break
+				}
+			}
+			ms.cache.put(pe.id, pe.doc)
+		} else {
+			m.doc = pe.doc
+		}
+		q.msgs = append(q.msgs, m)
+		q.live++
+		ms.byID[m.id] = m
+		ms.owner[m.id] = q
+		out = append(out, Message{ID: m.id, Queue: q.Name, Props: m.props, Enqueued: m.enqueued})
+	}
+	for _, id := range t.processed {
+		if m := ms.byID[id]; m != nil {
+			m.processed = true
+		}
+	}
+	return out, nil
+}
+
+// Abort discards the staged mutations. Pre-assigned message IDs are simply
+// skipped (IDs are ordering tokens, not dense).
+func (t *Txn) Abort() {
+	t.done = true
+	t.enqueues = nil
+	t.processed = nil
+}
+
+// --- read side ---
+
+// Doc returns the parsed document of a message.
+func (ms *Store) Doc(id MsgID) (*xmldom.Node, error) {
+	ms.mu.RLock()
+	m := ms.byID[id]
+	q := ms.owner[id]
+	ms.mu.RUnlock()
+	if m == nil || m.dead {
+		return nil, fmt.Errorf("msgstore: message %d not found", id)
+	}
+	if m.doc != nil {
+		return m.doc, nil
+	}
+	if doc, ok := ms.cache.get(id); ok {
+		return doc, nil
+	}
+	data, err := ms.ps.Read(m.rid)
+	if err != nil {
+		return nil, err
+	}
+	payload := data[payloadOffset(data):]
+	doc, err := xmldom.Parse(payload)
+	if err != nil {
+		return nil, fmt.Errorf("msgstore: message %d payload: %w", id, err)
+	}
+	_ = q
+	ms.cache.put(id, doc)
+	return doc, nil
+}
+
+// Get returns the message descriptor.
+func (ms *Store) Get(id MsgID) (Message, bool) {
+	ms.mu.RLock()
+	defer ms.mu.RUnlock()
+	m := ms.byID[id]
+	q := ms.owner[id]
+	if m == nil || m.dead || q == nil {
+		return Message{}, false
+	}
+	return Message{ID: m.id, Queue: q.Name, Props: m.props, Enqueued: m.enqueued, Processed: m.processed}, true
+}
+
+// Property returns one property value of a message.
+func (ms *Store) Property(id MsgID, name string) (xdm.Value, bool) {
+	ms.mu.RLock()
+	defer ms.mu.RUnlock()
+	m := ms.byID[id]
+	if m == nil || m.dead {
+		return xdm.Value{}, false
+	}
+	v, ok := m.props[name]
+	return v, ok
+}
+
+// Messages returns the live messages of a queue in enqueue order.
+func (ms *Store) Messages(queue string) ([]Message, error) {
+	ms.mu.RLock()
+	q, ok := ms.queues[queue]
+	if !ok {
+		ms.mu.RUnlock()
+		return nil, fmt.Errorf("msgstore: unknown queue %q", queue)
+	}
+	out := make([]Message, 0, q.live)
+	for _, m := range q.msgs {
+		if m.dead {
+			continue
+		}
+		out = append(out, Message{ID: m.id, Queue: q.Name, Props: m.props, Enqueued: m.enqueued, Processed: m.processed})
+	}
+	ms.mu.RUnlock()
+	return out, nil
+}
+
+// QueueDocs returns the documents of all live messages in a queue, the
+// implementation behind qs:queue() (Sec. 3.4).
+func (ms *Store) QueueDocs(queue string) ([]*xmldom.Node, error) {
+	msgs, err := ms.Messages(queue)
+	if err != nil {
+		return nil, err
+	}
+	docs := make([]*xmldom.Node, 0, len(msgs))
+	for _, m := range msgs {
+		d, err := ms.Doc(m.ID)
+		if err != nil {
+			return nil, err
+		}
+		docs = append(docs, d)
+	}
+	return docs, nil
+}
+
+// Remove physically deletes processed messages from a queue using the
+// retention-based redo-only batch delete (Sec. 4.1). It is called by the
+// garbage collector for messages no longer held by any live slice.
+func (ms *Store) Remove(queue string, ids []MsgID) error {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	q, ok := ms.queues[queue]
+	if !ok {
+		return fmt.Errorf("msgstore: unknown queue %q", queue)
+	}
+	var rids []store.RID
+	for _, id := range ids {
+		m := ms.byID[id]
+		if m == nil || m.dead {
+			continue
+		}
+		if q.Mode == Persistent {
+			rids = append(rids, m.rid)
+		}
+		m.dead = true
+		q.live--
+		delete(ms.byID, id)
+		delete(ms.owner, id)
+		ms.cache.drop(id)
+	}
+	if len(rids) > 0 {
+		if err := ms.ps.BatchDelete(q.heap, rids); err != nil {
+			return err
+		}
+	}
+	// Compact the in-memory slice when dead entries dominate.
+	if len(q.msgs) > 64 && q.live*2 < len(q.msgs) {
+		livemsgs := make([]*msgMeta, 0, q.live)
+		for _, m := range q.msgs {
+			if !m.dead {
+				livemsgs = append(livemsgs, m)
+			}
+		}
+		q.msgs = livemsgs
+	}
+	return nil
+}
+
+// UnprocessedIDs returns the IDs of unprocessed messages per queue, used by
+// the engine to rebuild scheduler state after a restart.
+func (ms *Store) UnprocessedIDs(queue string) []MsgID {
+	ms.mu.RLock()
+	defer ms.mu.RUnlock()
+	q, ok := ms.queues[queue]
+	if !ok {
+		return nil
+	}
+	var out []MsgID
+	for _, m := range q.msgs {
+		if !m.dead && !m.processed {
+			out = append(out, m.id)
+		}
+	}
+	return out
+}
+
+// ProcessedIDs returns the IDs of processed (retention-eligible) messages.
+func (ms *Store) ProcessedIDs(queue string) []MsgID {
+	ms.mu.RLock()
+	defer ms.mu.RUnlock()
+	q, ok := ms.queues[queue]
+	if !ok {
+		return nil
+	}
+	var out []MsgID
+	for _, m := range q.msgs {
+		if !m.dead && m.processed {
+			out = append(out, m.id)
+		}
+	}
+	return out
+}
+
+// --- collections (master data, fn:collection) ---
+
+// CreateCollection declares a master-data collection.
+func (ms *Store) CreateCollection(name string) error {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if _, ok := ms.colls[name]; ok {
+		return nil
+	}
+	h, err := ms.ps.CreateHeap("c:" + name)
+	if err != nil {
+		return err
+	}
+	ms.colls[name] = &collection{name: name, heap: h}
+	return nil
+}
+
+// AddToCollection durably appends a document to a collection.
+func (ms *Store) AddToCollection(name string, doc *xmldom.Node) error {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	c, ok := ms.colls[name]
+	if !ok {
+		ms.mu.Unlock()
+		if err := ms.CreateCollection(name); err != nil {
+			return err
+		}
+		ms.mu.Lock()
+		c = ms.colls[name]
+	}
+	if doc.Kind != xmldom.DocumentNode {
+		doc = doc.CloneAsDocument()
+	}
+	pt := ms.ps.Begin()
+	if _, err := pt.Insert(c.heap, []byte(xmldom.Serialize(doc))); err != nil {
+		pt.Abort()
+		return err
+	}
+	if err := pt.Commit(); err != nil {
+		return err
+	}
+	c.docs = append(c.docs, doc)
+	return nil
+}
+
+// Collection returns the documents of a collection (empty if undeclared,
+// matching fn:collection's behavior for unknown sources in Demaq).
+func (ms *Store) Collection(name string) []*xmldom.Node {
+	ms.mu.RLock()
+	defer ms.mu.RUnlock()
+	if c, ok := ms.colls[name]; ok {
+		return c.docs
+	}
+	return nil
+}

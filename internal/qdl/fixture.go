@@ -1,0 +1,148 @@
+package qdl
+
+// ProcurementApp is a complete transcription of the paper's running
+// example: the distributed procurement scenario of Fig. 3/4 with the QML
+// rules of Figs. 5-10 (Examples 3.1-3.5). Parts the paper elides ("...")
+// are filled in; the supplier's remote capacity check is implemented as a
+// local rule so the application is self-contained (the gateway examples
+// exercise the remote variant). Two adaptations, documented in DESIGN.md:
+// child steps after qs:message()/qs:slice() are written as descendant
+// steps because those functions return document nodes (Sec. 3.4 text), and
+// statements carry ';' terminators.
+const ProcurementApp = `
+(: ---- queues (Fig. 4) ---- :)
+create queue crm       kind basic mode persistent;
+create queue finance   kind basic mode persistent;
+create queue legal     kind basic mode persistent;
+create queue supplier  kind basic mode persistent;
+create queue customer  kind basic mode persistent;
+create queue invoices  kind basic mode persistent;
+create queue echoQueue kind echo  mode persistent;
+create queue crmErrors kind basic mode persistent;
+create queue postalService kind basic mode persistent;
+
+create collection crm;
+
+(: ---- correlation property and slicing (Example 3.3) ---- :)
+create property requestID as xs:string fixed
+  queue crm, customer value //requestID;
+create slicing requestMsgs on requestID;
+
+(: ---- Example 3.1 (Fig. 5): fork the three checks ---- :)
+create rule newOfferRequest for crm
+  if (//offerRequest) then
+    let $customerInfo :=
+      <requestCustomerInfo>{//requestID} {//customerID}</requestCustomerInfo>
+    let $exportRestrictionsInfo :=
+      <exportRestrictionsInfo>{//requestID} {//items}</exportRestrictionsInfo>
+    let $plantCapacityInfo :=
+      <plantCapacityInfo>{//requestID} {//items}</plantCapacityInfo>
+    return (do enqueue $customerInfo into finance,
+            do enqueue $exportRestrictionsInfo into legal,
+            do enqueue $plantCapacityInfo into supplier
+              with Sender value "http://ws.chem.invalid/");
+
+(: ---- Example 3.2 (Fig. 6): credit rating against open invoices ---- :)
+create rule checkCreditRating for finance
+  if (//requestCustomerInfo) then
+    let $result :=
+      <customerInfoResult>{//requestID} {//customerID}
+        {let $invoices := qs:queue("invoices")
+         return
+           if ($invoices[//customerID = qs:message()//customerID])
+           then <refuse/>
+           else <accept/>}
+      </customerInfoResult>
+    return do enqueue $result into crm;
+
+(: ---- legal check (elided in the paper) ---- :)
+create rule checkExportRestrictions for legal
+  if (//exportRestrictionsInfo) then
+    let $result :=
+      <restrictionsResult>{//requestID}
+        {for $i in //items//item where $i/@restricted = "yes"
+         return <restrictedItem>{string($i/@sku)}</restrictedItem>}
+      </restrictionsResult>
+    return do enqueue $result into crm;
+
+(: ---- supplier capacity check (remote in the paper, local here) ---- :)
+create rule checkPlantCapacity for supplier
+  if (//plantCapacityInfo) then
+    let $total := sum(//items//item/qty)
+    let $result :=
+      <capacityResult>{//requestID}
+        {if ($total < 1000) then <accept/> else <exceeded/>}
+      </capacityResult>
+    return do enqueue $result into crm;
+
+(: ---- Example 3.3 (Fig. 7): join the parallel checks ----
+   One guard beyond the paper's listing: the offer/refusal itself enters
+   the requestMsgs slice (the customer queue carries the requestID
+   property), which would re-trigger this rule once before cleanupRequest's
+   reset becomes visible. The not(...) conjunct makes the join fire exactly
+   once. :)
+create rule joinOrder for requestMsgs
+  if (qs:slice()[/customerInfoResult] and
+      qs:slice()[/restrictionsResult] and
+      qs:slice()[/capacityResult] and
+      not(qs:slice()[/offer] or qs:slice()[/refusal])) then
+    if (qs:slice()[/customerInfoResult//accept] and
+        not(qs:slice()[/restrictionsResult//restrictedItem])
+        and qs:slice()[/capacityResult//accept]) then
+      let $request := qs:queue("crm")/offerRequest
+      let $items := $request[.//requestID = qs:slicekey()]/items
+      let $pricelist := collection("crm")[/pricelist]
+      let $offer := <offer><requestID>{qs:slicekey()}</requestID>
+                      {$items}
+                      {$pricelist//discount}
+                    </offer>
+      return do enqueue $offer into customer
+    else
+      do enqueue <refusal><requestID>{qs:slicekey()}</requestID></refusal>
+        into customer;
+
+(: ---- Fig. 8: slice reset once the request completed ---- :)
+create rule cleanupRequest for requestMsgs
+  if (qs:slice()[/offer] or qs:slice()[/refusal]) then do reset;
+
+(: ---- Fig. 9: invoice retention and payment reminders ---- :)
+create property messageRequestID as xs:string fixed
+  queue invoices, finance value //requestID;
+create slicing invoiceRetention on messageRequestID;
+
+create rule resetPayedInvoices for invoiceRetention
+  if (qs:slice()[//timeoutNotification]
+      and qs:slice()[/paymentConfirmation]) then
+    do reset;
+
+create rule checkPayment for finance
+  if (//timeoutNotification) then
+    let $mRID := string(qs:message()//requestID)
+    let $payments := qs:queue()[/paymentConfirmation]
+    return
+      if (not($payments[//requestID = $mRID])) then
+        let $invoice := qs:queue("invoices")[//requestID = $mRID]
+        let $reminder := <reminder>{$invoice//requestID}
+                           <overdue>{$invoice//amount}</overdue>
+                         </reminder>
+        return do enqueue $reminder into customer
+      else ();
+
+(: ---- Example 3.5 (Fig. 10): error handling ---- :)
+create property orderID as xs:integer
+  queue crm value //customerOrder/orderID;
+create slicing retainOrders on orderID;
+
+create rule confirmOrder for crm errorqueue crmErrors
+  if (//customerOrder) then
+    let $confirmation := <confirmation>{//orderID}</confirmation>
+    return do enqueue $confirmation into customer;
+
+create rule deadLink for crmErrors
+  if (/error//disconnectedTransport) then
+    let $orders := qs:queue("crm")//customerOrder
+    let $initialOrderID := /error//initialMessage//orderID
+    let $address := $orders[orderID = $initialOrderID]/address
+    let $request := <sendMessage>{$address}{/error//initialMessage}</sendMessage>
+    return do enqueue $request into postalService;
+`

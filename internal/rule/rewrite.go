@@ -1,0 +1,148 @@
+package rule
+
+import (
+	"demaq/internal/xdm"
+	"demaq/internal/xpath"
+)
+
+// rewrite applies the deployment-time rewrites of Sec. 4.4.1 to a rule body
+// attached to a queue:
+//
+//   - qs:queue() without arguments receives the rule's queue name, removing
+//     the runtime context dependency ("supplying default parameters to
+//     functions which depend on the current queue");
+//   - qs:property("p") for a fixed property defined on the queue is
+//     replaced by the property's defining expression, wrapped in the
+//     property type's constructor — the "view merging" style inlining of
+//     fixed properties (Sec. 2.2/4.4.1). Only fixed properties qualify:
+//     non-fixed ones may carry explicit or inherited values that differ
+//     from the computed expression.
+//
+// Rewrites mutate argument lists and produce shared subtrees; evaluation
+// never mutates ASTs, so sharing is safe.
+func rewrite(body xpath.Expr, prog *Program, queue string) xpath.Expr {
+	return rewriteExpr(body, func(e xpath.Expr) xpath.Expr {
+		fc, ok := e.(*xpath.FuncCall)
+		if !ok || fc.Prefix != "qs" {
+			return e
+		}
+		switch fc.Local {
+		case "queue":
+			if len(fc.Args) == 0 {
+				fc.Args = []xpath.Expr{xpath.NewLiteral(xdm.NewString(queue))}
+			}
+		case "property":
+			if !prog.opts.InlineFixedProps || len(fc.Args) != 1 {
+				return e
+			}
+			lit, ok := fc.Args[0].(*xpath.Literal)
+			if !ok || lit.Value.T != xdm.TypeString {
+				return e
+			}
+			def, ok := prog.Properties.Def(lit.Value.S)
+			if !ok || !def.Fixed || def.Type != xdm.TypeString {
+				return e
+			}
+			valueExpr := findBindingExpr(prog, lit.Value.S, queue)
+			if valueExpr == nil {
+				return e
+			}
+			return &xpath.FuncCall{Local: "string", Args: []xpath.Expr{valueExpr}}
+		}
+		return e
+	})
+}
+
+// findBindingExpr returns the raw value expression of property prop on the
+// given queue.
+func findBindingExpr(prog *Program, prop, queue string) xpath.Expr {
+	for _, pd := range prog.App.Properties {
+		if pd.Name != prop {
+			continue
+		}
+		for _, b := range pd.Bindings {
+			for _, q := range b.Queues {
+				if q == queue {
+					return b.Value
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// rewriteExpr applies f bottom-up over the expression tree, replacing nodes
+// with f's result.
+func rewriteExpr(e xpath.Expr, f func(xpath.Expr) xpath.Expr) xpath.Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *xpath.SequenceExpr:
+		for i := range x.Items {
+			x.Items[i] = rewriteExpr(x.Items[i], f)
+		}
+	case *xpath.FLWORExpr:
+		for i := range x.Clauses {
+			x.Clauses[i].Expr = rewriteExpr(x.Clauses[i].Expr, f)
+		}
+		x.Where = rewriteExpr(x.Where, f)
+		for i := range x.OrderBy {
+			x.OrderBy[i].Key = rewriteExpr(x.OrderBy[i].Key, f)
+		}
+		x.Return = rewriteExpr(x.Return, f)
+	case *xpath.QuantifiedExpr:
+		for i := range x.Bindings {
+			x.Bindings[i].Expr = rewriteExpr(x.Bindings[i].Expr, f)
+		}
+		x.Satisfies = rewriteExpr(x.Satisfies, f)
+	case *xpath.IfExpr:
+		x.Cond = rewriteExpr(x.Cond, f)
+		x.Then = rewriteExpr(x.Then, f)
+		x.Else = rewriteExpr(x.Else, f)
+	case *xpath.BinaryExpr:
+		x.Left = rewriteExpr(x.Left, f)
+		x.Right = rewriteExpr(x.Right, f)
+	case *xpath.ComparisonExpr:
+		x.Left = rewriteExpr(x.Left, f)
+		x.Right = rewriteExpr(x.Right, f)
+	case *xpath.UnaryExpr:
+		x.Operand = rewriteExpr(x.Operand, f)
+	case *xpath.PathExpr:
+		x.Start = rewriteExpr(x.Start, f)
+		for i := range x.Steps {
+			if x.Steps[i].Primary != nil {
+				x.Steps[i].Primary = rewriteExpr(x.Steps[i].Primary, f)
+			}
+			for j := range x.Steps[i].Preds {
+				x.Steps[i].Preds[j] = rewriteExpr(x.Steps[i].Preds[j], f)
+			}
+		}
+	case *xpath.FilterExpr:
+		x.Primary = rewriteExpr(x.Primary, f)
+		for i := range x.Preds {
+			x.Preds[i] = rewriteExpr(x.Preds[i], f)
+		}
+	case *xpath.FuncCall:
+		for i := range x.Args {
+			x.Args[i] = rewriteExpr(x.Args[i], f)
+		}
+	case *xpath.ElementConstructor:
+		for i := range x.Attrs {
+			for j := range x.Attrs[i].Parts {
+				x.Attrs[i].Parts[j] = rewriteExpr(x.Attrs[i].Parts[j], f)
+			}
+		}
+		for i := range x.Content {
+			x.Content[i] = rewriteExpr(x.Content[i], f)
+		}
+	case *xpath.EnqueueExpr:
+		x.What = rewriteExpr(x.What, f)
+		for i := range x.Props {
+			x.Props[i].Value = rewriteExpr(x.Props[i].Value, f)
+		}
+	case *xpath.ResetExpr:
+		x.Key = rewriteExpr(x.Key, f)
+	}
+	return f(e)
+}

@@ -1,0 +1,424 @@
+// Package rule implements the Demaq rule compiler (paper Sec. 4.4.1).
+//
+// On deployment it turns a parsed application (internal/qdl) into an
+// executable Program: for each queue and slicing it collects the attached
+// rules, rewrites their bodies (defaulting context-dependent functions like
+// qs:queue(), inlining fixed properties like view merging), statically
+// checks them, and builds a combined per-queue plan. The plan optionally
+// carries a condition-dispatch index in the spirit of XML filtering: rules
+// whose condition requires the presence of a specific element are only
+// evaluated when the triggering message contains that element (experiment
+// E4 measures the effect).
+package rule
+
+import (
+	"fmt"
+	"sort"
+
+	"demaq/internal/property"
+	"demaq/internal/qdl"
+	"demaq/internal/xmldom"
+	"demaq/internal/xpath"
+	"demaq/internal/xquery"
+)
+
+// Options control the compiler's optimizations (E4 ablation knobs).
+type Options struct {
+	// Dispatch builds the condition-dispatch index.
+	Dispatch bool
+	// InlineFixedProps rewrites qs:property("p") for fixed string
+	// properties into the property's defining expression (view merging).
+	InlineFixedProps bool
+}
+
+// DefaultOptions enables all optimizations.
+func DefaultOptions() Options {
+	return Options{Dispatch: true, InlineFixedProps: true}
+}
+
+// Rule is one compiled rule.
+type Rule struct {
+	Name       string
+	Target     string // queue or slicing name
+	OnSlicing  bool
+	ErrorQueue string
+	Body       *xquery.Compiled
+	// Trigger is the local element name whose presence in the message is a
+	// necessary condition for the rule to produce updates; "" means the
+	// rule must always be evaluated.
+	Trigger string
+	// Order is the declaration position, preserved when combining plans.
+	Order int
+}
+
+// Plan is the combined execution plan of one queue or slicing: all attached
+// rules, with the optional dispatch index.
+type Plan struct {
+	Target    string
+	OnSlicing bool
+	Rules     []*Rule
+	dispatch  map[string][]*Rule
+	always    []*Rule
+}
+
+// Program is a fully compiled application.
+type Program struct {
+	App        *qdl.Application
+	Properties *property.Manager
+	QueuePlans map[string]*Plan
+	SlicePlans map[string]*Plan
+	// SlicingProps maps slicing name → property name.
+	SlicingProps map[string]string
+	opts         Options
+}
+
+// Compile deploys an application.
+func Compile(app *qdl.Application, opts Options) (*Program, error) {
+	prog := &Program{
+		App:          app,
+		Properties:   property.NewManager(),
+		QueuePlans:   map[string]*Plan{},
+		SlicePlans:   map[string]*Plan{},
+		SlicingProps: map[string]string{},
+		opts:         opts,
+	}
+	queues := map[string]*qdl.QueueDecl{}
+	for _, q := range app.Queues {
+		if _, dup := queues[q.Name]; dup {
+			return nil, fmt.Errorf("rule: queue %q declared twice", q.Name)
+		}
+		queues[q.Name] = q
+		prog.QueuePlans[q.Name] = &Plan{Target: q.Name}
+	}
+	for _, q := range app.Queues {
+		if q.ErrorQueue != "" {
+			if _, ok := queues[q.ErrorQueue]; !ok {
+				return nil, fmt.Errorf("rule: queue %q: unknown error queue %q", q.Name, q.ErrorQueue)
+			}
+		}
+	}
+
+	// Properties: compile value expressions per queue.
+	for _, pd := range app.Properties {
+		def := &property.Def{
+			Name: pd.Name, Type: pd.Type,
+			Inherited: pd.Inherited, Fixed: pd.Fixed,
+			PerQueue: map[string]*xquery.Compiled{},
+		}
+		for _, b := range pd.Bindings {
+			compiled, err := xquery.Compile(b.Value, xquery.CompileOptions{})
+			if err != nil {
+				return nil, fmt.Errorf("rule: property %q: %v", pd.Name, err)
+			}
+			if compiled.Updating() {
+				return nil, fmt.Errorf("rule: property %q: value expression must not be updating", pd.Name)
+			}
+			for _, q := range b.Queues {
+				if _, ok := queues[q]; !ok {
+					return nil, fmt.Errorf("rule: property %q: unknown queue %q", pd.Name, q)
+				}
+				if _, dup := def.PerQueue[q]; dup {
+					return nil, fmt.Errorf("rule: property %q: queue %q bound twice", pd.Name, q)
+				}
+				def.PerQueue[q] = compiled
+			}
+		}
+		if err := prog.Properties.Define(def); err != nil {
+			return nil, fmt.Errorf("rule: %v", err)
+		}
+	}
+
+	// Slicings.
+	for _, sd := range app.Slicings {
+		if _, ok := prog.Properties.Def(sd.Property); !ok {
+			return nil, fmt.Errorf("rule: slicing %q: unknown property %q", sd.Name, sd.Property)
+		}
+		if _, dup := prog.SlicingProps[sd.Name]; dup {
+			return nil, fmt.Errorf("rule: slicing %q declared twice", sd.Name)
+		}
+		prog.SlicingProps[sd.Name] = sd.Property
+		prog.SlicePlans[sd.Name] = &Plan{Target: sd.Name, OnSlicing: true}
+	}
+
+	// Rules.
+	for i, rd := range app.Rules {
+		onSlicing := false
+		var plan *Plan
+		if p, ok := prog.QueuePlans[rd.Target]; ok {
+			plan = p
+		} else if p, ok := prog.SlicePlans[rd.Target]; ok {
+			plan = p
+			onSlicing = true
+		} else {
+			return nil, fmt.Errorf("rule: %q targets unknown queue or slicing %q", rd.Name, rd.Target)
+		}
+		if rd.ErrorQueue != "" {
+			if _, ok := queues[rd.ErrorQueue]; !ok {
+				return nil, fmt.Errorf("rule: %q: unknown error queue %q", rd.Name, rd.ErrorQueue)
+			}
+		}
+		body := rd.Body
+		if !onSlicing {
+			body = rewrite(body, prog, rd.Target)
+		}
+		compiled, err := xquery.Compile(body, xquery.CompileOptions{AllowSlice: onSlicing})
+		if err != nil {
+			return nil, fmt.Errorf("rule: %q: %v", rd.Name, err)
+		}
+		r := &Rule{
+			Name: rd.Name, Target: rd.Target, OnSlicing: onSlicing,
+			ErrorQueue: rd.ErrorQueue, Body: compiled, Order: i,
+		}
+		if opts.Dispatch {
+			r.Trigger = analyzeTrigger(body)
+		}
+		plan.Rules = append(plan.Rules, r)
+	}
+
+	// Validate enqueue targets inside rule bodies.
+	for _, plans := range []map[string]*Plan{prog.QueuePlans, prog.SlicePlans} {
+		for _, plan := range plans {
+			for _, r := range plan.Rules {
+				if err := checkEnqueueTargets(r.Body.AST(), queues); err != nil {
+					return nil, fmt.Errorf("rule: %q: %v", r.Name, err)
+				}
+			}
+		}
+	}
+
+	// Build dispatch indexes.
+	for _, plans := range []map[string]*Plan{prog.QueuePlans, prog.SlicePlans} {
+		for _, plan := range plans {
+			plan.dispatch = map[string][]*Rule{}
+			for _, r := range plan.Rules {
+				if r.Trigger == "" {
+					plan.always = append(plan.always, r)
+				} else {
+					plan.dispatch[r.Trigger] = append(plan.dispatch[r.Trigger], r)
+				}
+			}
+		}
+	}
+	return prog, nil
+}
+
+// MustCompile compiles source text or panics; for tests and fixtures.
+func MustCompile(src string, opts Options) *Program {
+	app, err := qdl.Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	prog, err := Compile(app, opts)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+// RulesFor selects the rules of the plan that must be evaluated for a
+// message containing the given element names, in declaration order. With
+// dispatch disabled (or for rules without an analyzable trigger) every rule
+// is returned — the canonical plan of Sec. 4.4.1.
+func (p *Plan) RulesFor(elementNames map[string]bool) []*Rule {
+	if len(p.dispatch) == 0 {
+		return p.Rules
+	}
+	out := append([]*Rule(nil), p.always...)
+	for name, rules := range p.dispatch {
+		if elementNames[name] {
+			out = append(out, rules...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Order < out[j].Order })
+	return out
+}
+
+// ElementNames collects the distinct local element names of a document,
+// the dispatch key set (one DOM walk per message).
+func ElementNames(doc *xmldom.Node) map[string]bool {
+	out := map[string]bool{}
+	var walk func(n *xmldom.Node)
+	walk = func(n *xmldom.Node) {
+		if n.Kind == xmldom.ElementNode {
+			out[n.Name.Local] = true
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(doc)
+	return out
+}
+
+// analyzeTrigger extracts a necessary element-presence condition from a
+// rule body of the form "if (C) then T" with no else branch: if C is a
+// rooted path (or a conjunction containing one), the name of its first
+// named step must occur in the message for the rule to fire.
+func analyzeTrigger(body xpath.Expr) string {
+	ife, ok := body.(*xpath.IfExpr)
+	if !ok || ife.Else != nil {
+		return ""
+	}
+	return pathTrigger(ife.Cond)
+}
+
+func pathTrigger(e xpath.Expr) string {
+	switch x := e.(type) {
+	case *xpath.PathExpr:
+		if !x.Rooted || x.Start != nil {
+			return ""
+		}
+		for _, st := range x.Steps {
+			if st.Test.Kind == xpath.TestName && (st.Axis == xpath.AxisChild || st.Axis == xpath.AxisDescendant) {
+				return st.Test.Name.Local
+			}
+			if st.Axis != xpath.AxisDescendantOrSelf || st.Test.Kind != xpath.TestNode {
+				return ""
+			}
+		}
+		return ""
+	case *xpath.BinaryExpr:
+		if x.Op == xpath.BinAnd {
+			// Any conjunct is a necessary condition; prefer the left.
+			if t := pathTrigger(x.Left); t != "" {
+				return t
+			}
+			return pathTrigger(x.Right)
+		}
+	case *xpath.FuncCall:
+		if x.Prefix == "" && x.Local == "exists" && len(x.Args) == 1 {
+			return pathTrigger(x.Args[0])
+		}
+	case *xpath.ComparisonExpr:
+		// "//a = 5": presence of a is necessary for a general comparison
+		// against a non-empty literal.
+		if x.General {
+			if t := pathTrigger(x.Left); t != "" {
+				if _, isLit := x.Right.(*xpath.Literal); isLit {
+					return t
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// checkEnqueueTargets verifies statically that every "do enqueue ... into
+// Q" names a declared queue.
+func checkEnqueueTargets(e xpath.Expr, queues map[string]*qdl.QueueDecl) error {
+	var visit func(e xpath.Expr) error
+	visit = func(e xpath.Expr) error {
+		switch x := e.(type) {
+		case nil:
+			return nil
+		case *xpath.EnqueueExpr:
+			if _, ok := queues[x.Queue]; !ok {
+				return fmt.Errorf("enqueue into unknown queue %q", x.Queue)
+			}
+			if err := visit(x.What); err != nil {
+				return err
+			}
+			for _, p := range x.Props {
+				if err := visit(p.Value); err != nil {
+					return err
+				}
+			}
+		case *xpath.SequenceExpr:
+			for _, it := range x.Items {
+				if err := visit(it); err != nil {
+					return err
+				}
+			}
+		case *xpath.FLWORExpr:
+			for _, cl := range x.Clauses {
+				if err := visit(cl.Expr); err != nil {
+					return err
+				}
+			}
+			if err := visit(x.Where); err != nil {
+				return err
+			}
+			for _, os := range x.OrderBy {
+				if err := visit(os.Key); err != nil {
+					return err
+				}
+			}
+			return visit(x.Return)
+		case *xpath.QuantifiedExpr:
+			for _, b := range x.Bindings {
+				if err := visit(b.Expr); err != nil {
+					return err
+				}
+			}
+			return visit(x.Satisfies)
+		case *xpath.IfExpr:
+			if err := visit(x.Cond); err != nil {
+				return err
+			}
+			if err := visit(x.Then); err != nil {
+				return err
+			}
+			return visit(x.Else)
+		case *xpath.BinaryExpr:
+			if err := visit(x.Left); err != nil {
+				return err
+			}
+			return visit(x.Right)
+		case *xpath.ComparisonExpr:
+			if err := visit(x.Left); err != nil {
+				return err
+			}
+			return visit(x.Right)
+		case *xpath.UnaryExpr:
+			return visit(x.Operand)
+		case *xpath.PathExpr:
+			if err := visit(x.Start); err != nil {
+				return err
+			}
+			for _, st := range x.Steps {
+				if st.Primary != nil {
+					if err := visit(st.Primary); err != nil {
+						return err
+					}
+				}
+				for _, pr := range st.Preds {
+					if err := visit(pr); err != nil {
+						return err
+					}
+				}
+			}
+		case *xpath.FilterExpr:
+			if err := visit(x.Primary); err != nil {
+				return err
+			}
+			for _, pr := range x.Preds {
+				if err := visit(pr); err != nil {
+					return err
+				}
+			}
+		case *xpath.FuncCall:
+			for _, a := range x.Args {
+				if err := visit(a); err != nil {
+					return err
+				}
+			}
+		case *xpath.ElementConstructor:
+			for _, a := range x.Attrs {
+				for _, part := range a.Parts {
+					if err := visit(part); err != nil {
+						return err
+					}
+				}
+			}
+			for _, c := range x.Content {
+				if err := visit(c); err != nil {
+					return err
+				}
+			}
+		case *xpath.ResetExpr:
+			return visit(x.Key)
+		}
+		return nil
+	}
+	return visit(e)
+}

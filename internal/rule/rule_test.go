@@ -1,0 +1,211 @@
+package rule
+
+import (
+	"testing"
+
+	"demaq/internal/qdl"
+	"demaq/internal/xmldom"
+	"demaq/internal/xpath"
+)
+
+const miniApp = `
+create queue crm kind basic mode persistent;
+create queue finance kind basic mode persistent;
+create queue audit kind basic mode persistent;
+create property requestID as xs:string fixed
+  queue crm value //requestID;
+create slicing reqs on requestID;
+create rule r1 for crm
+  if (//offerRequest) then do enqueue <a/> into finance;
+create rule r2 for crm
+  if (//payment) then do enqueue <b/> into finance;
+create rule r3 for crm
+  do enqueue <log>{qs:property("requestID")}</log> into audit;
+create rule r4 for reqs
+  if (qs:slice()[/done]) then do reset;
+`
+
+func TestCompileProgram(t *testing.T) {
+	prog := MustCompile(miniApp, DefaultOptions())
+	if len(prog.QueuePlans) != 3 || len(prog.SlicePlans) != 1 {
+		t.Fatalf("plans: %d queue, %d slice", len(prog.QueuePlans), len(prog.SlicePlans))
+	}
+	crm := prog.QueuePlans["crm"]
+	if len(crm.Rules) != 3 {
+		t.Fatalf("crm rules: %d", len(crm.Rules))
+	}
+	if !prog.SlicePlans["reqs"].Rules[0].Body.UsesSlice() {
+		t.Fatal("slice rule should be flagged")
+	}
+	if _, ok := prog.Properties.Def("requestID"); !ok {
+		t.Fatal("property not deployed")
+	}
+}
+
+func TestDispatchIndex(t *testing.T) {
+	prog := MustCompile(miniApp, DefaultOptions())
+	crm := prog.QueuePlans["crm"]
+	// r1 triggers on offerRequest, r2 on payment, r3 always.
+	doc := xmldom.MustParse(`<offerRequest><requestID>r</requestID></offerRequest>`)
+	rules := crm.RulesFor(ElementNames(doc))
+	if len(rules) != 2 || rules[0].Name != "r1" || rules[1].Name != "r3" {
+		names := []string{}
+		for _, r := range rules {
+			names = append(names, r.Name)
+		}
+		t.Fatalf("dispatch selected: %v", names)
+	}
+	// Declaration order preserved.
+	doc2 := xmldom.MustParse(`<all><offerRequest/><payment/></all>`)
+	rules = crm.RulesFor(ElementNames(doc2))
+	if len(rules) != 3 || rules[0].Name != "r1" || rules[1].Name != "r2" || rules[2].Name != "r3" {
+		t.Fatalf("order: %v", rules)
+	}
+}
+
+func TestDispatchDisabledEvaluatesAll(t *testing.T) {
+	prog := MustCompile(miniApp, Options{Dispatch: false})
+	crm := prog.QueuePlans["crm"]
+	doc := xmldom.MustParse(`<unrelated/>`)
+	if got := len(crm.RulesFor(ElementNames(doc))); got != 3 {
+		t.Fatalf("canonical plan must keep all rules: %d", got)
+	}
+}
+
+func TestTriggerAnalysis(t *testing.T) {
+	cases := map[string]string{
+		`if (//offerRequest) then do enqueue <x/> into q`:                  "offerRequest",
+		`if (/order/item) then do enqueue <x/> into q`:                     "order",
+		`if (//a and //b) then do enqueue <x/> into q`:                     "a",
+		`if (exists(//pay)) then do enqueue <x/> into q`:                   "pay",
+		`if (//amount = 3) then do enqueue <x/> into q`:                    "amount",
+		`if (//a) then do enqueue <x/> into q else do enqueue <y/> into q`: "", // else branch: must always run
+		`if (qs:queue("z")[//a]) then do enqueue <x/> into q`:              "",
+		`do enqueue <x/> into q`:                                           "",
+		`if (not(//a)) then do enqueue <x/> into q`:                        "", // negation is not a presence condition
+	}
+	for src, want := range cases {
+		e, err := xpath.ParseExprString(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if got := analyzeTrigger(e); got != want {
+			t.Errorf("trigger(%s) = %q, want %q", src, got, want)
+		}
+	}
+}
+
+func TestQsQueueDefaulting(t *testing.T) {
+	prog := MustCompile(`
+		create queue q kind basic mode persistent;
+		create rule r for q
+		  if (qs:queue()[//x]) then do enqueue <y/> into q;
+	`, DefaultOptions())
+	body := prog.QueuePlans["q"].Rules[0].Body.AST()
+	found := false
+	rewriteExpr(body, func(e xpath.Expr) xpath.Expr {
+		if fc, ok := e.(*xpath.FuncCall); ok && fc.Prefix == "qs" && fc.Local == "queue" {
+			if len(fc.Args) == 1 {
+				if lit, ok := fc.Args[0].(*xpath.Literal); ok && lit.Value.S == "q" {
+					found = true
+				}
+			}
+		}
+		return e
+	})
+	if !found {
+		t.Fatal("qs:queue() not defaulted to the rule's queue")
+	}
+}
+
+func TestFixedPropertyInlining(t *testing.T) {
+	prog := MustCompile(`
+		create queue crm kind basic mode persistent;
+		create property requestID as xs:string fixed
+		  queue crm value //requestID;
+		create rule r for crm
+		  do enqueue <log>{qs:property("requestID")}</log> into crm;
+	`, DefaultOptions())
+	body := prog.QueuePlans["crm"].Rules[0].Body.AST()
+	stillThere := false
+	rewriteExpr(body, func(e xpath.Expr) xpath.Expr {
+		if fc, ok := e.(*xpath.FuncCall); ok && fc.Prefix == "qs" && fc.Local == "property" {
+			stillThere = true
+		}
+		return e
+	})
+	if stillThere {
+		t.Fatal("fixed string property should be inlined")
+	}
+	// With the optimization off the call survives.
+	prog2 := MustCompile(`
+		create queue crm kind basic mode persistent;
+		create property requestID as xs:string fixed
+		  queue crm value //requestID;
+		create rule r for crm
+		  do enqueue <log>{qs:property("requestID")}</log> into crm;
+	`, Options{Dispatch: true, InlineFixedProps: false})
+	still2 := false
+	rewriteExpr(prog2.QueuePlans["crm"].Rules[0].Body.AST(), func(e xpath.Expr) xpath.Expr {
+		if fc, ok := e.(*xpath.FuncCall); ok && fc.Prefix == "qs" && fc.Local == "property" {
+			still2 = true
+		}
+		return e
+	})
+	if !still2 {
+		t.Fatal("inlining should be off")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		// rule targets unknown queue
+		`create rule r for nowhere do enqueue <x/> into nowhere;`,
+		// enqueue into unknown queue
+		`create queue q kind basic mode persistent;
+		 create rule r for q do enqueue <x/> into missing;`,
+		// qs:slice in a queue rule
+		`create queue q kind basic mode persistent;
+		 create rule r for q if (qs:slice()[/a]) then do enqueue <x/> into q;`,
+		// slicing over unknown property
+		`create queue q kind basic mode persistent;
+		 create slicing s on nothing;`,
+		// duplicate queue
+		`create queue q kind basic mode persistent;
+		 create queue q kind basic mode persistent;`,
+		// property on unknown queue
+		`create property p as xs:string queue ghost value //x;`,
+		// unknown error queue on rule
+		`create queue q kind basic mode persistent;
+		 create rule r for q errorqueue ghost do enqueue <x/> into q;`,
+	}
+	for _, src := range bad {
+		app, err := qdl.Parse(src)
+		if err != nil {
+			continue // parse-level rejection also acceptable
+		}
+		if _, err := Compile(app, DefaultOptions()); err == nil {
+			t.Errorf("expected compile error for %q", src)
+		}
+	}
+}
+
+func TestCompileProcurement(t *testing.T) {
+	prog := MustCompile(qdl.ProcurementApp, DefaultOptions())
+	if len(prog.QueuePlans["crm"].Rules) != 2 { // newOfferRequest, confirmOrder
+		t.Fatalf("crm rules: %d", len(prog.QueuePlans["crm"].Rules))
+	}
+	if len(prog.SlicePlans["requestMsgs"].Rules) != 2 { // joinOrder, cleanupRequest
+		t.Fatalf("requestMsgs rules: %d", len(prog.SlicePlans["requestMsgs"].Rules))
+	}
+	// newOfferRequest is dispatchable on offerRequest.
+	var newOffer *Rule
+	for _, r := range prog.QueuePlans["crm"].Rules {
+		if r.Name == "newOfferRequest" {
+			newOffer = r
+		}
+	}
+	if newOffer == nil || newOffer.Trigger != "offerRequest" {
+		t.Fatalf("newOfferRequest trigger: %+v", newOffer)
+	}
+}

@@ -1,0 +1,236 @@
+// Package schema implements the XML Schema subset Demaq uses to validate
+// messages entering a queue (paper Sec. 2.1.1: "specifying a schema all
+// queued messages have to conform to"). The subset covers the structural
+// core of XSD: global element declarations, complex types with xs:sequence
+// content (nested elements with minOccurs/maxOccurs), attributes with
+// use="required", and the atomic simple types of the property system for
+// text content validation.
+package schema
+
+import (
+	"fmt"
+	"strconv"
+
+	"demaq/internal/xdm"
+	"demaq/internal/xmldom"
+)
+
+const xsdNamespace = "http://www.w3.org/2001/XMLSchema"
+
+// Schema is a compiled schema: its global element declarations.
+type Schema struct {
+	Elements map[string]*Element
+}
+
+// Element is one element declaration.
+type Element struct {
+	Name      string
+	Type      xdm.Type // simple content type; TypeUntyped = unconstrained
+	Complex   *ComplexType
+	MinOccurs int
+	MaxOccurs int // -1 = unbounded
+}
+
+// ComplexType is a sequence content model with attributes.
+type ComplexType struct {
+	Sequence   []*Element
+	Attributes []*Attribute
+}
+
+// Attribute is an attribute declaration.
+type Attribute struct {
+	Name     string
+	Type     xdm.Type
+	Required bool
+}
+
+// ValidationError describes a schema violation.
+type ValidationError struct {
+	Path string
+	Msg  string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("schema: %s: %s", e.Path, e.Msg)
+}
+
+func verrf(path, format string, args ...any) error {
+	return &ValidationError{Path: path, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Parse compiles a schema document.
+func Parse(src string) (*Schema, error) {
+	doc, err := xmldom.ParseString(src)
+	if err != nil {
+		return nil, fmt.Errorf("schema: %w", err)
+	}
+	root := doc.Root()
+	if root == nil || root.Name.Local != "schema" {
+		return nil, fmt.Errorf("schema: document element must be xs:schema")
+	}
+	s := &Schema{Elements: map[string]*Element{}}
+	for _, c := range root.ChildElements() {
+		if c.Name.Local != "element" {
+			continue // annotations etc. are ignored
+		}
+		el, err := parseElement(c)
+		if err != nil {
+			return nil, err
+		}
+		s.Elements[el.Name] = el
+	}
+	if len(s.Elements) == 0 {
+		return nil, fmt.Errorf("schema: no global element declarations")
+	}
+	return s, nil
+}
+
+// MustParse parses or panics; for fixtures.
+func MustParse(src string) *Schema {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func parseElement(n *xmldom.Node) (*Element, error) {
+	name, ok := n.Attr("name")
+	if !ok {
+		return nil, fmt.Errorf("schema: element declaration without name")
+	}
+	el := &Element{Name: name, Type: xdm.TypeUntyped, MinOccurs: 1, MaxOccurs: 1}
+	if v, ok := n.Attr("minOccurs"); ok {
+		mo, err := strconv.Atoi(v)
+		if err != nil || mo < 0 {
+			return nil, fmt.Errorf("schema: element %q: bad minOccurs %q", name, v)
+		}
+		el.MinOccurs = mo
+	}
+	if v, ok := n.Attr("maxOccurs"); ok {
+		if v == "unbounded" {
+			el.MaxOccurs = -1
+		} else {
+			mo, err := strconv.Atoi(v)
+			if err != nil || mo < 0 {
+				return nil, fmt.Errorf("schema: element %q: bad maxOccurs %q", name, v)
+			}
+			el.MaxOccurs = mo
+		}
+	}
+	if v, ok := n.Attr("type"); ok {
+		t, known := xdm.TypeByName(v)
+		if !known {
+			return nil, fmt.Errorf("schema: element %q: unsupported type %q", name, v)
+		}
+		el.Type = t
+		return el, nil
+	}
+	for _, c := range n.ChildElements() {
+		if c.Name.Local != "complexType" {
+			continue
+		}
+		ct := &ComplexType{}
+		for _, cc := range c.ChildElements() {
+			switch cc.Name.Local {
+			case "sequence":
+				for _, se := range cc.ChildElements() {
+					if se.Name.Local != "element" {
+						continue
+					}
+					child, err := parseElement(se)
+					if err != nil {
+						return nil, err
+					}
+					ct.Sequence = append(ct.Sequence, child)
+				}
+			case "attribute":
+				aname, ok := cc.Attr("name")
+				if !ok {
+					return nil, fmt.Errorf("schema: attribute without name in %q", name)
+				}
+				attr := &Attribute{Name: aname, Type: xdm.TypeUntyped}
+				if v, ok := cc.Attr("type"); ok {
+					t, known := xdm.TypeByName(v)
+					if !known {
+						return nil, fmt.Errorf("schema: attribute %q: unsupported type %q", aname, v)
+					}
+					attr.Type = t
+				}
+				if v, ok := cc.Attr("use"); ok && v == "required" {
+					attr.Required = true
+				}
+				ct.Attributes = append(ct.Attributes, attr)
+			}
+		}
+		el.Complex = ct
+	}
+	return el, nil
+}
+
+// Validate checks a message document against the schema: its document
+// element must match one of the global declarations.
+func (s *Schema) Validate(doc *xmldom.Node) error {
+	root := doc.Root()
+	if root == nil {
+		return verrf("/", "no document element")
+	}
+	decl, ok := s.Elements[root.Name.Local]
+	if !ok {
+		return verrf("/"+root.Name.Local, "element not declared in schema")
+	}
+	return validateElement(root, decl, "/"+root.Name.Local)
+}
+
+func validateElement(n *xmldom.Node, decl *Element, path string) error {
+	if decl.Complex == nil {
+		// Simple content: no element children; typed text.
+		for _, c := range n.ChildElements() {
+			return verrf(path, "unexpected child element <%s> in simple content", c.Name.Local)
+		}
+		if decl.Type != xdm.TypeUntyped && decl.Type != xdm.TypeString {
+			if _, err := xdm.NewString(n.StringValue()).Cast(decl.Type); err != nil {
+				return verrf(path, "text %q is not a valid %s", n.StringValue(), decl.Type)
+			}
+		}
+		return nil
+	}
+	// Attributes.
+	for _, ad := range decl.Complex.Attributes {
+		v, present := n.Attr(ad.Name)
+		if !present {
+			if ad.Required {
+				return verrf(path, "missing required attribute %q", ad.Name)
+			}
+			continue
+		}
+		if ad.Type != xdm.TypeUntyped && ad.Type != xdm.TypeString {
+			if _, err := xdm.NewString(v).Cast(ad.Type); err != nil {
+				return verrf(path, "attribute %q value %q is not a valid %s", ad.Name, v, ad.Type)
+			}
+		}
+	}
+	// Sequence content model with occurrence counting.
+	children := n.ChildElements()
+	ci := 0
+	for _, part := range decl.Complex.Sequence {
+		count := 0
+		for ci < len(children) && children[ci].Name.Local == part.Name {
+			if err := validateElement(children[ci], part, fmt.Sprintf("%s/%s[%d]", path, part.Name, count+1)); err != nil {
+				return err
+			}
+			ci++
+			count++
+			if part.MaxOccurs >= 0 && count > part.MaxOccurs {
+				return verrf(path, "element <%s> occurs more than %d times", part.Name, part.MaxOccurs)
+			}
+		}
+		if count < part.MinOccurs {
+			return verrf(path, "element <%s> occurs %d times, requires at least %d", part.Name, count, part.MinOccurs)
+		}
+	}
+	if ci < len(children) {
+		return verrf(path, "unexpected element <%s>", children[ci].Name.Local)
+	}
+	return nil
+}

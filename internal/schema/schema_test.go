@@ -1,0 +1,105 @@
+package schema
+
+import (
+	"testing"
+
+	"demaq/internal/xmldom"
+)
+
+const orderSchema = `
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="order">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="orderID" type="xs:integer"/>
+        <xs:element name="note" type="xs:string" minOccurs="0"/>
+        <xs:element name="item" maxOccurs="unbounded">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="qty" type="xs:integer"/>
+            </xs:sequence>
+            <xs:attribute name="sku" use="required"/>
+            <xs:attribute name="weight" type="xs:decimal"/>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="cancel" type="xs:string"/>
+</xs:schema>`
+
+func validate(t *testing.T, s *Schema, doc string) error {
+	t.Helper()
+	return s.Validate(xmldom.MustParse(doc))
+}
+
+func TestValidDocuments(t *testing.T) {
+	s := MustParse(orderSchema)
+	ok := []string{
+		`<order><orderID>1</orderID><item sku="A"><qty>2</qty></item></order>`,
+		`<order><orderID>1</orderID><note>hi</note><item sku="A" weight="1.5"><qty>2</qty></item><item sku="B"><qty>1</qty></item></order>`,
+		`<cancel>please</cancel>`,
+	}
+	for _, doc := range ok {
+		if err := validate(t, s, doc); err != nil {
+			t.Errorf("valid doc rejected: %s: %v", doc, err)
+		}
+	}
+}
+
+func TestInvalidDocuments(t *testing.T) {
+	s := MustParse(orderSchema)
+	bad := []string{
+		`<unknown/>`, // undeclared root
+		`<order><item sku="A"><qty>1</qty></item></order>`,                                    // missing orderID
+		`<order><orderID>x</orderID><item sku="A"><qty>1</qty></item></order>`,                // bad integer
+		`<order><orderID>1</orderID></order>`,                                                 // item minOccurs=1
+		`<order><orderID>1</orderID><item><qty>1</qty></item></order>`,                        // missing required attr
+		`<order><orderID>1</orderID><item sku="A" weight="heavy"><qty>1</qty></item></order>`, // bad decimal attr
+		`<order><orderID>1</orderID><item sku="A"><qty>1</qty><extra/></item></order>`,        // unexpected element
+		`<order><note>hi</note><orderID>1</orderID><item sku="A"><qty>1</qty></item></order>`, // sequence order
+		`<cancel><child/></cancel>`,                                                           // simple content with child
+	}
+	for _, doc := range bad {
+		if err := validate(t, s, doc); err == nil {
+			t.Errorf("invalid doc accepted: %s", doc)
+		} else if _, ok := err.(*ValidationError); !ok {
+			t.Errorf("error type for %s: %T", doc, err)
+		}
+	}
+}
+
+func TestOccurrenceBounds(t *testing.T) {
+	s := MustParse(`
+		<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+		  <xs:element name="l">
+		    <xs:complexType><xs:sequence>
+		      <xs:element name="e" minOccurs="2" maxOccurs="3"/>
+		    </xs:sequence></xs:complexType>
+		  </xs:element>
+		</xs:schema>`)
+	if err := validate(t, s, `<l><e/><e/></l>`); err != nil {
+		t.Errorf("2 occurrences: %v", err)
+	}
+	if err := validate(t, s, `<l><e/></l>`); err == nil {
+		t.Error("1 occurrence should fail minOccurs=2")
+	}
+	if err := validate(t, s, `<l><e/><e/><e/><e/></l>`); err == nil {
+		t.Error("4 occurrences should fail maxOccurs=3")
+	}
+}
+
+func TestSchemaParseErrors(t *testing.T) {
+	bad := []string{
+		`<notschema/>`,
+		`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"/>`, // no elements
+		`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"><xs:element/></xs:schema>`,
+		`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"><xs:element name="a" type="xs:noSuch"/></xs:schema>`,
+		`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"><xs:element name="a" minOccurs="-1"/></xs:schema>`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("expected parse error for %s", src)
+		}
+	}
+}

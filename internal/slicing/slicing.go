@@ -1,0 +1,309 @@
+// Package slicing implements Demaq slicings (paper Sec. 2.3): families of
+// virtual queues that group messages across physical queues by the value of
+// a property (the slice key). Slices have lifetimes delimited by reset
+// operations; a message is visible in a slice only if it was added after
+// the last reset, and the retention rule guarantees a processed message is
+// physically removable only once it belongs to no live slice (Sec. 2.3.3).
+//
+// The manager supports two implementations of slice access, the subject of
+// experiment E1:
+//
+//   - materialized: a B+tree index keyed (slicing, key, msgID), maintained
+//     on enqueue — the paper's "physical representation of the slices ...
+//     using a B-Tree indexed by the slice key" (Sec. 4.3);
+//   - merged: no index; each access re-evaluates the slice definition by
+//     scanning the queues the slicing property is defined on, the
+//     "merging the slice definition into the rules" baseline.
+//
+// Slice state is derived data rebuilt on startup from the message store;
+// resets are persisted as watermark events so slice visibility survives
+// restarts.
+package slicing
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"demaq/internal/msgstore"
+	"demaq/internal/property"
+	"demaq/internal/store"
+	"demaq/internal/xdm"
+)
+
+// Slicing is one slicing declaration.
+type Slicing struct {
+	Name     string
+	Property string
+}
+
+// membership records that a message belongs to a slice.
+type membership struct {
+	slicing string
+	key     string
+}
+
+// Manager tracks slice membership, lifetimes and retention.
+type Manager struct {
+	mu        sync.RWMutex
+	ms        *msgstore.Store
+	props     *property.Manager
+	slicings  map[string]*Slicing
+	byProp    map[string][]*Slicing
+	index     *store.BTree // (slicing \x00 key \x00 msgID) → nil
+	memberOf  map[msgstore.MsgID][]membership
+	watermark map[string]msgstore.MsgID // slicing \x00 key → last reset watermark
+
+	materialized bool
+}
+
+// NewManager creates a slicing manager. materialized selects the indexed
+// implementation (the default and the paper's recommendation).
+func NewManager(ms *msgstore.Store, props *property.Manager, materialized bool) *Manager {
+	return &Manager{
+		ms:           ms,
+		props:        props,
+		slicings:     map[string]*Slicing{},
+		byProp:       map[string][]*Slicing{},
+		index:        store.NewBTree(),
+		memberOf:     map[msgstore.MsgID][]membership{},
+		watermark:    map[string]msgstore.MsgID{},
+		materialized: materialized,
+	}
+}
+
+// SetMaterialized switches the slice access implementation (E1 ablation).
+func (m *Manager) SetMaterialized(on bool) { m.materialized = on }
+
+// Materialized reports the current implementation.
+func (m *Manager) Materialized() bool { return m.materialized }
+
+// Define registers a slicing over a property.
+func (m *Manager) Define(name, prop string) *Slicing {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s, ok := m.slicings[name]; ok {
+		return s
+	}
+	s := &Slicing{Name: name, Property: prop}
+	m.slicings[name] = s
+	m.byProp[prop] = append(m.byProp[prop], s)
+	return s
+}
+
+// Get returns a slicing by name.
+func (m *Manager) Get(name string) (*Slicing, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	s, ok := m.slicings[name]
+	return s, ok
+}
+
+// Names lists declared slicings.
+func (m *Manager) Names() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.slicings))
+	for n := range m.slicings {
+		out = append(out, n)
+	}
+	return out
+}
+
+func sliceID(slicing, key string) string { return slicing + "\x00" + key }
+
+func indexKey(slicing, key string, id msgstore.MsgID) []byte {
+	out := make([]byte, 0, len(slicing)+len(key)+10)
+	out = append(out, slicing...)
+	out = append(out, 0)
+	out = append(out, key...)
+	out = append(out, 0)
+	var idb [8]byte
+	binary.BigEndian.PutUint64(idb[:], uint64(id))
+	return append(out, idb[:]...)
+}
+
+// OnEnqueue records slice memberships for a newly committed message, based
+// on its evaluated properties. The engine calls it while holding the locks
+// of the affected slices.
+func (m *Manager) OnEnqueue(id msgstore.MsgID, queue string, props map[string]xdm.Value) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for propName, v := range props {
+		slicings := m.byProp[propName]
+		if len(slicings) == 0 {
+			continue
+		}
+		// Membership requires the property to be defined on the queue.
+		if def, ok := m.props.Def(propName); ok {
+			if _, onQueue := def.PerQueue[queue]; !onQueue {
+				continue
+			}
+		}
+		key := v.StringValue()
+		for _, s := range slicings {
+			if m.materialized {
+				m.index.Insert(indexKey(s.Name, key, id), nil)
+			}
+			m.memberOf[id] = append(m.memberOf[id], membership{slicing: s.Name, key: key})
+		}
+	}
+}
+
+// OnRemove drops index entries of physically deleted messages.
+func (m *Manager) OnRemove(ids []msgstore.MsgID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, id := range ids {
+		for _, mb := range m.memberOf[id] {
+			m.index.Delete(indexKey(mb.slicing, mb.key, id))
+		}
+		delete(m.memberOf, id)
+	}
+}
+
+// SliceMembers returns the IDs of messages visible in the slice (current
+// lifetime only), in enqueue order.
+func (m *Manager) SliceMembers(slicing, key string) []msgstore.MsgID {
+	m.mu.RLock()
+	s, ok := m.slicings[slicing]
+	wm := m.watermark[sliceID(slicing, key)]
+	materialized := m.materialized
+	m.mu.RUnlock()
+	if !ok {
+		return nil
+	}
+	if materialized {
+		var out []msgstore.MsgID
+		m.mu.RLock()
+		m.index.ScanPrefix(indexKey(slicing, key, 0)[:len(slicing)+len(key)+2], func(k, _ []byte) bool {
+			id := msgstore.MsgID(binary.BigEndian.Uint64(k[len(k)-8:]))
+			if id > wm {
+				out = append(out, id)
+			}
+			return true
+		})
+		m.mu.RUnlock()
+		return out
+	}
+	// Merged evaluation: scan every queue the slicing property is defined
+	// on and compare property values — the unindexed baseline.
+	def, ok := m.props.Def(s.Property)
+	if !ok {
+		return nil
+	}
+	var out []msgstore.MsgID
+	for _, queue := range def.Queues() {
+		msgs, err := m.ms.Messages(queue)
+		if err != nil {
+			continue
+		}
+		for _, msg := range msgs {
+			if v, ok := msg.Props[s.Property]; ok && v.StringValue() == key && msg.ID > wm {
+				out = append(out, msg.ID)
+			}
+		}
+	}
+	sortIDs(out)
+	return out
+}
+
+func sortIDs(ids []msgstore.MsgID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// SlicesOf returns the (slicing, key) pairs the message belongs to,
+// restricted to current lifetimes.
+func (m *Manager) SlicesOf(id msgstore.MsgID) []struct{ Slicing, Key string } {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []struct{ Slicing, Key string }
+	for _, mb := range m.memberOf[id] {
+		if id > m.watermark[sliceID(mb.slicing, mb.key)] {
+			out = append(out, struct{ Slicing, Key string }{mb.slicing, mb.key})
+		}
+	}
+	return out
+}
+
+// Reset begins a new lifetime for a slice: messages at or below the
+// watermark disappear from slice view and become retention-eligible.
+// The watermark is the message-store ID high-water mark at reset time.
+func (m *Manager) Reset(slicing, key string, watermark msgstore.MsgID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sid := sliceID(slicing, key)
+	if watermark > m.watermark[sid] {
+		m.watermark[sid] = watermark
+	}
+}
+
+// Watermark returns the current reset watermark for a slice.
+func (m *Manager) Watermark(slicing, key string) msgstore.MsgID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.watermark[sliceID(slicing, key)]
+}
+
+// Removable reports whether a processed message may be physically deleted:
+// it must belong to no live slice (Sec. 2.3.3). Messages that were never in
+// any slice are removable once processed.
+func (m *Manager) Removable(id msgstore.MsgID) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for _, mb := range m.memberOf[id] {
+		if id > m.watermark[sliceID(mb.slicing, mb.key)] {
+			return false
+		}
+	}
+	return true
+}
+
+// CollectGarbage scans the processed messages of every queue and physically
+// removes those no longer held by any live slice, using the redo-only
+// batch delete. It returns the number of messages removed. This is the
+// background task of Sec. 4.4.2 / experiment E8; it runs decoupled from
+// message processing.
+func (m *Manager) CollectGarbage() (int, error) {
+	total := 0
+	for _, queue := range m.ms.QueueNames() {
+		ids := m.ms.ProcessedIDs(queue)
+		var removable []msgstore.MsgID
+		for _, id := range ids {
+			if m.Removable(id) {
+				removable = append(removable, id)
+			}
+		}
+		if len(removable) == 0 {
+			continue
+		}
+		if err := m.ms.Remove(queue, removable); err != nil {
+			return total, err
+		}
+		m.OnRemove(removable)
+		total += len(removable)
+	}
+	return total, nil
+}
+
+// Rebuild reconstructs memberships and the index from the message store
+// (startup path: slice state is derived data).
+func (m *Manager) Rebuild() error {
+	m.mu.Lock()
+	m.index = store.NewBTree()
+	m.memberOf = map[msgstore.MsgID][]membership{}
+	m.mu.Unlock()
+	for _, queue := range m.ms.QueueNames() {
+		msgs, err := m.ms.Messages(queue)
+		if err != nil {
+			return err
+		}
+		for _, msg := range msgs {
+			m.OnEnqueue(msg.ID, queue, msg.Props)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,221 @@
+package store
+
+import (
+	"bytes"
+)
+
+// BTree is an in-memory B+tree over []byte keys, the index structure behind
+// materialized slices and scheduler state (paper Sec. 4.3: "similar to the
+// materialized views concept ... for example using a B-Tree indexed by the
+// slice key"). Demaq indexes are derived data: they are rebuilt from the
+// logged heaps at startup rather than logged themselves, so the tree keeps
+// no page images or WAL hooks.
+//
+// Keys are unique; Insert overwrites. Values are opaque bytes. The zero
+// value is not usable; call NewBTree.
+type BTree struct {
+	root   *btNode
+	degree int
+	size   int
+}
+
+// btNode is a B+tree node. Leaves hold vals and are chained via next.
+type btNode struct {
+	leaf bool
+	keys [][]byte
+	// interior: len(children) == len(keys)+1
+	children []*btNode
+	// leaf payloads
+	vals [][]byte
+	next *btNode
+}
+
+// NewBTree returns an empty tree with the default fanout.
+func NewBTree() *BTree { return NewBTreeDegree(64) }
+
+// NewBTreeDegree returns an empty tree with at most 2*degree-1 keys per
+// node.
+func NewBTreeDegree(degree int) *BTree {
+	if degree < 2 {
+		degree = 2
+	}
+	return &BTree{root: &btNode{leaf: true}, degree: degree}
+}
+
+// Len returns the number of keys.
+func (t *BTree) Len() int { return t.size }
+
+func (n *btNode) findKey(key []byte) (int, bool) {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(n.keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	found := lo < len(n.keys) && bytes.Equal(n.keys[lo], key)
+	return lo, found
+}
+
+// childIndex returns the child to descend into for key.
+func (n *btNode) childIndex(key []byte) int {
+	i, found := n.findKey(key)
+	if found {
+		return i + 1 // separator keys equal the smallest key of the right subtree
+	}
+	return i
+}
+
+// Get returns the value for key.
+func (t *BTree) Get(key []byte) ([]byte, bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[n.childIndex(key)]
+	}
+	i, found := n.findKey(key)
+	if !found {
+		return nil, false
+	}
+	return n.vals[i], true
+}
+
+// Insert sets key to val, returning whether the key was new.
+func (t *BTree) Insert(key, val []byte) bool {
+	key = append([]byte(nil), key...)
+	maxKeys := 2*t.degree - 1
+	if len(t.root.keys) == maxKeys {
+		old := t.root
+		t.root = &btNode{children: []*btNode{old}}
+		t.splitChild(t.root, 0)
+	}
+	inserted := t.insertNonFull(t.root, key, val)
+	if inserted {
+		t.size++
+	}
+	return inserted
+}
+
+func (t *BTree) insertNonFull(n *btNode, key, val []byte) bool {
+	if n.leaf {
+		i, found := n.findKey(key)
+		if found {
+			n.vals[i] = val
+			return false
+		}
+		n.keys = append(n.keys, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.vals = append(n.vals, nil)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = val
+		return true
+	}
+	ci := n.childIndex(key)
+	if len(n.children[ci].keys) == 2*t.degree-1 {
+		t.splitChild(n, ci)
+		if bytes.Compare(key, n.keys[ci]) >= 0 {
+			ci++
+		}
+	}
+	return t.insertNonFull(n.children[ci], key, val)
+}
+
+// splitChild splits the full child at index ci of interior node n.
+func (t *BTree) splitChild(n *btNode, ci int) {
+	child := n.children[ci]
+	mid := t.degree - 1
+	right := &btNode{leaf: child.leaf}
+	var sep []byte
+	if child.leaf {
+		// Leaf split: right keeps keys[mid:], separator is right's first key.
+		right.keys = append(right.keys, child.keys[mid:]...)
+		right.vals = append(right.vals, child.vals[mid:]...)
+		child.keys = child.keys[:mid]
+		child.vals = child.vals[:mid]
+		right.next = child.next
+		child.next = right
+		sep = right.keys[0]
+	} else {
+		sep = child.keys[mid]
+		right.keys = append(right.keys, child.keys[mid+1:]...)
+		right.children = append(right.children, child.children[mid+1:]...)
+		child.keys = child.keys[:mid]
+		child.children = child.children[:mid+1]
+	}
+	n.keys = append(n.keys, nil)
+	copy(n.keys[ci+1:], n.keys[ci:])
+	n.keys[ci] = sep
+	n.children = append(n.children, nil)
+	copy(n.children[ci+2:], n.children[ci+1:])
+	n.children[ci+1] = right
+}
+
+// Delete removes key, reporting whether it existed. Deletion is lazy:
+// leaves may underflow (the classic approach of production B-trees that
+// rely on reinsertion patterns; Demaq slice churn reuses freed cells via
+// subsequent inserts).
+func (t *BTree) Delete(key []byte) bool {
+	n := t.root
+	for !n.leaf {
+		n = n.children[n.childIndex(key)]
+	}
+	i, found := n.findKey(key)
+	if !found {
+		return false
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	t.size--
+	return true
+}
+
+// Scan visits keys in [lo, hi) in order; nil bounds are open. fn returns
+// false to stop. The leaf chain makes range scans sequential, which is what
+// slice access relies on.
+func (t *BTree) Scan(lo, hi []byte, fn func(key, val []byte) bool) {
+	n := t.root
+	for !n.leaf {
+		if lo == nil {
+			n = n.children[0]
+		} else {
+			n = n.children[n.childIndex(lo)]
+		}
+	}
+	i := 0
+	if lo != nil {
+		i, _ = n.findKey(lo)
+	}
+	for n != nil {
+		for ; i < len(n.keys); i++ {
+			if hi != nil && bytes.Compare(n.keys[i], hi) >= 0 {
+				return
+			}
+			if !fn(n.keys[i], n.vals[i]) {
+				return
+			}
+		}
+		n = n.next
+		i = 0
+	}
+}
+
+// ScanPrefix visits all keys with the given prefix.
+func (t *BTree) ScanPrefix(prefix []byte, fn func(key, val []byte) bool) {
+	hi := prefixEnd(prefix)
+	t.Scan(prefix, hi, fn)
+}
+
+// prefixEnd returns the smallest key greater than every key with the
+// prefix, or nil if no such key exists.
+func prefixEnd(prefix []byte) []byte {
+	end := append([]byte(nil), prefix...)
+	for i := len(end) - 1; i >= 0; i-- {
+		if end[i] < 0xFF {
+			end[i]++
+			return end[:i+1]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,233 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBTreeBasic(t *testing.T) {
+	bt := NewBTree()
+	if _, ok := bt.Get([]byte("missing")); ok {
+		t.Fatal("empty tree get")
+	}
+	bt.Insert([]byte("b"), []byte("2"))
+	bt.Insert([]byte("a"), []byte("1"))
+	bt.Insert([]byte("c"), []byte("3"))
+	if v, ok := bt.Get([]byte("b")); !ok || string(v) != "2" {
+		t.Fatal("get b")
+	}
+	if bt.Len() != 3 {
+		t.Fatal("len")
+	}
+	// Overwrite.
+	if bt.Insert([]byte("b"), []byte("2b")) {
+		t.Fatal("overwrite should not report new")
+	}
+	if v, _ := bt.Get([]byte("b")); string(v) != "2b" {
+		t.Fatal("overwrite")
+	}
+	if !bt.Delete([]byte("b")) || bt.Delete([]byte("b")) {
+		t.Fatal("delete semantics")
+	}
+	if bt.Len() != 2 {
+		t.Fatal("len after delete")
+	}
+}
+
+func TestBTreeScanRange(t *testing.T) {
+	bt := NewBTreeDegree(3) // small degree forces splits
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("k%04d", i)
+		bt.Insert([]byte(key), []byte{byte(i)})
+	}
+	var got []string
+	bt.Scan([]byte("k0100"), []byte("k0110"), func(k, _ []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if len(got) != 10 || got[0] != "k0100" || got[9] != "k0109" {
+		t.Fatalf("range scan: %v", got)
+	}
+	// Full scan in order.
+	prev := ""
+	n := 0
+	bt.Scan(nil, nil, func(k, _ []byte) bool {
+		if string(k) <= prev {
+			t.Fatalf("scan order violated: %q after %q", k, prev)
+		}
+		prev = string(k)
+		n++
+		return true
+	})
+	if n != 1000 {
+		t.Fatalf("full scan count: %d", n)
+	}
+}
+
+func TestBTreeScanPrefix(t *testing.T) {
+	bt := NewBTree()
+	bt.Insert([]byte("orders\x0042\x00m1"), nil)
+	bt.Insert([]byte("orders\x0042\x00m2"), nil)
+	bt.Insert([]byte("orders\x0043\x00m3"), nil)
+	bt.Insert([]byte("other\x0042\x00m4"), nil)
+	n := 0
+	bt.ScanPrefix([]byte("orders\x0042\x00"), func(_, _ []byte) bool { n++; return true })
+	if n != 2 {
+		t.Fatalf("prefix scan: %d", n)
+	}
+	// Prefix of all 0xFF bytes has a nil end.
+	if prefixEnd([]byte{0xFF, 0xFF}) != nil {
+		t.Fatal("prefixEnd overflow")
+	}
+	if !bytes.Equal(prefixEnd([]byte{1, 0xFF}), []byte{2}) {
+		t.Fatal("prefixEnd carry")
+	}
+}
+
+// TestBTreeQuickAgainstMap drives the tree with random operations and
+// checks every observable against a reference map.
+func TestBTreeQuickAgainstMap(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		bt := NewBTreeDegree(2 + r.Intn(4))
+		ref := map[string]string{}
+		for op := 0; op < 500; op++ {
+			key := fmt.Sprintf("key-%03d", r.Intn(100))
+			switch r.Intn(3) {
+			case 0:
+				val := fmt.Sprintf("v%d", op)
+				wasNew := bt.Insert([]byte(key), []byte(val))
+				_, existed := ref[key]
+				if wasNew == existed {
+					return false
+				}
+				ref[key] = val
+			case 1:
+				deleted := bt.Delete([]byte(key))
+				_, existed := ref[key]
+				if deleted != existed {
+					return false
+				}
+				delete(ref, key)
+			case 2:
+				v, ok := bt.Get([]byte(key))
+				rv, rok := ref[key]
+				if ok != rok || (ok && string(v) != rv) {
+					return false
+				}
+			}
+			if bt.Len() != len(ref) {
+				return false
+			}
+		}
+		// Final full scan must match the sorted reference.
+		var want []string
+		for k := range ref {
+			want = append(want, k)
+		}
+		sort.Strings(want)
+		var got []string
+		bt.Scan(nil, nil, func(k, v []byte) bool {
+			if ref[string(k)] != string(v) {
+				return false
+			}
+			got = append(got, string(k))
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHeapQuickAgainstMap drives heap insert/delete randomly and compares
+// against a reference, including crash-recovery at the end.
+func TestHeapQuickAgainstMap(t *testing.T) {
+	dir := t.TempDir()
+	opts := DefaultOptions()
+	opts.SyncCommits = false
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := s.CreateHeap("q")
+	r := rand.New(rand.NewSource(7))
+	ref := map[RID]string{}
+	for op := 0; op < 300; op++ {
+		tx := s.Begin()
+		abort := r.Intn(4) == 0
+		staged := map[RID]string{}
+		stagedDel := map[RID]bool{}
+		for i := 0; i < 1+r.Intn(5); i++ {
+			if r.Intn(3) > 0 || len(ref) == 0 {
+				size := 1 + r.Intn(3000)
+				payload := bytes.Repeat([]byte{byte(op)}, size)
+				rid, err := tx.Insert(h, payload)
+				if err != nil {
+					t.Fatal(err)
+				}
+				staged[rid] = string(payload)
+			} else {
+				for rid := range ref {
+					if stagedDel[rid] {
+						continue // already deleted in this transaction
+					}
+					if err := tx.Delete(h, rid); err != nil {
+						t.Fatal(err)
+					}
+					stagedDel[rid] = true
+					break
+				}
+			}
+		}
+		if abort {
+			tx.Abort()
+		} else {
+			tx.Commit()
+			// Deletes precede inserts: an insert may reuse the slot (and
+			// hence the RID) of a record deleted earlier in the same
+			// transaction.
+			for rid := range stagedDel {
+				delete(ref, rid)
+			}
+			for rid, v := range staged {
+				ref[rid] = v
+			}
+		}
+	}
+	s.log.flush(^uint64(0) >> 1)
+	s.CrashForTest()
+
+	s2, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	h2, _ := s2.Heap("q")
+	got := map[RID]string{}
+	s2.Scan(h2, func(rid RID, data []byte) bool {
+		got[rid] = string(data)
+		return true
+	})
+	if len(got) != len(ref) {
+		t.Fatalf("after recovery: %d records, want %d", len(got), len(ref))
+	}
+	for rid, v := range ref {
+		if got[rid] != v {
+			t.Fatalf("record %v differs (len %d vs %d)", rid, len(got[rid]), len(v))
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+// frame is one buffered page. Frames are manipulated only while holding the
+// store mutex; pins keep a frame resident across multi-page operations.
+type frame struct {
+	pg      page
+	dirty   bool
+	pins    int
+	lastUse uint64
+}
+
+// bufferPool caches pages of the data file with LRU eviction honoring the
+// WAL rule: a dirty page is written back only after the log is durable up
+// to the page's LSN (steal policy); commits do not force page writes
+// (no-force policy).
+type bufferPool struct {
+	cap    int
+	frames map[PageID]*frame
+	clock  uint64
+	file   *os.File
+	log    *wal
+
+	// stats
+	hits, misses, evictions uint64
+}
+
+func newBufferPool(capacity int, file *os.File, log *wal) *bufferPool {
+	if capacity < 8 {
+		capacity = 8
+	}
+	return &bufferPool{cap: capacity, frames: make(map[PageID]*frame, capacity), file: file, log: log}
+}
+
+// get returns the pinned frame for a page, reading it from disk on a miss.
+func (bp *bufferPool) get(id PageID) (*frame, error) {
+	bp.clock++
+	if f, ok := bp.frames[id]; ok {
+		f.pins++
+		f.lastUse = bp.clock
+		bp.hits++
+		return f, nil
+	}
+	bp.misses++
+	if err := bp.evictIfFull(); err != nil {
+		return nil, err
+	}
+	f := &frame{pg: page{id: id, buf: make([]byte, PageSize)}, lastUse: bp.clock, pins: 1}
+	if _, err := bp.file.ReadAt(f.pg.buf, int64(id)*PageSize); err != nil {
+		return nil, fmt.Errorf("store: read page %d: %w", id, err)
+	}
+	bp.frames[id] = f
+	return f, nil
+}
+
+// fresh returns a pinned frame for a newly allocated page without reading
+// from disk.
+func (bp *bufferPool) fresh(id PageID) (*frame, error) {
+	bp.clock++
+	if f, ok := bp.frames[id]; ok { // e.g. recycled from the free list
+		f.pins++
+		f.lastUse = bp.clock
+		return f, nil
+	}
+	if err := bp.evictIfFull(); err != nil {
+		return nil, err
+	}
+	f := &frame{pg: page{id: id, buf: make([]byte, PageSize)}, lastUse: bp.clock, pins: 1}
+	bp.frames[id] = f
+	return f, nil
+}
+
+func (bp *bufferPool) unpin(f *frame, dirty bool) {
+	if dirty {
+		f.dirty = true
+	}
+	if f.pins <= 0 {
+		panic("store: unpin of unpinned frame")
+	}
+	f.pins--
+}
+
+func (bp *bufferPool) evictIfFull() error {
+	if len(bp.frames) < bp.cap {
+		return nil
+	}
+	var victim *frame
+	for _, f := range bp.frames {
+		if f.pins > 0 {
+			continue
+		}
+		if victim == nil || f.lastUse < victim.lastUse {
+			victim = f
+		}
+	}
+	if victim == nil {
+		return fmt.Errorf("store: buffer pool exhausted (%d pages, all pinned)", bp.cap)
+	}
+	if err := bp.writeBack(victim); err != nil {
+		return err
+	}
+	delete(bp.frames, victim.pg.id)
+	bp.evictions++
+	return nil
+}
+
+func (bp *bufferPool) writeBack(f *frame) error {
+	if !f.dirty {
+		return nil
+	}
+	// WAL rule: log first.
+	if err := bp.log.flush(f.pg.lsn()); err != nil {
+		return err
+	}
+	if _, err := bp.file.WriteAt(f.pg.buf, int64(f.pg.id)*PageSize); err != nil {
+		return fmt.Errorf("store: write page %d: %w", f.pg.id, err)
+	}
+	f.dirty = false
+	return nil
+}
+
+// flushAll writes back every dirty page (checkpoint).
+func (bp *bufferPool) flushAll() error {
+	for _, f := range bp.frames {
+		if err := bp.writeBack(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dropClean discards all non-dirty frames; used by crash simulation.
+func (bp *bufferPool) dropAll() {
+	bp.frames = make(map[PageID]*frame, bp.cap)
+}

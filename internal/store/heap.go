@@ -1,0 +1,481 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Record heaps store variable-length records in chained pages. Records
+// larger than a page spill into overflow chains; the inline part keeps a
+// small prefix of the payload so that fixed headers (the message status
+// byte of the message store) remain updatable in place.
+//
+// Inline record encodings:
+//
+//	plain:    [0][payload...]
+//	overflow: [1][firstOvPage u32][totalLen u32][prefix...]
+const (
+	recKindPlain    = 0
+	recKindOverflow = 1
+
+	overflowHeader = 1 + 4 + 4
+	overflowPrefix = 256 // payload bytes kept inline
+	// inline payload limit for plain records, leaving slack for the slot
+	inlineMax = maxRecordSize - 1
+	// chunk capacity of one overflow page
+	ovChunkMax = maxRecordSize
+)
+
+// HeapID identifies a record heap.
+type HeapID uint32
+
+// CreateHeap registers a new heap (auto-committed DDL). Creating an
+// existing name returns its existing ID.
+func (s *Store) CreateHeap(name string) (HeapID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id, ok := s.heapNames[name]; ok {
+		return HeapID(id), nil
+	}
+	t := s.beginLocked()
+	id := s.nextHeap
+	s.nextHeap++
+	first, err := s.allocPage(t, 0, InvalidPage, InvalidPage)
+	if err != nil {
+		return 0, err
+	}
+	firstID := first.pg.id
+	s.pool.unpin(first, true)
+
+	entry := make([]byte, 10+len(name))
+	binary.LittleEndian.PutUint32(entry[0:], id)
+	binary.LittleEndian.PutUint32(entry[4:], uint32(firstID))
+	binary.LittleEndian.PutUint16(entry[8:], uint16(len(name)))
+	copy(entry[10:], name)
+	if _, err := s.insertLocked(t, catalogHeapID, entry); err != nil {
+		return 0, err
+	}
+	if err := s.commitLocked(t); err != nil {
+		return 0, err
+	}
+	s.heaps[id] = &heapInfo{id: id, name: name, first: firstID, last: firstID}
+	s.heapNames[name] = id
+	return HeapID(id), nil
+}
+
+// Heap returns the ID of an existing heap.
+func (s *Store) Heap(name string) (HeapID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.heapNames[name]
+	return HeapID(id), ok
+}
+
+// HeapNames lists all user heaps.
+func (s *Store) HeapNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for name := range s.heapNames {
+		out = append(out, name)
+	}
+	return out
+}
+
+// insertLocked appends a record to a heap; the caller holds s.mu and an
+// open transaction.
+func (s *Store) insertLocked(t *Txn, heap uint32, payload []byte) (RID, error) {
+	h, ok := s.heaps[heap]
+	if !ok {
+		return NilRID, fmt.Errorf("store: unknown heap %d", heap)
+	}
+	var rec []byte
+	if len(payload)+1 <= inlineMax {
+		rec = make([]byte, 1+len(payload))
+		rec[0] = recKindPlain
+		copy(rec[1:], payload)
+	} else {
+		// Spill: inline prefix + overflow chain for the remainder.
+		prefix := payload[:overflowPrefix]
+		rest := payload[overflowPrefix:]
+		// Build the chain back to front so each page's next is known when
+		// it is formatted.
+		nChunks := (len(rest) + ovChunkMax - 1) / ovChunkMax
+		next := InvalidPage
+		var first PageID
+		for i := nChunks - 1; i >= 0; i-- {
+			lo := i * ovChunkMax
+			hi := lo + ovChunkMax
+			if hi > len(rest) {
+				hi = len(rest)
+			}
+			f, err := s.allocPage(t, flagOverflow, InvalidPage, next)
+			if err != nil {
+				return NilRID, err
+			}
+			slot := f.pg.insert(rest[lo:hi])
+			lsn := s.log.append(&logRecord{typ: recInsert, txn: t.id, prevLSN: t.lastLSN,
+				heap: heap, page: f.pg.id, slot: slot, after: append([]byte(nil), rest[lo:hi]...)})
+			t.lastLSN = lsn
+			f.pg.setLSN(lsn)
+			next = f.pg.id
+			first = f.pg.id
+			s.pool.unpin(f, true)
+		}
+		rec = make([]byte, overflowHeader+len(prefix))
+		rec[0] = recKindOverflow
+		binary.LittleEndian.PutUint32(rec[1:], uint32(first))
+		binary.LittleEndian.PutUint32(rec[5:], uint32(len(payload)))
+		copy(rec[overflowHeader:], prefix)
+	}
+
+	// Find a tail page with room; extend the chain if needed.
+	tail, err := s.pool.get(h.last)
+	if err != nil {
+		return NilRID, err
+	}
+	if !tail.pg.canFit(len(rec)) {
+		nf, err := s.allocPage(t, 0, tail.pg.id, InvalidPage)
+		if err != nil {
+			s.pool.unpin(tail, false)
+			return NilRID, err
+		}
+		lsn := s.log.append(&logRecord{typ: recChain, txn: t.id, prevLSN: t.lastLSN, page: tail.pg.id, page2: nf.pg.id})
+		t.lastLSN = lsn
+		tail.pg.setNext(nf.pg.id)
+		tail.pg.setLSN(lsn)
+		s.pool.unpin(tail, true)
+		h.last = nf.pg.id
+		tail = nf
+	}
+	slot := tail.pg.insert(rec)
+	rid := RID{Page: tail.pg.id, Slot: slot}
+	lr := &logRecord{typ: recInsert, txn: t.id, prevLSN: t.lastLSN,
+		heap: heap, page: rid.Page, slot: slot, after: append([]byte(nil), rec...)}
+	lsn := s.log.append(lr)
+	t.lastLSN = lsn
+	tail.pg.setLSN(lsn)
+	s.pool.unpin(tail, true)
+	t.undoRecs = append(t.undoRecs, lr)
+	return rid, nil
+}
+
+// Insert appends a record to the heap within the transaction.
+func (t *Txn) Insert(h HeapID, payload []byte) (RID, error) {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	if err := t.ensureActive(); err != nil {
+		return NilRID, err
+	}
+	return t.s.insertLocked(t, uint32(h), payload)
+}
+
+// readLocked reassembles a record, following overflow chains.
+func (s *Store) readLocked(rid RID) ([]byte, error) {
+	f, err := s.pool.get(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	rec, ok := f.pg.read(rid.Slot)
+	if !ok {
+		s.pool.unpin(f, false)
+		return nil, fmt.Errorf("store: record %s not found", rid)
+	}
+	if rec[0] == recKindPlain {
+		out := make([]byte, len(rec)-1)
+		copy(out, rec[1:])
+		s.pool.unpin(f, false)
+		return out, nil
+	}
+	first := PageID(binary.LittleEndian.Uint32(rec[1:]))
+	total := int(binary.LittleEndian.Uint32(rec[5:]))
+	out := make([]byte, 0, total)
+	out = append(out, rec[overflowHeader:]...)
+	s.pool.unpin(f, false)
+	for pid := first; pid != InvalidPage; {
+		of, err := s.pool.get(pid)
+		if err != nil {
+			return nil, err
+		}
+		chunk, ok := of.pg.read(0)
+		if !ok {
+			s.pool.unpin(of, false)
+			return nil, fmt.Errorf("store: missing overflow chunk on page %d", pid)
+		}
+		out = append(out, chunk...)
+		next := of.pg.next()
+		s.pool.unpin(of, false)
+		pid = next
+	}
+	if len(out) != total {
+		return nil, fmt.Errorf("store: overflow record %s length %d, want %d", rid, len(out), total)
+	}
+	return out, nil
+}
+
+// Read returns a record's payload (transactions see committed state plus
+// their own writes; isolation is enforced by the lock layer above).
+func (s *Store) Read(rid RID) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.readLocked(rid)
+}
+
+// Delete removes a record within the transaction. Overflow chains are
+// released at commit (never on abort), so undo can restore the record.
+func (t *Txn) Delete(h HeapID, rid RID) error {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	if err := t.ensureActive(); err != nil {
+		return err
+	}
+	return t.s.deleteLocked(t, uint32(h), rid)
+}
+
+func (s *Store) deleteLocked(t *Txn, heap uint32, rid RID) error {
+	f, err := s.pool.get(rid.Page)
+	if err != nil {
+		return err
+	}
+	rec, ok := f.pg.read(rid.Slot)
+	if !ok {
+		s.pool.unpin(f, false)
+		return fmt.Errorf("store: record %s not found", rid)
+	}
+	before := append([]byte(nil), rec...)
+	if rec[0] == recKindOverflow {
+		first := PageID(binary.LittleEndian.Uint32(rec[1:]))
+		t.freeOnCommit = append(t.freeOnCommit, s.chainPages(first)...)
+	}
+	f.pg.del(rid.Slot)
+	lr := &logRecord{typ: recDelete, txn: t.id, prevLSN: t.lastLSN,
+		heap: heap, page: rid.Page, slot: rid.Slot, before: before}
+	lsn := s.log.append(lr)
+	t.lastLSN = lsn
+	f.pg.setLSN(lsn)
+	s.pool.unpin(f, true)
+	t.undoRecs = append(t.undoRecs, lr)
+	return nil
+}
+
+func (s *Store) chainPages(first PageID) []PageID {
+	var out []PageID
+	for pid := first; pid != InvalidPage; {
+		f, err := s.pool.get(pid)
+		if err != nil {
+			break
+		}
+		out = append(out, pid)
+		next := f.pg.next()
+		s.pool.unpin(f, false)
+		pid = next
+	}
+	return out
+}
+
+// SetByte updates one byte of a record's payload in place. Only offsets
+// within the inline prefix are valid; the message store keeps its status
+// byte at offset 0. This is the only in-place mutation of message data —
+// everything else is append-only, as the paper prescribes.
+func (t *Txn) SetByte(rid RID, off int, val byte) error {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	if err := t.ensureActive(); err != nil {
+		return err
+	}
+	s := t.s
+	f, err := s.pool.get(rid.Page)
+	if err != nil {
+		return err
+	}
+	defer s.pool.unpin(f, true)
+	rec, ok := f.pg.read(rid.Slot)
+	if !ok {
+		return fmt.Errorf("store: record %s not found", rid)
+	}
+	physOff := 1 + off // skip kind byte
+	if rec[0] == recKindOverflow {
+		physOff = overflowHeader + off
+	}
+	if physOff >= len(rec) {
+		return fmt.Errorf("store: SetByte offset %d out of range", off)
+	}
+	before := []byte{rec[physOff]}
+	rec[physOff] = val
+	lr := &logRecord{typ: recSetBytes, txn: t.id, prevLSN: t.lastLSN,
+		page: rid.Page, slot: rid.Slot, off: uint16(physOff), before: before, after: []byte{val}}
+	lsn := s.log.append(lr)
+	t.lastLSN = lsn
+	f.pg.setLSN(lsn)
+	t.undoRecs = append(t.undoRecs, lr)
+	return nil
+}
+
+// Scan iterates all live records of a heap in storage order (which, for
+// append-only queue heaps, is insertion order). fn returns false to stop.
+func (s *Store) Scan(h HeapID, fn func(rid RID, payload []byte) bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.scanLocked(uint32(h), fn)
+}
+
+func (s *Store) scanLocked(heap uint32, fn func(rid RID, payload []byte) bool) error {
+	hi, ok := s.heaps[heap]
+	if !ok {
+		return fmt.Errorf("store: unknown heap %d", heap)
+	}
+	for pid := hi.first; pid != InvalidPage; {
+		f, err := s.pool.get(pid)
+		if err != nil {
+			return err
+		}
+		next := f.pg.next()
+		nslots := f.pg.slotCount()
+		s.pool.unpin(f, false)
+		for slot := uint16(0); slot < nslots; slot++ {
+			// Re-fetch under the same lock; readLocked may evict.
+			fr, err := s.pool.get(pid)
+			if err != nil {
+				return err
+			}
+			_, ok := fr.pg.read(slot)
+			s.pool.unpin(fr, false)
+			if !ok {
+				continue
+			}
+			payload, err := s.readLocked(RID{Page: pid, Slot: slot})
+			if err != nil {
+				return err
+			}
+			if !fn(RID{Page: pid, Slot: slot}, payload) {
+				return nil
+			}
+		}
+		pid = next
+	}
+	return nil
+}
+
+// BatchDelete physically removes a set of processed records in one
+// auto-committed operation. With Options.UnloggedDeletes it writes a single
+// redo-only batch record without before images — the paper's
+// retention-based deletion optimization (Sec. 4.1); otherwise each record
+// is deleted with a full before image (experiment E3's baseline).
+// Emptied pages (other than heap head pages) are unlinked and freed.
+func (s *Store) BatchDelete(h HeapID, rids []RID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(rids) == 0 {
+		return nil
+	}
+	t := s.beginLocked()
+	heap := uint32(h)
+	var freed []PageID
+	if s.opts.UnloggedDeletes {
+		lr := &logRecord{typ: recBatchDelete, txn: t.id, prevLSN: t.lastLSN, rids: rids}
+		lsn := s.log.append(lr)
+		t.lastLSN = lsn
+		for _, rid := range rids {
+			pgs, err := s.applyPhysicalDelete(rid, lsn)
+			if err != nil {
+				return err
+			}
+			freed = append(freed, pgs...)
+		}
+	} else {
+		for _, rid := range rids {
+			if err := s.deleteLocked(t, heap, rid); err != nil {
+				return err
+			}
+		}
+	}
+	if err := s.commitLocked(t); err != nil {
+		return err
+	}
+	// Free overflow pages outside the undo path (the batch committed).
+	s.freePages(freed)
+	return s.reclaimEmptyPages(heap)
+}
+
+// applyPhysicalDelete marks a slot dead and returns overflow pages to free.
+func (s *Store) applyPhysicalDelete(rid RID, lsn uint64) ([]PageID, error) {
+	f, err := s.pool.get(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer s.pool.unpin(f, true)
+	rec, ok := f.pg.read(rid.Slot)
+	if !ok {
+		return nil, nil // already gone; idempotent
+	}
+	var ov []PageID
+	if rec[0] == recKindOverflow {
+		first := PageID(binary.LittleEndian.Uint32(rec[1:]))
+		ov = s.chainPages(first)
+	}
+	f.pg.del(rid.Slot)
+	if lsn > f.pg.lsn() {
+		f.pg.setLSN(lsn)
+	}
+	return ov, nil
+}
+
+// freePages marks pages free (redo-only logged) and returns them to the
+// allocator.
+func (s *Store) freePages(pages []PageID) {
+	for _, pid := range pages {
+		f, err := s.pool.get(pid)
+		if err != nil {
+			continue
+		}
+		lsn := s.log.append(&logRecord{typ: recSetFlags, page: pid, flags: flagFree})
+		f.pg.format()
+		f.pg.setFlags(flagFree)
+		f.pg.setLSN(lsn)
+		s.pool.unpin(f, true)
+		s.freeList = append(s.freeList, pid)
+	}
+}
+
+// reclaimEmptyPages unlinks fully-empty interior pages of a heap chain and
+// frees them; head and tail pages stay to keep insertion cheap.
+func (s *Store) reclaimEmptyPages(heap uint32) error {
+	hi, ok := s.heaps[heap]
+	if !ok {
+		return nil
+	}
+	prev := hi.first
+	pf, err := s.pool.get(prev)
+	if err != nil {
+		return err
+	}
+	cur := pf.pg.next()
+	s.pool.unpin(pf, false)
+	var toFree []PageID
+	for cur != InvalidPage && cur != hi.last {
+		cf, err := s.pool.get(cur)
+		if err != nil {
+			return err
+		}
+		next := cf.pg.next()
+		empty := cf.pg.liveCount() == 0
+		s.pool.unpin(cf, false)
+		if empty {
+			// Unlink: prev.next = next (redo-only chain record).
+			pf, err := s.pool.get(prev)
+			if err != nil {
+				return err
+			}
+			lsn := s.log.append(&logRecord{typ: recChain, page: prev, page2: next})
+			pf.pg.setNext(next)
+			pf.pg.setLSN(lsn)
+			s.pool.unpin(pf, true)
+			toFree = append(toFree, cur)
+		} else {
+			prev = cur
+		}
+		cur = next
+	}
+	s.freePages(toFree)
+	return nil
+}

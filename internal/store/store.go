@@ -1,0 +1,396 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Options configure a store.
+type Options struct {
+	// BufferPages is the buffer pool capacity in pages (default 1024).
+	BufferPages int
+	// SyncCommits fsyncs the WAL on every commit (default). Disabling
+	// trades durability of the most recent commits for throughput
+	// (experiment A3).
+	SyncCommits bool
+	// UnloggedDeletes enables the paper's retention-based deletion
+	// optimization: BatchDelete writes redo-only records without before
+	// images (Sec. 4.1). Disabled, deletes are logged with full before
+	// images, which is the comparison baseline of experiment E3.
+	UnloggedDeletes bool
+}
+
+// DefaultOptions returns the production configuration.
+func DefaultOptions() Options {
+	return Options{BufferPages: 1024, SyncCommits: true, UnloggedDeletes: true}
+}
+
+const (
+	storeMagic   = "DEMAQST1"
+	dataFileName = "data.db"
+	walFileName  = "wal.log"
+
+	catalogHeapID    = 0
+	catalogFirstPage = 1
+)
+
+// heapInfo is the in-memory descriptor of one record heap.
+type heapInfo struct {
+	id    uint32
+	name  string
+	first PageID
+	last  PageID
+}
+
+// Stats reports storage counters.
+type Stats struct {
+	PageCount    uint32
+	FreePages    int
+	BufferHits   uint64
+	BufferMisses uint64
+	Evictions    uint64
+	LogBytes     uint64
+	Commits      uint64
+	Aborts       uint64
+}
+
+// Store is the page-based storage engine. All operations are safe for
+// concurrent use; physical access is serialized by a store mutex while
+// expensive work (XML parsing, rule evaluation) happens in the layers above.
+type Store struct {
+	mu   sync.Mutex
+	dir  string
+	opts Options
+
+	file      *os.File
+	log       *wal
+	pool      *bufferPool
+	pageCount uint32
+	freeList  []PageID
+
+	heaps     map[uint32]*heapInfo
+	heapNames map[string]uint32
+	nextHeap  uint32
+
+	nextTxn uint64
+	commits uint64
+	aborts  uint64
+
+	closed bool
+}
+
+// Open opens (creating if necessary) a store in dir and runs crash
+// recovery.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.BufferPages == 0 {
+		opts.BufferPages = 1024
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	dataPath := filepath.Join(dir, dataFileName)
+	_, statErr := os.Stat(dataPath)
+	isNew := os.IsNotExist(statErr)
+
+	file, err := os.OpenFile(dataPath, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	lsnBase := uint64(0)
+	if !isNew {
+		hdr := make([]byte, 48)
+		if _, err := file.ReadAt(hdr, 0); err == nil {
+			lsnBase = binary.LittleEndian.Uint64(hdr[40:])
+		}
+	}
+	log, err := openWAL(filepath.Join(dir, walFileName), lsnBase, opts.SyncCommits)
+	if err != nil {
+		file.Close()
+		return nil, err
+	}
+	s := &Store{
+		dir:       dir,
+		opts:      opts,
+		file:      file,
+		log:       log,
+		heaps:     map[uint32]*heapInfo{},
+		heapNames: map[string]uint32{},
+		nextHeap:  1,
+		nextTxn:   1,
+	}
+	s.pool = newBufferPool(opts.BufferPages, file, log)
+
+	if isNew {
+		if err := s.format(); err != nil {
+			s.closeFiles()
+			return nil, err
+		}
+		return s, nil
+	}
+	if err := s.load(); err != nil {
+		s.closeFiles()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) closeFiles() {
+	s.file.Close()
+	s.log.close()
+}
+
+// format initializes a fresh store: header page 0 and the catalog heap on
+// page 1.
+func (s *Store) format() error {
+	header := make([]byte, PageSize)
+	copy(header[24:], storeMagic)
+	if _, err := s.file.WriteAt(header, 0); err != nil {
+		return err
+	}
+	cat := page{id: catalogFirstPage, buf: make([]byte, PageSize)}
+	cat.format()
+	if _, err := s.file.WriteAt(cat.buf, PageSize); err != nil {
+		return err
+	}
+	if err := s.file.Sync(); err != nil {
+		return err
+	}
+	s.pageCount = 2
+	s.heaps[catalogHeapID] = &heapInfo{id: catalogHeapID, name: "__catalog", first: catalogFirstPage, last: catalogFirstPage}
+	return nil
+}
+
+// load reads the header, catalog and heap chains, then runs recovery.
+func (s *Store) load() error {
+	st, err := s.file.Stat()
+	if err != nil {
+		return err
+	}
+	if st.Size()%PageSize != 0 {
+		// A crash can leave a partially grown file; trim to whole pages.
+		if err := s.file.Truncate(st.Size() - st.Size()%PageSize); err != nil {
+			return err
+		}
+		st, _ = s.file.Stat()
+	}
+	s.pageCount = uint32(st.Size() / PageSize)
+	if s.pageCount < 2 {
+		return fmt.Errorf("store: data file too small")
+	}
+	hdr := make([]byte, PageSize)
+	if _, err := s.file.ReadAt(hdr, 0); err != nil {
+		return err
+	}
+	if string(hdr[24:24+len(storeMagic)]) != storeMagic {
+		return fmt.Errorf("store: bad magic, not a demaq store")
+	}
+	s.heaps[catalogHeapID] = &heapInfo{id: catalogHeapID, name: "__catalog", first: catalogFirstPage, last: catalogFirstPage}
+
+	if err := s.recover(); err != nil {
+		return fmt.Errorf("store: recovery: %w", err)
+	}
+	if err := s.loadCatalog(); err != nil {
+		return err
+	}
+	if err := s.rebuildChainsAndFreeList(); err != nil {
+		return err
+	}
+	// Sharp checkpoint after recovery truncates the log.
+	return s.checkpointLocked()
+}
+
+func (s *Store) loadCatalog() error {
+	s.heapNames = map[string]uint32{}
+	maxID := uint32(0)
+	err := s.scanLocked(catalogHeapID, func(_ RID, data []byte) bool {
+		id := binary.LittleEndian.Uint32(data[0:])
+		first := PageID(binary.LittleEndian.Uint32(data[4:]))
+		nameLen := binary.LittleEndian.Uint16(data[8:])
+		name := string(data[10 : 10+nameLen])
+		s.heaps[id] = &heapInfo{id: id, name: name, first: first, last: first}
+		s.heapNames[name] = id
+		if id > maxID {
+			maxID = id
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	s.nextHeap = maxID + 1
+	return nil
+}
+
+// rebuildChainsAndFreeList walks every heap chain to find tail pages, then
+// scans the file for free-flagged pages, excluding any page still
+// referenced by a live overflow pointer (closing the crash window between
+// overflow frees and their transaction outcome).
+func (s *Store) rebuildChainsAndFreeList() error {
+	referenced := map[PageID]bool{}
+	for _, h := range s.heaps {
+		cur := h.first
+		last := cur
+		for cur != InvalidPage {
+			f, err := s.pool.get(cur)
+			if err != nil {
+				return err
+			}
+			// Collect overflow references from live records.
+			for slot := uint16(0); slot < f.pg.slotCount(); slot++ {
+				data, ok := f.pg.read(slot)
+				if !ok || len(data) == 0 {
+					continue
+				}
+				if data[0] == recKindOverflow {
+					ov := PageID(binary.LittleEndian.Uint32(data[1:]))
+					for ov != InvalidPage {
+						referenced[ov] = true
+						of, err := s.pool.get(ov)
+						if err != nil {
+							return err
+						}
+						next := of.pg.next()
+						s.pool.unpin(of, false)
+						ov = next
+					}
+				}
+			}
+			last = cur
+			next := f.pg.next()
+			s.pool.unpin(f, false)
+			cur = next
+		}
+		h.last = last
+	}
+	s.freeList = s.freeList[:0]
+	for pid := PageID(2); pid < PageID(s.pageCount); pid++ {
+		f, err := s.pool.get(pid)
+		if err != nil {
+			return err
+		}
+		free := f.pg.flags()&flagFree != 0
+		if free && referenced[pid] {
+			f.pg.setFlags(f.pg.flags() &^ flagFree)
+			s.pool.unpin(f, true)
+			continue
+		}
+		s.pool.unpin(f, false)
+		if free {
+			s.freeList = append(s.freeList, pid)
+		}
+	}
+	return nil
+}
+
+// Close checkpoints and closes the store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	if err := s.checkpointLocked(); err != nil {
+		return err
+	}
+	s.closed = true
+	s.closeFiles()
+	return nil
+}
+
+// Checkpoint flushes all dirty pages, syncs the data file and truncates the
+// WAL. No transactions may be active (the engine quiesces first).
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.checkpointLocked()
+}
+
+func (s *Store) checkpointLocked() error {
+	if err := s.log.flush(^uint64(0) >> 1); err != nil {
+		return err
+	}
+	if err := s.pool.flushAll(); err != nil {
+		return err
+	}
+	// Persist the advanced LSN base in the header before dropping the log;
+	// page LSNs written above must never mask future records.
+	newBase := s.log.size()
+	hdr := make([]byte, 48)
+	copy(hdr[24:], storeMagic)
+	binary.LittleEndian.PutUint64(hdr[40:], newBase)
+	if _, err := s.file.WriteAt(hdr, 0); err != nil {
+		return err
+	}
+	if err := s.file.Sync(); err != nil {
+		return err
+	}
+	if _, err := s.log.truncate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// CrashForTest simulates a crash: buffered pages are discarded without
+// write-back and the files are closed without checkpointing. Only data made
+// durable by the WAL survives, exactly as after a power failure.
+func (s *Store) CrashForTest() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.pool.dropAll()
+	s.closed = true
+	s.closeFiles()
+}
+
+// Stats returns storage counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		PageCount:    s.pageCount,
+		FreePages:    len(s.freeList),
+		BufferHits:   s.pool.hits,
+		BufferMisses: s.pool.misses,
+		Evictions:    s.pool.evictions,
+		LogBytes:     s.log.size(),
+		Commits:      s.commits,
+		Aborts:       s.aborts,
+	}
+}
+
+// LogBytes returns the current logical WAL size (experiment E3 metric).
+func (s *Store) LogBytes() uint64 { return s.log.size() }
+
+// --- page allocation (caller holds s.mu) ---
+
+const flagFree uint16 = 1 << 15
+
+// allocPage returns a pinned, formatted frame for a new page, preferring
+// the free list. The allocation is logged redo-only.
+func (s *Store) allocPage(t *Txn, flags uint16, prev, next PageID) (*frame, error) {
+	var pid PageID
+	if n := len(s.freeList); n > 0 {
+		pid = s.freeList[n-1]
+		s.freeList = s.freeList[:n-1]
+	} else {
+		pid = PageID(s.pageCount)
+		s.pageCount++
+	}
+	f, err := s.pool.fresh(pid)
+	if err != nil {
+		return nil, err
+	}
+	f.pg.format()
+	f.pg.setFlags(flags)
+	f.pg.setPrev(prev)
+	f.pg.setNext(next)
+	lsn := s.log.append(&logRecord{typ: recFormatPage, txn: t.id, prevLSN: t.lastLSN, page: pid, flags: flags, page2: prev, page3: next})
+	t.lastLSN = lsn
+	f.pg.setLSN(lsn)
+	return f, nil
+}

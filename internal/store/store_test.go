@@ -1,0 +1,485 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTemp(t *testing.T, opts Options) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestHeapInsertRead(t *testing.T) {
+	s := openTemp(t, DefaultOptions())
+	h, err := s.CreateHeap("q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := s.Begin()
+	rid, err := tx.Insert(h, []byte("hello world"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.Read(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello world" {
+		t.Fatalf("read back %q", data)
+	}
+}
+
+func TestHeapManyRecordsScanOrder(t *testing.T) {
+	s := openTemp(t, DefaultOptions())
+	h, _ := s.CreateHeap("q")
+	const n = 2000
+	tx := s.Begin()
+	for i := 0; i < n; i++ {
+		if _, err := tx.Insert(h, []byte(fmt.Sprintf("record-%06d-%s", i, bytes.Repeat([]byte("x"), 50)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	err := s.Scan(h, func(_ RID, data []byte) bool {
+		want := fmt.Sprintf("record-%06d", i)
+		if string(data[:len(want)]) != want {
+			t.Fatalf("scan order broken at %d: %q", i, data[:20])
+		}
+		i++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != n {
+		t.Fatalf("scanned %d records, want %d", i, n)
+	}
+}
+
+func TestOverflowRecords(t *testing.T) {
+	s := openTemp(t, DefaultOptions())
+	h, _ := s.CreateHeap("big")
+	sizes := []int{inlineMax, inlineMax + 1, PageSize * 2, PageSize*3 + 17, 100_000}
+	var rids []RID
+	tx := s.Begin()
+	for _, size := range sizes {
+		payload := make([]byte, size)
+		for i := range payload {
+			payload[i] = byte(i % 251)
+		}
+		rid, err := tx.Insert(h, payload)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		rids = append(rids, rid)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for i, size := range sizes {
+		data, err := s.Read(rids[i])
+		if err != nil {
+			t.Fatalf("read size %d: %v", size, err)
+		}
+		if len(data) != size {
+			t.Fatalf("size %d: got %d", size, len(data))
+		}
+		for j := range data {
+			if data[j] != byte(j%251) {
+				t.Fatalf("size %d: corruption at byte %d", size, j)
+			}
+		}
+	}
+}
+
+func TestDeleteAndSetByte(t *testing.T) {
+	s := openTemp(t, DefaultOptions())
+	h, _ := s.CreateHeap("q")
+	tx := s.Begin()
+	r1, _ := tx.Insert(h, []byte{0, 'a', 'b'})
+	r2, _ := tx.Insert(h, []byte{0, 'c', 'd'})
+	tx.Commit()
+
+	tx = s.Begin()
+	if err := tx.Delete(h, r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.SetByte(r2, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+
+	if _, err := s.Read(r1); err == nil {
+		t.Fatal("deleted record should not read")
+	}
+	data, _ := s.Read(r2)
+	if data[0] != 1 {
+		t.Fatal("SetByte not applied")
+	}
+	n := 0
+	s.Scan(h, func(RID, []byte) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("live records = %d", n)
+	}
+}
+
+func TestAbortUndo(t *testing.T) {
+	s := openTemp(t, DefaultOptions())
+	h, _ := s.CreateHeap("q")
+	tx := s.Begin()
+	keep, _ := tx.Insert(h, []byte{0, 'k'})
+	tx.Commit()
+
+	tx = s.Begin()
+	if _, err := tx.Insert(h, []byte{0, 'n'}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Delete(h, keep); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.SetByte(keep, 0, 9); err == nil {
+		// SetByte on deleted record must fail
+		t.Fatal("SetByte on deleted record should fail")
+	}
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	// After abort: keep exists with original value, new record gone.
+	data, err := s.Read(keep)
+	if err != nil || data[0] != 0 || data[1] != 'k' {
+		t.Fatalf("undo failed: %v %v", data, err)
+	}
+	n := 0
+	s.Scan(h, func(RID, []byte) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("live records after abort = %d", n)
+	}
+}
+
+func TestAbortUndoSetByte(t *testing.T) {
+	s := openTemp(t, DefaultOptions())
+	h, _ := s.CreateHeap("q")
+	tx := s.Begin()
+	rid, _ := tx.Insert(h, []byte{7, 'x'})
+	tx.Commit()
+	tx = s.Begin()
+	tx.SetByte(rid, 0, 42)
+	tx.Abort()
+	data, _ := s.Read(rid)
+	if data[0] != 7 {
+		t.Fatalf("SetByte undo: %d", data[0])
+	}
+}
+
+func TestCrashRecoveryCommitted(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := s.CreateHeap("q")
+	tx := s.Begin()
+	var rids []RID
+	for i := 0; i < 100; i++ {
+		rid, _ := tx.Insert(h, []byte(fmt.Sprintf("msg-%d", i)))
+		rids = append(rids, rid)
+	}
+	tx.Commit()
+	s.CrashForTest() // dirty pages lost; WAL survives
+
+	s2, err := Open(dir, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	h2, ok := s2.Heap("q")
+	if !ok {
+		t.Fatal("heap lost after crash")
+	}
+	n := 0
+	s2.Scan(h2, func(_ RID, data []byte) bool {
+		want := fmt.Sprintf("msg-%d", n)
+		if string(data) != want {
+			t.Fatalf("record %d = %q", n, data)
+		}
+		n++
+		return true
+	})
+	if n != 100 {
+		t.Fatalf("recovered %d records, want 100", n)
+	}
+	// And RIDs are stable.
+	data, err := s2.Read(rids[42])
+	if err != nil || string(data) != "msg-42" {
+		t.Fatalf("RID stability: %q %v", data, err)
+	}
+}
+
+func TestCrashRecoveryUncommittedUndone(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, DefaultOptions())
+	h, _ := s.CreateHeap("q")
+	tx := s.Begin()
+	tx.Insert(h, []byte("committed"))
+	tx.Commit()
+
+	tx2 := s.Begin()
+	tx2.Insert(h, []byte("uncommitted"))
+	// Force the WAL out (as if another commit flushed it) without
+	// committing tx2, then crash.
+	s.log.flush(^uint64(0) >> 1)
+	s.CrashForTest()
+
+	s2, err := Open(dir, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	h2, _ := s2.Heap("q")
+	var seen []string
+	s2.Scan(h2, func(_ RID, data []byte) bool {
+		seen = append(seen, string(data))
+		return true
+	})
+	if len(seen) != 1 || seen[0] != "committed" {
+		t.Fatalf("loser not undone: %v", seen)
+	}
+}
+
+func TestCrashRecoveryOverflow(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, DefaultOptions())
+	h, _ := s.CreateHeap("q")
+	big := bytes.Repeat([]byte("payload!"), 8000) // 64 KB
+	tx := s.Begin()
+	rid, _ := tx.Insert(h, big)
+	tx.Commit()
+	s.CrashForTest()
+
+	s2, err := Open(dir, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	data, err := s2.Read(rid)
+	if err != nil || !bytes.Equal(data, big) {
+		t.Fatalf("overflow recovery: len=%d err=%v", len(data), err)
+	}
+}
+
+func TestRecoveryIdempotentDoubleCrash(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, DefaultOptions())
+	h, _ := s.CreateHeap("q")
+	tx := s.Begin()
+	tx.Insert(h, []byte("a"))
+	tx.Commit()
+	s.CrashForTest()
+
+	// First recovery, then crash again immediately.
+	s2, err := Open(dir, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _ := s2.Heap("q")
+	tx = s2.Begin()
+	tx.Insert(h2, []byte("b"))
+	tx.Commit()
+	s2.CrashForTest()
+
+	s3, err := Open(dir, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	h3, _ := s3.Heap("q")
+	var seen []string
+	s3.Scan(h3, func(_ RID, data []byte) bool {
+		seen = append(seen, string(data))
+		return true
+	})
+	if len(seen) != 2 || seen[0] != "a" || seen[1] != "b" {
+		t.Fatalf("double crash recovery: %v", seen)
+	}
+}
+
+func TestBatchDeleteUnloggedVsLogged(t *testing.T) {
+	// The E3 claim: retention-based batch deletes produce far less log than
+	// before-image deletes.
+	run := func(unlogged bool) uint64 {
+		opts := DefaultOptions()
+		opts.SyncCommits = false
+		opts.UnloggedDeletes = unlogged
+		s := openTemp(t, opts)
+		h, _ := s.CreateHeap("q")
+		payload := bytes.Repeat([]byte("m"), 1000)
+		var rids []RID
+		tx := s.Begin()
+		for i := 0; i < 200; i++ {
+			rid, _ := tx.Insert(h, payload)
+			rids = append(rids, rid)
+		}
+		tx.Commit()
+		before := s.LogBytes()
+		if err := s.BatchDelete(h, rids); err != nil {
+			t.Fatal(err)
+		}
+		return s.LogBytes() - before
+	}
+	unlogged := run(true)
+	logged := run(false)
+	if unlogged*10 > logged {
+		t.Fatalf("unlogged deletes should be >10x smaller: unlogged=%d logged=%d", unlogged, logged)
+	}
+}
+
+func TestBatchDeleteSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, DefaultOptions())
+	h, _ := s.CreateHeap("q")
+	var rids []RID
+	tx := s.Begin()
+	for i := 0; i < 50; i++ {
+		rid, _ := tx.Insert(h, []byte(fmt.Sprintf("m%d", i)))
+		rids = append(rids, rid)
+	}
+	tx.Commit()
+	if err := s.BatchDelete(h, rids[:25]); err != nil {
+		t.Fatal(err)
+	}
+	s.CrashForTest()
+
+	s2, err := Open(dir, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	h2, _ := s2.Heap("q")
+	n := 0
+	s2.Scan(h2, func(RID, []byte) bool { n++; return true })
+	if n != 25 {
+		t.Fatalf("after batch delete + crash: %d records, want 25", n)
+	}
+}
+
+func TestPageReclamation(t *testing.T) {
+	s := openTemp(t, DefaultOptions())
+	h, _ := s.CreateHeap("q")
+	payload := bytes.Repeat([]byte("x"), 2000)
+	var rids []RID
+	tx := s.Begin()
+	for i := 0; i < 400; i++ { // ~100 pages
+		rid, _ := tx.Insert(h, payload)
+		rids = append(rids, rid)
+	}
+	tx.Commit()
+	grown := s.Stats().PageCount
+	if err := s.BatchDelete(h, rids); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.FreePages < int(grown)/2 {
+		t.Fatalf("expected most pages reclaimed: free=%d of %d", st.FreePages, grown)
+	}
+	// Freed pages are reused by new inserts.
+	tx = s.Begin()
+	for i := 0; i < 400; i++ {
+		tx.Insert(h, payload)
+	}
+	tx.Commit()
+	if after := s.Stats().PageCount; after > grown+8 {
+		t.Fatalf("free pages not reused: before=%d after=%d", grown, after)
+	}
+}
+
+func TestCheckpointTruncatesLog(t *testing.T) {
+	s := openTemp(t, DefaultOptions())
+	h, _ := s.CreateHeap("q")
+	tx := s.Begin()
+	tx.Insert(h, bytes.Repeat([]byte("y"), 500))
+	tx.Commit()
+	if s.LogBytes() == 0 {
+		t.Fatal("log should have content")
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// LogBytes is cumulative across truncations; the file itself must be
+	// empty after a checkpoint.
+	st, err := os.Stat(filepath.Join(s.dir, walFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != 0 {
+		t.Fatalf("checkpoint should truncate the log file, size=%d", st.Size())
+	}
+	// Data survives checkpoint + reopen.
+	n := 0
+	s.Scan(h, func(RID, []byte) bool { n++; return true })
+	if n != 1 {
+		t.Fatal("data lost at checkpoint")
+	}
+}
+
+func TestBufferPoolEviction(t *testing.T) {
+	opts := DefaultOptions()
+	opts.BufferPages = 16
+	opts.SyncCommits = false
+	s := openTemp(t, opts)
+	h, _ := s.CreateHeap("q")
+	payload := bytes.Repeat([]byte("z"), 4000)
+	tx := s.Begin()
+	var rids []RID
+	for i := 0; i < 100; i++ { // ~50 pages >> 16 frames
+		rid, err := tx.Insert(h, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	tx.Commit()
+	if s.Stats().Evictions == 0 {
+		t.Fatal("expected evictions with a small pool")
+	}
+	// All records readable back through the small pool.
+	for _, rid := range rids {
+		if _, err := s.Read(rid); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMultipleHeapsIsolated(t *testing.T) {
+	s := openTemp(t, DefaultOptions())
+	h1, _ := s.CreateHeap("a")
+	h2, _ := s.CreateHeap("b")
+	tx := s.Begin()
+	tx.Insert(h1, []byte("in-a"))
+	tx.Insert(h2, []byte("in-b"))
+	tx.Commit()
+	var got []string
+	s.Scan(h1, func(_ RID, d []byte) bool { got = append(got, string(d)); return true })
+	if len(got) != 1 || got[0] != "in-a" {
+		t.Fatalf("heap a: %v", got)
+	}
+	// Recreating an existing heap returns the same ID.
+	h1b, _ := s.CreateHeap("a")
+	if h1b != h1 {
+		t.Fatal("CreateHeap should be idempotent")
+	}
+}

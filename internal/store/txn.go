@@ -1,0 +1,207 @@
+package store
+
+import (
+	"errors"
+)
+
+// ErrTxnDone is returned by operations on a finished transaction.
+var ErrTxnDone = errors.New("store: transaction already committed or aborted")
+
+// Txn is a storage transaction: atomic (WAL undo), durable (WAL flush at
+// commit). Isolation between transactions is the responsibility of the
+// logical lock manager above (internal/txn), matching the paper's model of
+// message-processing transactions protected by queue/slice locks.
+type Txn struct {
+	s       *Store
+	id      uint64
+	lastLSN uint64
+	began   bool // recBegin written
+	done    bool
+
+	undoRecs     []*logRecord // update records in execution order
+	freeOnCommit []PageID     // overflow chains of deleted records
+}
+
+// Begin starts a transaction.
+func (s *Store) Begin() *Txn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.beginLocked()
+}
+
+func (s *Store) beginLocked() *Txn {
+	t := &Txn{s: s, id: s.nextTxn}
+	s.nextTxn++
+	return t
+}
+
+func (t *Txn) ensureActive() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if !t.began {
+		lsn := t.s.log.append(&logRecord{typ: recBegin, txn: t.id})
+		t.lastLSN = lsn
+		t.began = true
+	}
+	return nil
+}
+
+// Commit makes the transaction durable.
+func (t *Txn) Commit() error {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	return t.s.commitLocked(t)
+}
+
+func (s *Store) commitLocked(t *Txn) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	if !t.began && t.lastLSN == 0 {
+		return nil // read-only transaction: nothing to log
+	}
+	// Deferred overflow frees become visible with the commit.
+	s.freePages(t.freeOnCommit)
+	lsn := s.log.append(&logRecord{typ: recCommit, txn: t.id, prevLSN: t.lastLSN})
+	if err := s.log.flush(lsn); err != nil {
+		return err
+	}
+	s.commits++
+	return nil
+}
+
+// Abort rolls the transaction back by applying compensations in reverse
+// order, logging a CLR for each so recovery can resume an interrupted
+// rollback.
+func (t *Txn) Abort() error {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	return t.s.abortLocked(t)
+}
+
+func (s *Store) abortLocked(t *Txn) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	if !t.began && t.lastLSN == 0 {
+		return nil
+	}
+	for i := len(t.undoRecs) - 1; i >= 0; i-- {
+		if err := s.undoRecord(t, t.undoRecs[i]); err != nil {
+			return err
+		}
+	}
+	s.log.append(&logRecord{typ: recAbort, txn: t.id, prevLSN: t.lastLSN})
+	s.aborts++
+	return nil
+}
+
+// undoRecord applies the compensation for one update record and logs it as
+// a CLR whose undoNext points before the undone record.
+func (s *Store) undoRecord(t *Txn, r *logRecord) error {
+	var comp *logRecord
+	switch r.typ {
+	case recInsert:
+		comp = &logRecord{typ: recDelete, heap: r.heap, page: r.page, slot: r.slot}
+		// Undoing the insert of an overflow record releases its chain.
+		if len(r.after) > 0 && r.after[0] == recKindOverflow {
+			first := PageID(leU32(r.after[1:]))
+			defer s.freePages(s.chainPages(first))
+		}
+	case recDelete:
+		comp = &logRecord{typ: recInsert, heap: r.heap, page: r.page, slot: r.slot, after: r.before}
+	case recSetBytes:
+		comp = &logRecord{typ: recSetBytes, page: r.page, slot: r.slot, off: r.off, after: r.before}
+	default:
+		return nil // redo-only record: no compensation
+	}
+	clr := &logRecord{typ: recCLR, txn: t.id, prevLSN: t.lastLSN, undoNext: r.prevLSN, comp: comp}
+	lsn := s.log.append(clr)
+	t.lastLSN = lsn
+	return s.applyRedo(comp, lsn)
+}
+
+// applyRedo executes the page effect of a record, stamping the page LSN.
+// It is used both for compensations at runtime and for redo at recovery.
+func (s *Store) applyRedo(r *logRecord, lsn uint64) error {
+	switch r.typ {
+	case recInsert:
+		f, err := s.pageForRedo(r.page)
+		if err != nil {
+			return err
+		}
+		f.pg.insertAt(r.slot, r.after)
+		f.pg.setLSN(lsn)
+		s.pool.unpin(f, true)
+	case recDelete:
+		f, err := s.pageForRedo(r.page)
+		if err != nil {
+			return err
+		}
+		f.pg.del(r.slot)
+		f.pg.setLSN(lsn)
+		s.pool.unpin(f, true)
+	case recSetBytes:
+		f, err := s.pageForRedo(r.page)
+		if err != nil {
+			return err
+		}
+		if rec, ok := f.pg.read(r.slot); ok && int(r.off) < len(rec) && len(r.after) == 1 {
+			rec[r.off] = r.after[0]
+		}
+		f.pg.setLSN(lsn)
+		s.pool.unpin(f, true)
+	case recBatchDelete:
+		for _, rid := range r.rids {
+			if _, err := s.applyPhysicalDelete(rid, lsn); err != nil {
+				return err
+			}
+		}
+	case recFormatPage:
+		f, err := s.pageForRedo(r.page)
+		if err != nil {
+			return err
+		}
+		f.pg.format()
+		f.pg.setFlags(r.flags)
+		f.pg.setPrev(r.page2)
+		f.pg.setNext(r.page3)
+		f.pg.setLSN(lsn)
+		s.pool.unpin(f, true)
+	case recChain:
+		f, err := s.pageForRedo(r.page)
+		if err != nil {
+			return err
+		}
+		f.pg.setNext(r.page2)
+		f.pg.setLSN(lsn)
+		s.pool.unpin(f, true)
+	case recSetFlags:
+		f, err := s.pageForRedo(r.page)
+		if err != nil {
+			return err
+		}
+		f.pg.format()
+		f.pg.setFlags(r.flags)
+		f.pg.setLSN(lsn)
+		s.pool.unpin(f, true)
+	}
+	return nil
+}
+
+// pageForRedo fetches a page, growing the file if the page had not been
+// written back before a crash.
+func (s *Store) pageForRedo(pid PageID) (*frame, error) {
+	if uint32(pid) >= s.pageCount {
+		s.pageCount = uint32(pid) + 1
+		return s.pool.fresh(pid)
+	}
+	return s.pool.get(pid)
+}
+
+func leU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}

@@ -1,0 +1,395 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// The write-ahead log is a sequence of CRC-protected records. The LSN of a
+// record is its byte offset in the log file plus one (so zero means "no
+// LSN"). Records are physiological: each touches at most one page, guarded
+// by the page LSN during redo, which makes redo idempotent.
+//
+// Demaq-specific shape: queue inserts log redo+undo images; the processed
+// flag is a one-byte partial update; retention (GC) deletions are logged as
+// redo-only batches without before images — the paper's observation that
+// declarative retention frees the system from fully logging deletions.
+
+type recType uint8
+
+// Log record types.
+const (
+	recBegin recType = iota + 1
+	recCommit
+	recAbort // abort complete (all undo applied)
+	recInsert
+	recDelete
+	recSetBytes // partial in-record update (processed flag)
+	recBatchDelete
+	recFormatPage
+	recChain
+	recSetFlags
+	recCLR
+	recCheckpoint
+)
+
+// logRecord is the decoded form of one WAL record.
+type logRecord struct {
+	lsn     uint64
+	typ     recType
+	txn     uint64
+	prevLSN uint64
+
+	heap   uint32
+	page   PageID
+	slot   uint16
+	off    uint16 // recSetBytes
+	before []byte
+	after  []byte
+	rids   []RID  // recBatchDelete
+	page2  PageID // recChain: new page; recFormatPage: chain prev
+	page3  PageID // recFormatPage: chain next (overflow chains)
+	flags  uint16
+
+	undoNext uint64     // recCLR
+	comp     *logRecord // recCLR: compensation action (one of the above)
+}
+
+// wal is the log manager. Appends are buffered; Flush forces durability up
+// to a target LSN. A single mutex serializes appends, which doubles as the
+// group-commit mechanism: concurrent commits coalesce their fsyncs.
+//
+// LSNs are monotonic across the store's lifetime: checkpoints truncate the
+// log file but advance a base offset (persisted in the store header), so a
+// page LSN from before a checkpoint never masks the redo of a record logged
+// after it.
+type wal struct {
+	mu       sync.Mutex
+	f        *os.File
+	base     uint64 // LSN offset of byte 0 of the current log file
+	buf      []byte
+	fileSize uint64 // durable bytes in the file
+	bufStart uint64 // file offset of buf[0]
+	flushed  uint64 // file offset known durable
+	sync     bool   // fsync on flush
+}
+
+func openWAL(path string, base uint64, syncOnCommit bool) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &wal{
+		f:        f,
+		base:     base,
+		fileSize: uint64(st.Size()),
+		bufStart: uint64(st.Size()),
+		flushed:  uint64(st.Size()),
+		sync:     syncOnCommit,
+	}, nil
+}
+
+func (w *wal) close() error { return w.f.Close() }
+
+// append encodes and buffers a record, returning its LSN.
+func (w *wal) append(r *logRecord) uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appendLocked(r)
+}
+
+func (w *wal) appendLocked(r *logRecord) uint64 {
+	payload := encodeRecord(r)
+	lsn := w.base + w.bufStart + uint64(len(w.buf)) + 1
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	w.buf = append(w.buf, hdr[:]...)
+	w.buf = append(w.buf, payload...)
+	r.lsn = lsn
+	return lsn
+}
+
+// flush makes the log durable up to at least the given LSN.
+func (w *wal) flush(lsn uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if lsn <= w.base+w.flushed {
+		return nil
+	}
+	if len(w.buf) > 0 {
+		if _, err := w.f.WriteAt(w.buf, int64(w.bufStart)); err != nil {
+			return err
+		}
+		w.bufStart += uint64(len(w.buf))
+		w.fileSize = w.bufStart
+		w.buf = w.buf[:0]
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+	}
+	w.flushed = w.fileSize
+	return nil
+}
+
+// size returns the cumulative log bytes ever written (across truncations),
+// which is the log-volume metric reported by experiment E3.
+func (w *wal) size() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.base + w.bufStart + uint64(len(w.buf))
+}
+
+// truncate resets the log after a checkpoint, advancing the LSN base. The
+// caller persists the returned base before relying on the truncation.
+func (w *wal) truncate() (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	newBase := w.base + w.bufStart + uint64(len(w.buf))
+	if err := w.f.Truncate(0); err != nil {
+		return 0, err
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	w.base = newBase
+	w.buf = w.buf[:0]
+	w.bufStart = 0
+	w.fileSize = 0
+	w.flushed = 0
+	return newBase, nil
+}
+
+// scan reads all complete records from the start of the log, stopping at
+// the first torn or corrupt record (the tail of an interrupted write).
+func (w *wal) scan(fn func(r *logRecord) error) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	data, err := io.ReadAll(w.f)
+	if err != nil {
+		return err
+	}
+	data = append(data, w.buf...)
+	off := 0
+	for off+8 <= len(data) {
+		n := binary.LittleEndian.Uint32(data[off:])
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if off+8+int(n) > len(data) {
+			break // torn tail
+		}
+		payload := data[off+8 : off+8+int(n)]
+		if crc32.ChecksumIEEE(payload) != crc {
+			break // corrupt tail
+		}
+		r, err := decodeRecord(payload)
+		if err != nil {
+			return fmt.Errorf("wal: corrupt record at offset %d: %w", off, err)
+		}
+		r.lsn = w.base + uint64(off) + 1
+		if err := fn(r); err != nil {
+			return err
+		}
+		off += 8 + int(n)
+	}
+	return nil
+}
+
+// --- record encoding ---
+
+func encodeRecord(r *logRecord) []byte {
+	var b []byte
+	b = append(b, byte(r.typ))
+	b = binary.LittleEndian.AppendUint64(b, r.txn)
+	b = binary.LittleEndian.AppendUint64(b, r.prevLSN)
+	switch r.typ {
+	case recBegin, recCommit, recAbort, recCheckpoint:
+	case recInsert:
+		b = binary.LittleEndian.AppendUint32(b, r.heap)
+		b = binary.LittleEndian.AppendUint32(b, uint32(r.page))
+		b = binary.LittleEndian.AppendUint16(b, r.slot)
+		b = appendBytes(b, r.after)
+	case recDelete:
+		b = binary.LittleEndian.AppendUint32(b, r.heap)
+		b = binary.LittleEndian.AppendUint32(b, uint32(r.page))
+		b = binary.LittleEndian.AppendUint16(b, r.slot)
+		b = appendBytes(b, r.before)
+	case recSetBytes:
+		b = binary.LittleEndian.AppendUint32(b, uint32(r.page))
+		b = binary.LittleEndian.AppendUint16(b, r.slot)
+		b = binary.LittleEndian.AppendUint16(b, r.off)
+		b = appendBytes(b, r.before)
+		b = appendBytes(b, r.after)
+	case recBatchDelete:
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(r.rids)))
+		for _, rid := range r.rids {
+			b = binary.LittleEndian.AppendUint32(b, uint32(rid.Page))
+			b = binary.LittleEndian.AppendUint16(b, rid.Slot)
+		}
+	case recFormatPage:
+		b = binary.LittleEndian.AppendUint32(b, uint32(r.page))
+		b = binary.LittleEndian.AppendUint16(b, r.flags)
+		b = binary.LittleEndian.AppendUint32(b, uint32(r.page2)) // prev in chain
+		b = binary.LittleEndian.AppendUint32(b, uint32(r.page3)) // next in chain
+	case recChain:
+		b = binary.LittleEndian.AppendUint32(b, uint32(r.page))  // tail page
+		b = binary.LittleEndian.AppendUint32(b, uint32(r.page2)) // new next
+	case recSetFlags:
+		b = binary.LittleEndian.AppendUint32(b, uint32(r.page))
+		b = binary.LittleEndian.AppendUint16(b, r.flags)
+	case recCLR:
+		b = binary.LittleEndian.AppendUint64(b, r.undoNext)
+		b = appendBytes(b, encodeRecord(r.comp))
+	}
+	return b
+}
+
+func appendBytes(b, data []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(data)))
+	return append(b, data...)
+}
+
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) u8() byte {
+	if d.err != nil || d.off+1 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u16() uint16 {
+	if d.err != nil || d.off+2 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.b[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) bytes() []byte {
+	n := d.u32()
+	if d.err != nil || d.off+int(n) > len(d.b) {
+		d.fail()
+		return nil
+	}
+	v := make([]byte, n)
+	copy(v, d.b[d.off:])
+	d.off += int(n)
+	return v
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("truncated record")
+	}
+}
+
+func decodeRecord(payload []byte) (*logRecord, error) {
+	d := &decoder{b: payload}
+	r := &logRecord{}
+	r.typ = recType(d.u8())
+	r.txn = d.u64()
+	r.prevLSN = d.u64()
+	switch r.typ {
+	case recBegin, recCommit, recAbort, recCheckpoint:
+	case recInsert:
+		r.heap = d.u32()
+		r.page = PageID(d.u32())
+		r.slot = d.u16()
+		r.after = d.bytes()
+	case recDelete:
+		r.heap = d.u32()
+		r.page = PageID(d.u32())
+		r.slot = d.u16()
+		r.before = d.bytes()
+	case recSetBytes:
+		r.page = PageID(d.u32())
+		r.slot = d.u16()
+		r.off = d.u16()
+		r.before = d.bytes()
+		r.after = d.bytes()
+	case recBatchDelete:
+		n := d.u32()
+		if n > uint32(len(payload)) {
+			return nil, fmt.Errorf("batch delete count out of range")
+		}
+		r.rids = make([]RID, 0, n)
+		for i := uint32(0); i < n; i++ {
+			pg := PageID(d.u32())
+			sl := d.u16()
+			r.rids = append(r.rids, RID{Page: pg, Slot: sl})
+		}
+	case recFormatPage:
+		r.page = PageID(d.u32())
+		r.flags = d.u16()
+		r.page2 = PageID(d.u32())
+		r.page3 = PageID(d.u32())
+	case recChain:
+		r.page = PageID(d.u32())
+		r.page2 = PageID(d.u32())
+	case recSetFlags:
+		r.page = PageID(d.u32())
+		r.flags = d.u16()
+	case recCLR:
+		r.undoNext = d.u64()
+		inner := d.bytes()
+		if d.err != nil {
+			return nil, d.err
+		}
+		comp, err := decodeRecord(inner)
+		if err != nil {
+			return nil, err
+		}
+		r.comp = comp
+	default:
+		return nil, fmt.Errorf("unknown record type %d", r.typ)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return r, nil
+}

@@ -1,0 +1,96 @@
+// Package wsdl parses the WSDL subset Demaq gateway declarations consume
+// (paper Sec. 2.1.2: "we import the supplier's interface definition from a
+// WSDL file"): service/port names with their endpoint addresses and,
+// optionally, the expected payload element per port for outbound
+// validation.
+package wsdl
+
+import (
+	"fmt"
+
+	"demaq/internal/xmldom"
+)
+
+// Definition is a parsed interface definition.
+type Definition struct {
+	Service string
+	Ports   map[string]*Port
+}
+
+// Port is one endpoint of the service.
+type Port struct {
+	Name    string
+	Address string // endpoint address (sim:// or http://)
+	Element string // expected root element of payloads ("" = any)
+}
+
+// Parse reads a WSDL-subset document:
+//
+//	<definitions>
+//	  <service name="Supplier">
+//	    <port name="CapacityRequestPort" element="plantCapacityInfo">
+//	      <address location="sim://supplier/capacity"/>
+//	    </port>
+//	  </service>
+//	</definitions>
+func Parse(src []byte) (*Definition, error) {
+	doc, err := xmldom.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("wsdl: %w", err)
+	}
+	root := doc.Root()
+	if root == nil || root.Name.Local != "definitions" {
+		return nil, fmt.Errorf("wsdl: document element must be <definitions>")
+	}
+	def := &Definition{Ports: map[string]*Port{}}
+	for _, svc := range root.ChildElements() {
+		if svc.Name.Local != "service" {
+			continue
+		}
+		if n, ok := svc.Attr("name"); ok {
+			def.Service = n
+		}
+		for _, p := range svc.ChildElements() {
+			if p.Name.Local != "port" {
+				continue
+			}
+			name, ok := p.Attr("name")
+			if !ok {
+				return nil, fmt.Errorf("wsdl: port without name")
+			}
+			port := &Port{Name: name}
+			port.Element, _ = p.Attr("element")
+			for _, a := range p.ChildElements() {
+				if a.Name.Local == "address" {
+					port.Address, _ = a.Attr("location")
+				}
+			}
+			if port.Address == "" {
+				return nil, fmt.Errorf("wsdl: port %q has no address", name)
+			}
+			def.Ports[name] = port
+		}
+	}
+	if len(def.Ports) == 0 {
+		return nil, fmt.Errorf("wsdl: no ports defined")
+	}
+	return def, nil
+}
+
+// Port resolves a port by name; an empty name with exactly one port returns
+// that port.
+func (d *Definition) Port(name string) (*Port, error) {
+	if name == "" {
+		if len(d.Ports) == 1 {
+			for _, p := range d.Ports {
+				return p, nil
+			}
+		}
+		return nil, fmt.Errorf("wsdl: port name required (service has %d ports)", len(d.Ports))
+	}
+	p, ok := d.Ports[name]
+	if !ok {
+		return nil, fmt.Errorf("wsdl: unknown port %q", name)
+	}
+	return p, nil
+}

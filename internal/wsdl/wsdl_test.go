@@ -1,0 +1,63 @@
+package wsdl
+
+import "testing"
+
+const supplierWSDL = `
+<definitions>
+  <service name="Supplier">
+    <port name="CapacityRequestPort" element="plantCapacityInfo">
+      <address location="sim://supplier/capacity"/>
+    </port>
+    <port name="OrderPort">
+      <address location="http://supplier.invalid/orders"/>
+    </port>
+  </service>
+</definitions>`
+
+func TestParseWSDL(t *testing.T) {
+	def, err := Parse([]byte(supplierWSDL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Service != "Supplier" || len(def.Ports) != 2 {
+		t.Fatalf("definition: %+v", def)
+	}
+	p, err := def.Port("CapacityRequestPort")
+	if err != nil || p.Address != "sim://supplier/capacity" || p.Element != "plantCapacityInfo" {
+		t.Fatalf("port: %+v %v", p, err)
+	}
+	if _, err := def.Port("NoSuchPort"); err == nil {
+		t.Fatal("unknown port must fail")
+	}
+	// Empty port name is ambiguous with two ports.
+	if _, err := def.Port(""); err == nil {
+		t.Fatal("ambiguous default port must fail")
+	}
+}
+
+func TestSinglePortDefault(t *testing.T) {
+	def, err := Parse([]byte(`<definitions><service name="S">
+		<port name="Only"><address location="sim://x/y"/></port>
+	</service></definitions>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := def.Port("")
+	if err != nil || p.Name != "Only" {
+		t.Fatalf("default port: %+v %v", p, err)
+	}
+}
+
+func TestParseWSDLErrors(t *testing.T) {
+	bad := []string{
+		`<nope/>`,
+		`<definitions/>`,
+		`<definitions><service><port name="p"/></service></definitions>`,                           // no address
+		`<definitions><service><port><address location="sim://x"/></port></service></definitions>`, // no name
+	}
+	for _, src := range bad {
+		if _, err := Parse([]byte(src)); err == nil {
+			t.Errorf("expected error for %s", src)
+		}
+	}
+}

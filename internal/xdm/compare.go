@@ -1,0 +1,195 @@
+package xdm
+
+import (
+	"fmt"
+	"math"
+)
+
+// CompOp is a comparison operator shared by value and general comparisons.
+type CompOp uint8
+
+// Comparison operators.
+const (
+	OpEq CompOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String returns the value-comparison spelling of the operator.
+func (op CompOp) String() string {
+	switch op {
+	case OpEq:
+		return "eq"
+	case OpNe:
+		return "ne"
+	case OpLt:
+		return "lt"
+	case OpLe:
+		return "le"
+	case OpGt:
+		return "gt"
+	case OpGe:
+		return "ge"
+	}
+	return "?"
+}
+
+func holds(op CompOp, c int) bool {
+	switch op {
+	case OpEq:
+		return c == 0
+	case OpNe:
+		return c != 0
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	case OpGe:
+		return c >= 0
+	}
+	return false
+}
+
+// promotePair determines the common comparison type of two values following
+// the XQuery promotion rules for the supported types. Untyped operands are
+// cast to the other operand's type; two untyped operands compare as strings.
+func promotePair(a, b Value) (Value, Value, error) {
+	ta, tb := a.T, b.T
+	if ta == TypeUntyped && tb == TypeUntyped {
+		return NewString(a.S), NewString(b.S), nil
+	}
+	if ta == TypeUntyped {
+		target := tb
+		if tb == TypeInteger || tb == TypeDecimal {
+			target = TypeDouble // untyped promotes through double for numerics
+		}
+		ca, err := a.Cast(target)
+		if err != nil {
+			return Value{}, Value{}, err
+		}
+		cb, err := b.Cast(target)
+		if err != nil {
+			return Value{}, Value{}, err
+		}
+		return ca, cb, nil
+	}
+	if tb == TypeUntyped {
+		cb, ca, err := promotePair(b, a)
+		return ca, cb, err
+	}
+	if ta.IsNumeric() && tb.IsNumeric() {
+		if ta == tb && ta == TypeInteger {
+			return a, b, nil
+		}
+		ca, _ := a.Cast(TypeDouble)
+		cb, _ := b.Cast(TypeDouble)
+		return ca, cb, nil
+	}
+	if ta == tb {
+		return a, b, nil
+	}
+	// string vs untypedAtomic handled above; any other mix is a type error.
+	return Value{}, Value{}, fmt.Errorf("xdm: cannot compare %s with %s", ta, tb)
+}
+
+// CompareValues applies a value comparison (eq, ne, lt, le, gt, ge) to two
+// atomic values after promotion.
+func CompareValues(op CompOp, a, b Value) (bool, error) {
+	pa, pb, err := promotePair(a, b)
+	if err != nil {
+		return false, err
+	}
+	switch pa.T {
+	case TypeString, TypeUntyped:
+		c := 0
+		if pa.S < pb.S {
+			c = -1
+		} else if pa.S > pb.S {
+			c = 1
+		}
+		return holds(op, c), nil
+	case TypeBoolean:
+		ai, bi := 0, 0
+		if pa.B {
+			ai = 1
+		}
+		if pb.B {
+			bi = 1
+		}
+		return holds(op, ai-bi), nil
+	case TypeInteger:
+		c := 0
+		if pa.I < pb.I {
+			c = -1
+		} else if pa.I > pb.I {
+			c = 1
+		}
+		return holds(op, c), nil
+	case TypeDecimal, TypeDouble:
+		if math.IsNaN(pa.F) || math.IsNaN(pb.F) {
+			return op == OpNe, nil // NaN compares unequal to everything
+		}
+		c := 0
+		if pa.F < pb.F {
+			c = -1
+		} else if pa.F > pb.F {
+			c = 1
+		}
+		return holds(op, c), nil
+	case TypeDateTime:
+		c := 0
+		if pa.D.Before(pb.D) {
+			c = -1
+		} else if pa.D.After(pb.D) {
+			c = 1
+		}
+		return holds(op, c), nil
+	}
+	return false, fmt.Errorf("xdm: cannot compare values of type %s", pa.T)
+}
+
+// CompareGeneral applies a general comparison: it holds if the value
+// comparison holds for any pair from the atomized operand sequences
+// (existential semantics).
+func CompareGeneral(op CompOp, left, right Sequence) (bool, error) {
+	if len(left) == 0 || len(right) == 0 {
+		return false, nil
+	}
+	lv := AtomizeSeq(left)
+	rv := AtomizeSeq(right)
+	for _, a := range lv {
+		for _, b := range rv {
+			ok, err := CompareValues(op, a, b)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// DeepEqualValues reports sequence deep-equality of two atomic values; used
+// by fn:distinct-values and for grouping slice keys. NaN equals NaN here,
+// per fn:distinct-values semantics.
+func DeepEqualValues(a, b Value) bool {
+	pa, pb, err := promotePair(a, b)
+	if err != nil {
+		return false
+	}
+	switch pa.T {
+	case TypeDecimal, TypeDouble:
+		if math.IsNaN(pa.F) && math.IsNaN(pb.F) {
+			return true
+		}
+	}
+	eq, err := CompareValues(OpEq, pa, pb)
+	return err == nil && eq
+}

@@ -1,0 +1,167 @@
+package xdm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"demaq/internal/xmldom"
+)
+
+func TestCompareValuesNumericPromotion(t *testing.T) {
+	cases := []struct {
+		op   CompOp
+		a, b Value
+		want bool
+	}{
+		{OpEq, NewInteger(3), NewDouble(3.0), true},
+		{OpLt, NewInteger(3), NewDecimal(3.5), true},
+		{OpGt, NewDouble(4), NewInteger(3), true},
+		{OpEq, NewUntyped("5"), NewInteger(5), true},
+		{OpEq, NewUntyped("abc"), NewString("abc"), true},
+		{OpLt, NewString("a"), NewString("b"), true},
+		{OpNe, NewDouble(math.NaN()), NewDouble(1), true},
+		{OpEq, NewDouble(math.NaN()), NewDouble(math.NaN()), false},
+		{OpEq, NewBool(true), NewBool(true), true},
+		{OpLt, NewBool(false), NewBool(true), true},
+	}
+	for i, c := range cases {
+		got, err := CompareValues(c.op, c.a, c.b)
+		if err != nil {
+			t.Errorf("case %d: %v", i, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("case %d: %v %s %v = %v, want %v", i, c.a, c.op, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareTypeErrors(t *testing.T) {
+	if _, err := CompareValues(OpEq, NewString("x"), NewInteger(1)); err == nil {
+		t.Error("string vs integer should be a type error")
+	}
+	if _, err := CompareValues(OpLt, NewBool(true), NewInteger(1)); err == nil {
+		t.Error("boolean vs integer should be a type error")
+	}
+}
+
+func TestCompareGeneralExistential(t *testing.T) {
+	doc := xmldom.MustParse("<a><v>1</v><v>2</v><v>3</v></a>")
+	nodes := doc.Root().ChildElements()
+	left := NodeSeq(nodes)
+	// //v = 2 is true because one member matches.
+	ok, err := CompareGeneral(OpEq, left, Singleton(NewInteger(2)))
+	if err != nil || !ok {
+		t.Fatalf("existential eq: %v %v", ok, err)
+	}
+	// //v = 9 is false.
+	ok, err = CompareGeneral(OpEq, left, Singleton(NewInteger(9)))
+	if err != nil || ok {
+		t.Fatalf("no member equals 9: %v %v", ok, err)
+	}
+	// Empty operand: always false, even for !=.
+	ok, err = CompareGeneral(OpNe, EmptySequence, Singleton(NewInteger(1)))
+	if err != nil || ok {
+		t.Fatalf("empty general comparison: %v %v", ok, err)
+	}
+	// Untyped vs numeric compares numerically: "10" > 9.
+	ok, err = CompareGeneral(OpGt, Singleton(NodeSeq(nodes)[0]), Singleton(NewInteger(0)))
+	if err != nil || !ok {
+		t.Fatalf("untyped numeric: %v %v", ok, err)
+	}
+}
+
+func TestDeepEqualValues(t *testing.T) {
+	if !DeepEqualValues(NewDouble(math.NaN()), NewDouble(math.NaN())) {
+		t.Error("NaN deep-equals NaN for grouping")
+	}
+	if !DeepEqualValues(NewInteger(2), NewDouble(2)) {
+		t.Error("2 eq 2.0")
+	}
+	if DeepEqualValues(NewString("a"), NewString("b")) {
+		t.Error("a != b")
+	}
+}
+
+// TestQuickComparisonCoherence verifies for random integer pairs that the
+// six operators behave as a coherent total order (trichotomy, duality).
+func TestQuickComparisonCoherence(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := NewInteger(a), NewInteger(b)
+		eq, _ := CompareValues(OpEq, va, vb)
+		ne, _ := CompareValues(OpNe, va, vb)
+		lt, _ := CompareValues(OpLt, va, vb)
+		le, _ := CompareValues(OpLe, va, vb)
+		gt, _ := CompareValues(OpGt, va, vb)
+		ge, _ := CompareValues(OpGe, va, vb)
+		if eq == ne {
+			return false
+		}
+		if lt && (eq || gt) {
+			return false
+		}
+		if le != (lt || eq) || ge != (gt || eq) {
+			return false
+		}
+		// Exactly one of lt, eq, gt.
+		n := 0
+		for _, x := range []bool{lt, eq, gt} {
+			if x {
+				n++
+			}
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCastRoundTrip checks value → string → value round trips for
+// integers and booleans.
+func TestQuickCastRoundTrip(t *testing.T) {
+	f := func(i int64, b bool) bool {
+		vi := NewInteger(i)
+		si, _ := vi.Cast(TypeString)
+		back, err := si.Cast(TypeInteger)
+		if err != nil || back.I != i {
+			return false
+		}
+		vb := NewBool(b)
+		sb, _ := vb.Cast(TypeString)
+		bb, err := sb.Cast(TypeBoolean)
+		return err == nil && bb.B == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickGeneralComparisonMonotone: for a random sequence of integers,
+// seq = max(seq) must hold and seq > max(seq) must not.
+func TestQuickGeneralComparisonMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		seq := make(Sequence, n)
+		maxv := int64(math.MinInt64)
+		for i := 0; i < n; i++ {
+			v := int64(r.Intn(1000)) - 500
+			seq[i] = NewInteger(v)
+			if v > maxv {
+				maxv = v
+			}
+		}
+		eq, err := CompareGeneral(OpEq, seq, Singleton(NewInteger(maxv)))
+		if err != nil || !eq {
+			return false
+		}
+		gt, err := CompareGeneral(OpGt, seq, Singleton(NewInteger(maxv)))
+		return err == nil && !gt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,390 @@
+// Package xdm implements the XQuery Data Model subset used by the Demaq
+// expression processor: items (nodes and atomic values), sequences, the
+// atomic type hierarchy needed by QDL property declarations (xs:string,
+// xs:boolean, xs:integer, xs:decimal, xs:double, xs:dateTime), atomization,
+// effective boolean value, casts and the value/general comparison rules.
+package xdm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"demaq/internal/xmldom"
+)
+
+// Type identifies an atomic type. Untyped is the type of atomized node
+// content (xs:untypedAtomic); it participates in the promotion rules.
+type Type uint8
+
+// Atomic types supported by the processor.
+const (
+	TypeUntyped Type = iota
+	TypeString
+	TypeBoolean
+	TypeInteger
+	TypeDecimal
+	TypeDouble
+	TypeDateTime
+)
+
+// String returns the xs: name of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeUntyped:
+		return "xs:untypedAtomic"
+	case TypeString:
+		return "xs:string"
+	case TypeBoolean:
+		return "xs:boolean"
+	case TypeInteger:
+		return "xs:integer"
+	case TypeDecimal:
+		return "xs:decimal"
+	case TypeDouble:
+		return "xs:double"
+	case TypeDateTime:
+		return "xs:dateTime"
+	}
+	return "xs:anyAtomicType"
+}
+
+// TypeByName resolves a QDL type name ("xs:string", "string", ...) to a
+// Type. It reports false for unknown names.
+func TypeByName(name string) (Type, bool) {
+	name = strings.TrimPrefix(name, "xs:")
+	switch name {
+	case "string":
+		return TypeString, true
+	case "boolean":
+		return TypeBoolean, true
+	case "integer", "int", "long":
+		return TypeInteger, true
+	case "decimal":
+		return TypeDecimal, true
+	case "double", "float":
+		return TypeDouble, true
+	case "dateTime":
+		return TypeDateTime, true
+	case "untypedAtomic":
+		return TypeUntyped, true
+	}
+	return 0, false
+}
+
+// Item is one member of a sequence: either a *Node or an atomic Value.
+type Item interface {
+	itemMarker()
+}
+
+// Node wraps an xmldom node as an item.
+type Node struct {
+	N *xmldom.Node
+}
+
+func (Node) itemMarker() {}
+
+// Value is an atomic value.
+type Value struct {
+	T Type
+	S string    // TypeString, TypeUntyped
+	B bool      // TypeBoolean
+	I int64     // TypeInteger
+	F float64   // TypeDecimal, TypeDouble
+	D time.Time // TypeDateTime
+}
+
+func (Value) itemMarker() {}
+
+// Constructors for atomic values.
+func NewString(s string) Value   { return Value{T: TypeString, S: s} }
+func NewUntyped(s string) Value  { return Value{T: TypeUntyped, S: s} }
+func NewBool(b bool) Value       { return Value{T: TypeBoolean, B: b} }
+func NewInteger(i int64) Value   { return Value{T: TypeInteger, I: i} }
+func NewDecimal(f float64) Value { return Value{T: TypeDecimal, F: f} }
+func NewDouble(f float64) Value  { return Value{T: TypeDouble, F: f} }
+func NewDateTime(t time.Time) Value {
+	return Value{T: TypeDateTime, D: t}
+}
+
+// Sequence is an ordered, possibly empty list of items. Demaq sequences are
+// always materialized; the engine operates message-at-a-time and messages
+// are small relative to pages, so streaming evaluation is an optimization
+// the paper leaves open (Sec. 4.4.1) and we do too.
+type Sequence []Item
+
+// EmptySequence is the canonical empty result.
+var EmptySequence = Sequence{}
+
+// Singleton wraps one item in a sequence.
+func Singleton(it Item) Sequence { return Sequence{it} }
+
+// NodeSeq builds a sequence from nodes.
+func NodeSeq(nodes []*xmldom.Node) Sequence {
+	s := make(Sequence, len(nodes))
+	for i, n := range nodes {
+		s[i] = Node{N: n}
+	}
+	return s
+}
+
+// Nodes extracts the node items; it errors if any item is atomic, which
+// implements the path-step requirement that steps apply to nodes only.
+func (s Sequence) Nodes() ([]*xmldom.Node, error) {
+	out := make([]*xmldom.Node, 0, len(s))
+	for _, it := range s {
+		n, ok := it.(Node)
+		if !ok {
+			return nil, fmt.Errorf("xdm: required a node, got %s", Describe(it))
+		}
+		out = append(out, n.N)
+	}
+	return out, nil
+}
+
+// Describe names an item for error messages.
+func Describe(it Item) string {
+	switch v := it.(type) {
+	case Node:
+		return v.N.Kind.String()
+	case Value:
+		return v.T.String()
+	}
+	return "unknown item"
+}
+
+// StringValue renders an atomic value in its canonical lexical form.
+func (v Value) StringValue() string {
+	switch v.T {
+	case TypeString, TypeUntyped:
+		return v.S
+	case TypeBoolean:
+		if v.B {
+			return "true"
+		}
+		return "false"
+	case TypeInteger:
+		return strconv.FormatInt(v.I, 10)
+	case TypeDecimal, TypeDouble:
+		return FormatNumber(v.F)
+	case TypeDateTime:
+		return v.D.Format(time.RFC3339Nano)
+	}
+	return ""
+}
+
+// FormatNumber renders a float per the XPath rules: integral values print
+// without a decimal point, NaN prints "NaN", infinities print "INF"/"-INF".
+func FormatNumber(f float64) string {
+	switch {
+	case math.IsNaN(f):
+		return "NaN"
+	case math.IsInf(f, 1):
+		return "INF"
+	case math.IsInf(f, -1):
+		return "-INF"
+	case f == math.Trunc(f) && math.Abs(f) < 1e15:
+		return strconv.FormatInt(int64(f), 10)
+	default:
+		return strconv.FormatFloat(f, 'g', -1, 64)
+	}
+}
+
+// ItemString returns the string value of any item.
+func ItemString(it Item) string {
+	switch v := it.(type) {
+	case Node:
+		return v.N.StringValue()
+	case Value:
+		return v.StringValue()
+	}
+	return ""
+}
+
+// Atomize converts an item to its typed value: nodes atomize to
+// xs:untypedAtomic of their string value.
+func Atomize(it Item) Value {
+	switch v := it.(type) {
+	case Node:
+		return NewUntyped(v.N.StringValue())
+	case Value:
+		return v
+	}
+	return NewUntyped("")
+}
+
+// AtomizeSeq atomizes every item of a sequence.
+func AtomizeSeq(s Sequence) []Value {
+	out := make([]Value, len(s))
+	for i, it := range s {
+		out[i] = Atomize(it)
+	}
+	return out
+}
+
+// EffectiveBooleanValue implements fn:boolean. Errors mirror XQuery err:FORG0006.
+func EffectiveBooleanValue(s Sequence) (bool, error) {
+	if len(s) == 0 {
+		return false, nil
+	}
+	if _, ok := s[0].(Node); ok {
+		return true, nil
+	}
+	if len(s) > 1 {
+		return false, fmt.Errorf("xdm: effective boolean value of multi-item atomic sequence")
+	}
+	v := s[0].(Value)
+	switch v.T {
+	case TypeBoolean:
+		return v.B, nil
+	case TypeString, TypeUntyped:
+		return v.S != "", nil
+	case TypeInteger:
+		return v.I != 0, nil
+	case TypeDecimal, TypeDouble:
+		return v.F != 0 && !math.IsNaN(v.F), nil
+	default:
+		return false, fmt.Errorf("xdm: no effective boolean value for %s", v.T)
+	}
+}
+
+// Cast converts a value to the target type, applying the XQuery casting
+// rules for the supported types.
+func (v Value) Cast(t Type) (Value, error) {
+	if v.T == t {
+		return v, nil
+	}
+	switch t {
+	case TypeString:
+		return NewString(v.StringValue()), nil
+	case TypeUntyped:
+		return NewUntyped(v.StringValue()), nil
+	case TypeBoolean:
+		switch v.T {
+		case TypeString, TypeUntyped:
+			switch strings.TrimSpace(v.S) {
+			case "true", "1":
+				return NewBool(true), nil
+			case "false", "0":
+				return NewBool(false), nil
+			}
+			return Value{}, fmt.Errorf("xdm: cannot cast %q to xs:boolean", v.S)
+		case TypeInteger:
+			return NewBool(v.I != 0), nil
+		case TypeDecimal, TypeDouble:
+			return NewBool(v.F != 0 && !math.IsNaN(v.F)), nil
+		}
+	case TypeInteger:
+		switch v.T {
+		case TypeString, TypeUntyped:
+			i, err := strconv.ParseInt(strings.TrimSpace(v.S), 10, 64)
+			if err != nil {
+				return Value{}, fmt.Errorf("xdm: cannot cast %q to xs:integer", v.S)
+			}
+			return NewInteger(i), nil
+		case TypeBoolean:
+			if v.B {
+				return NewInteger(1), nil
+			}
+			return NewInteger(0), nil
+		case TypeDecimal, TypeDouble:
+			if math.IsNaN(v.F) || math.IsInf(v.F, 0) {
+				return Value{}, fmt.Errorf("xdm: cannot cast %s to xs:integer", FormatNumber(v.F))
+			}
+			return NewInteger(int64(math.Trunc(v.F))), nil
+		}
+	case TypeDecimal, TypeDouble:
+		mk := NewDecimal
+		if t == TypeDouble {
+			mk = NewDouble
+		}
+		switch v.T {
+		case TypeString, TypeUntyped:
+			f, err := parseNumberLexical(v.S)
+			if err != nil {
+				if t == TypeDouble {
+					return NewDouble(math.NaN()), nil
+				}
+				return Value{}, fmt.Errorf("xdm: cannot cast %q to %s", v.S, t)
+			}
+			return mk(f), nil
+		case TypeBoolean:
+			if v.B {
+				return mk(1), nil
+			}
+			return mk(0), nil
+		case TypeInteger:
+			return mk(float64(v.I)), nil
+		case TypeDecimal, TypeDouble:
+			return mk(v.F), nil
+		}
+	case TypeDateTime:
+		switch v.T {
+		case TypeString, TypeUntyped:
+			d, err := ParseDateTime(strings.TrimSpace(v.S))
+			if err != nil {
+				return Value{}, err
+			}
+			return NewDateTime(d), nil
+		}
+	}
+	return Value{}, fmt.Errorf("xdm: cannot cast %s to %s", v.T, t)
+}
+
+func parseNumberLexical(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	switch s {
+	case "INF":
+		return math.Inf(1), nil
+	case "-INF":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// ParseDateTime parses an xs:dateTime lexical value (RFC3339 with optional
+// fractional seconds; a missing zone designator is taken as UTC).
+func ParseDateTime(s string) (time.Time, error) {
+	for _, layout := range []string{
+		time.RFC3339Nano,
+		time.RFC3339,
+		"2006-01-02T15:04:05",
+		"2006-01-02T15:04:05.999999999",
+	} {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t.UTC(), nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("xdm: cannot parse %q as xs:dateTime", s)
+}
+
+// Number coerces a value to xs:double per fn:number: failures yield NaN.
+func (v Value) Number() float64 {
+	switch v.T {
+	case TypeInteger:
+		return float64(v.I)
+	case TypeDecimal, TypeDouble:
+		return v.F
+	case TypeBoolean:
+		if v.B {
+			return 1
+		}
+		return 0
+	case TypeString, TypeUntyped:
+		f, err := parseNumberLexical(v.S)
+		if err != nil {
+			return math.NaN()
+		}
+		return f
+	}
+	return math.NaN()
+}
+
+// IsNumeric reports whether the type is one of the numeric types.
+func (t Type) IsNumeric() bool {
+	return t == TypeInteger || t == TypeDecimal || t == TypeDouble
+}

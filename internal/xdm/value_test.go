@@ -1,0 +1,155 @@
+package xdm
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"demaq/internal/xmldom"
+)
+
+func TestTypeByName(t *testing.T) {
+	cases := map[string]Type{
+		"xs:string":   TypeString,
+		"string":      TypeString,
+		"xs:boolean":  TypeBoolean,
+		"xs:integer":  TypeInteger,
+		"xs:int":      TypeInteger,
+		"xs:decimal":  TypeDecimal,
+		"xs:double":   TypeDouble,
+		"xs:dateTime": TypeDateTime,
+	}
+	for name, want := range cases {
+		got, ok := TypeByName(name)
+		if !ok || got != want {
+			t.Errorf("TypeByName(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := TypeByName("xs:hexBinary"); ok {
+		t.Error("unsupported type should not resolve")
+	}
+}
+
+func TestStringValueCanonical(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{NewString("x"), "x"},
+		{NewBool(true), "true"},
+		{NewBool(false), "false"},
+		{NewInteger(-42), "-42"},
+		{NewDouble(3), "3"},
+		{NewDouble(3.5), "3.5"},
+		{NewDouble(math.NaN()), "NaN"},
+		{NewDouble(math.Inf(1)), "INF"},
+		{NewDouble(math.Inf(-1)), "-INF"},
+	}
+	for _, c := range cases {
+		if got := c.v.StringValue(); got != c.want {
+			t.Errorf("StringValue(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestAtomizeNode(t *testing.T) {
+	doc := xmldom.MustParse("<a><b>12</b><b>3</b></a>")
+	v := Atomize(Node{N: doc.Root()})
+	if v.T != TypeUntyped || v.S != "123" {
+		t.Fatalf("atomize = %+v", v)
+	}
+}
+
+func TestEffectiveBooleanValue(t *testing.T) {
+	doc := xmldom.MustParse("<a/>")
+	cases := []struct {
+		s    Sequence
+		want bool
+	}{
+		{EmptySequence, false},
+		{Singleton(Node{N: doc.Root()}), true},
+		{Sequence{Node{N: doc.Root()}, NewString("x")}, true}, // first item is node
+		{Singleton(NewBool(true)), true},
+		{Singleton(NewBool(false)), false},
+		{Singleton(NewString("")), false},
+		{Singleton(NewString("a")), true},
+		{Singleton(NewInteger(0)), false},
+		{Singleton(NewInteger(5)), true},
+		{Singleton(NewDouble(math.NaN())), false},
+	}
+	for i, c := range cases {
+		got, err := EffectiveBooleanValue(c.s)
+		if err != nil || got != c.want {
+			t.Errorf("case %d: ebv = %v, %v", i, got, err)
+		}
+	}
+	if _, err := EffectiveBooleanValue(Sequence{NewInteger(1), NewInteger(2)}); err == nil {
+		t.Error("multi-atomic EBV should error")
+	}
+}
+
+func TestCasts(t *testing.T) {
+	if v, err := NewString("42").Cast(TypeInteger); err != nil || v.I != 42 {
+		t.Fatalf("string->integer: %v %v", v, err)
+	}
+	if v, err := NewUntyped(" 3.5 ").Cast(TypeDouble); err != nil || v.F != 3.5 {
+		t.Fatalf("untyped->double: %v %v", v, err)
+	}
+	if v, err := NewString("true").Cast(TypeBoolean); err != nil || !v.B {
+		t.Fatalf("string->bool: %v %v", v, err)
+	}
+	if v, err := NewString("1").Cast(TypeBoolean); err != nil || !v.B {
+		t.Fatalf("'1'->bool: %v %v", v, err)
+	}
+	if _, err := NewString("maybe").Cast(TypeBoolean); err == nil {
+		t.Fatal("bad bool cast should fail")
+	}
+	if v, err := NewInteger(7).Cast(TypeString); err != nil || v.S != "7" {
+		t.Fatalf("int->string: %v %v", v, err)
+	}
+	if v, err := NewDouble(3.9).Cast(TypeInteger); err != nil || v.I != 3 {
+		t.Fatalf("double->integer truncates: %v %v", v, err)
+	}
+	if _, err := NewDouble(math.NaN()).Cast(TypeInteger); err == nil {
+		t.Fatal("NaN->integer must fail")
+	}
+	// Cast of an unparseable string to double yields NaN, to decimal errors.
+	if v, err := NewString("junk").Cast(TypeDouble); err != nil || !math.IsNaN(v.F) {
+		t.Fatalf("junk->double: %v %v", v, err)
+	}
+	if _, err := NewString("junk").Cast(TypeDecimal); err == nil {
+		t.Fatal("junk->decimal must fail")
+	}
+}
+
+func TestDateTime(t *testing.T) {
+	v, err := NewString("2026-06-10T12:00:00Z").Cast(TypeDateTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Date(2026, 6, 10, 12, 0, 0, 0, time.UTC)
+	if !v.D.Equal(want) {
+		t.Fatalf("parsed %v", v.D)
+	}
+	// Zone-less parses as UTC.
+	v2, err := NewString("2026-06-10T12:00:00").Cast(TypeDateTime)
+	if err != nil || !v2.D.Equal(want) {
+		t.Fatalf("zone-less: %v %v", v2.D, err)
+	}
+	ok, err := CompareValues(OpLt, v, NewDateTime(want.Add(time.Hour)))
+	if err != nil || !ok {
+		t.Fatalf("dateTime compare: %v %v", ok, err)
+	}
+}
+
+func TestNumber(t *testing.T) {
+	if NewString("12").Number() != 12 {
+		t.Fatal("number of '12'")
+	}
+	if !math.IsNaN(NewString("x").Number()) {
+		t.Fatal("number of 'x' should be NaN")
+	}
+	if NewBool(true).Number() != 1 {
+		t.Fatal("number of true")
+	}
+}

@@ -1,0 +1,557 @@
+package xmldom
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+)
+
+// ParseError describes a well-formedness violation with its input position.
+type ParseError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("xml: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Parse parses a complete XML document and returns its document node.
+// The parser is namespace-aware, supports the five predefined entities and
+// numeric character references, CDATA sections, comments and processing
+// instructions. DOCTYPE declarations are skipped; internal subsets that
+// declare entities are rejected (messages are exchanged between peers and
+// must be self-contained).
+func Parse(input []byte) (*Node, error) {
+	p := &parser{src: input, line: 1, col: 1}
+	doc, err := p.parseDocument()
+	if err != nil {
+		return nil, err
+	}
+	doc.Seal()
+	return doc, nil
+}
+
+// ParseString is Parse for string input.
+func ParseString(input string) (*Node, error) { return Parse([]byte(input)) }
+
+// MustParse parses or panics; intended for tests and static fixtures.
+func MustParse(input string) *Node {
+	doc, err := ParseString(input)
+	if err != nil {
+		panic(err)
+	}
+	return doc
+}
+
+// nsBinding is one in-scope namespace declaration.
+type nsBinding struct {
+	prefix string
+	uri    string
+}
+
+type parser struct {
+	src  []byte
+	pos  int
+	line int
+	col  int
+	ns   []nsBinding // stack of in-scope bindings
+}
+
+const xmlNamespace = "http://www.w3.org/XML/1998/namespace"
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.line, Col: p.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) advance() byte {
+	c := p.src[p.pos]
+	p.pos++
+	if c == '\n' {
+		p.line++
+		p.col = 1
+	} else {
+		p.col++
+	}
+	return c
+}
+
+func (p *parser) skipSpace() {
+	for !p.eof() {
+		switch p.peek() {
+		case ' ', '\t', '\r', '\n':
+			p.advance()
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) hasPrefix(s string) bool {
+	return p.pos+len(s) <= len(p.src) && string(p.src[p.pos:p.pos+len(s)]) == s
+}
+
+func (p *parser) consume(s string) bool {
+	if p.hasPrefix(s) {
+		for range s {
+			p.advance()
+		}
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(s string) error {
+	if !p.consume(s) {
+		return p.errf("expected %q", s)
+	}
+	return nil
+}
+
+func (p *parser) parseDocument() (*Node, error) {
+	doc := &Node{Kind: DocumentNode}
+	// Optional XML declaration.
+	if p.hasPrefix("<?xml") {
+		if err := p.skipPI(); err != nil {
+			return nil, err
+		}
+	}
+	seenRoot := false
+	for {
+		p.skipSpace()
+		if p.eof() {
+			break
+		}
+		switch {
+		case p.hasPrefix("<!--"):
+			c, err := p.parseComment()
+			if err != nil {
+				return nil, err
+			}
+			c.Parent = doc
+			doc.Children = append(doc.Children, c)
+		case p.hasPrefix("<!DOCTYPE"):
+			if err := p.skipDoctype(); err != nil {
+				return nil, err
+			}
+		case p.hasPrefix("<?"):
+			pi, err := p.parsePI()
+			if err != nil {
+				return nil, err
+			}
+			pi.Parent = doc
+			doc.Children = append(doc.Children, pi)
+		case p.peek() == '<':
+			if seenRoot {
+				return nil, p.errf("multiple document elements")
+			}
+			el, err := p.parseElement()
+			if err != nil {
+				return nil, err
+			}
+			el.Parent = doc
+			doc.Children = append(doc.Children, el)
+			seenRoot = true
+		default:
+			return nil, p.errf("content outside document element")
+		}
+	}
+	if !seenRoot {
+		return nil, p.errf("no document element")
+	}
+	return doc, nil
+}
+
+func (p *parser) skipDoctype() error {
+	if err := p.expect("<!DOCTYPE"); err != nil {
+		return err
+	}
+	depth := 1
+	for !p.eof() {
+		c := p.advance()
+		switch c {
+		case '<':
+			depth++
+		case '>':
+			depth--
+			if depth == 0 {
+				return nil
+			}
+		case '[':
+			return p.errf("DOCTYPE internal subsets are not supported")
+		}
+	}
+	return p.errf("unterminated DOCTYPE")
+}
+
+func (p *parser) skipPI() error {
+	for !p.eof() {
+		if p.consume("?>") {
+			return nil
+		}
+		p.advance()
+	}
+	return p.errf("unterminated processing instruction")
+}
+
+func (p *parser) parsePI() (*Node, error) {
+	if err := p.expect("<?"); err != nil {
+		return nil, err
+	}
+	target, err := p.parseRawName()
+	if err != nil {
+		return nil, err
+	}
+	if strings.EqualFold(target, "xml") {
+		return nil, p.errf("misplaced XML declaration")
+	}
+	p.skipSpace()
+	start := p.pos
+	for !p.eof() {
+		if p.hasPrefix("?>") {
+			data := string(p.src[start:p.pos])
+			p.consume("?>")
+			return &Node{Kind: ProcessingInstructionNode, Name: Name{Local: target}, Data: data}, nil
+		}
+		p.advance()
+	}
+	return nil, p.errf("unterminated processing instruction")
+}
+
+func (p *parser) parseComment() (*Node, error) {
+	if err := p.expect("<!--"); err != nil {
+		return nil, err
+	}
+	start := p.pos
+	for !p.eof() {
+		if p.hasPrefix("-->") {
+			data := string(p.src[start:p.pos])
+			if strings.Contains(data, "--") {
+				return nil, p.errf("'--' not allowed inside comment")
+			}
+			p.consume("-->")
+			return &Node{Kind: CommentNode, Data: data}, nil
+		}
+		p.advance()
+	}
+	return nil, p.errf("unterminated comment")
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c == '-' || c == '.' || (c >= '0' && c <= '9')
+}
+
+// parseRawName reads a lexical QName (prefix:local) without resolving it.
+func (p *parser) parseRawName() (string, error) {
+	if p.eof() || !isNameStart(p.peek()) {
+		return "", p.errf("expected name")
+	}
+	start := p.pos
+	for !p.eof() && isNameChar(p.peek()) {
+		p.advance()
+	}
+	return string(p.src[start:p.pos]), nil
+}
+
+func splitQName(raw string) (prefix, local string, err error) {
+	i := strings.IndexByte(raw, ':')
+	if i < 0 {
+		return "", raw, nil
+	}
+	prefix, local = raw[:i], raw[i+1:]
+	if prefix == "" || local == "" || strings.Contains(local, ":") {
+		return "", "", fmt.Errorf("malformed QName %q", raw)
+	}
+	return prefix, local, nil
+}
+
+func (p *parser) lookup(prefix string) (string, bool) {
+	if prefix == "xml" {
+		return xmlNamespace, true
+	}
+	for i := len(p.ns) - 1; i >= 0; i-- {
+		if p.ns[i].prefix == prefix {
+			return p.ns[i].uri, true
+		}
+	}
+	if prefix == "" {
+		return "", true // default namespace undeclared = no namespace
+	}
+	return "", false
+}
+
+type rawAttr struct {
+	name  string
+	value string
+}
+
+func (p *parser) parseElement() (*Node, error) {
+	if err := p.expect("<"); err != nil {
+		return nil, err
+	}
+	rawName, err := p.parseRawName()
+	if err != nil {
+		return nil, err
+	}
+	var attrs []rawAttr
+	nsMark := len(p.ns)
+	defer func() { p.ns = p.ns[:nsMark] }()
+
+	for {
+		p.skipSpace()
+		if p.eof() {
+			return nil, p.errf("unterminated start tag <%s>", rawName)
+		}
+		c := p.peek()
+		if c == '>' || c == '/' {
+			break
+		}
+		aname, err := p.parseRawName()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		aval, err := p.parseAttrValue()
+		if err != nil {
+			return nil, err
+		}
+		// Namespace declarations take effect immediately for this element.
+		switch {
+		case aname == "xmlns":
+			p.ns = append(p.ns, nsBinding{prefix: "", uri: aval})
+		case strings.HasPrefix(aname, "xmlns:"):
+			px := aname[len("xmlns:"):]
+			if aval == "" {
+				return nil, p.errf("cannot undeclare prefix %q with empty URI", px)
+			}
+			p.ns = append(p.ns, nsBinding{prefix: px, uri: aval})
+		default:
+			for _, prev := range attrs {
+				if prev.name == aname {
+					return nil, p.errf("duplicate attribute %q", aname)
+				}
+			}
+			attrs = append(attrs, rawAttr{name: aname, value: aval})
+		}
+	}
+
+	el := &Node{Kind: ElementNode}
+	prefix, local, err := splitQName(rawName)
+	if err != nil {
+		return nil, p.errf("%v", err)
+	}
+	uri, ok := p.lookup(prefix)
+	if !ok {
+		return nil, p.errf("undeclared namespace prefix %q", prefix)
+	}
+	el.Name = Name{Space: uri, Prefix: prefix, Local: local}
+
+	for _, ra := range attrs {
+		aprefix, alocal, err := splitQName(ra.name)
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+		auri := ""
+		if aprefix != "" { // unprefixed attributes are in no namespace
+			auri, ok = p.lookup(aprefix)
+			if !ok {
+				return nil, p.errf("undeclared namespace prefix %q", aprefix)
+			}
+		}
+		an := &Node{Kind: AttributeNode, Name: Name{Space: auri, Prefix: aprefix, Local: alocal}, Data: ra.value, Parent: el}
+		el.Attrs = append(el.Attrs, an)
+	}
+
+	if p.consume("/>") {
+		return el, nil
+	}
+	if err := p.expect(">"); err != nil {
+		return nil, err
+	}
+	if err := p.parseContent(el); err != nil {
+		return nil, err
+	}
+	// Closing tag.
+	closeName, err := p.parseRawName()
+	if err != nil {
+		return nil, err
+	}
+	if closeName != rawName {
+		return nil, p.errf("mismatched end tag </%s>, expected </%s>", closeName, rawName)
+	}
+	p.skipSpace()
+	if err := p.expect(">"); err != nil {
+		return nil, err
+	}
+	return el, nil
+}
+
+func (p *parser) parseAttrValue() (string, error) {
+	if p.eof() {
+		return "", p.errf("expected attribute value")
+	}
+	quote := p.peek()
+	if quote != '"' && quote != '\'' {
+		return "", p.errf("attribute value must be quoted")
+	}
+	p.advance()
+	var sb strings.Builder
+	for {
+		if p.eof() {
+			return "", p.errf("unterminated attribute value")
+		}
+		c := p.peek()
+		switch c {
+		case quote:
+			p.advance()
+			return sb.String(), nil
+		case '<':
+			return "", p.errf("'<' not allowed in attribute value")
+		case '&':
+			r, err := p.parseReference()
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(r)
+		default:
+			sb.WriteByte(p.advance())
+		}
+	}
+}
+
+// parseContent parses element content up to (and consuming) the "</" of the
+// matching end tag.
+func (p *parser) parseContent(parent *Node) error {
+	var text strings.Builder
+	flush := func() {
+		if text.Len() > 0 {
+			t := &Node{Kind: TextNode, Data: text.String(), Parent: parent}
+			parent.Children = append(parent.Children, t)
+			text.Reset()
+		}
+	}
+	for {
+		if p.eof() {
+			return p.errf("unterminated element <%s>", parent.Name)
+		}
+		switch {
+		case p.hasPrefix("</"):
+			flush()
+			p.consume("</")
+			return nil
+		case p.hasPrefix("<!--"):
+			flush()
+			c, err := p.parseComment()
+			if err != nil {
+				return err
+			}
+			c.Parent = parent
+			parent.Children = append(parent.Children, c)
+		case p.hasPrefix("<![CDATA["):
+			if err := p.parseCDATA(&text); err != nil {
+				return err
+			}
+		case p.hasPrefix("<?"):
+			flush()
+			pi, err := p.parsePI()
+			if err != nil {
+				return err
+			}
+			pi.Parent = parent
+			parent.Children = append(parent.Children, pi)
+		case p.peek() == '<':
+			flush()
+			child, err := p.parseElement()
+			if err != nil {
+				return err
+			}
+			child.Parent = parent
+			parent.Children = append(parent.Children, child)
+		case p.peek() == '&':
+			r, err := p.parseReference()
+			if err != nil {
+				return err
+			}
+			text.WriteString(r)
+		default:
+			text.WriteByte(p.advance())
+		}
+	}
+}
+
+func (p *parser) parseCDATA(text *strings.Builder) error {
+	if err := p.expect("<![CDATA["); err != nil {
+		return err
+	}
+	start := p.pos
+	for !p.eof() {
+		if p.hasPrefix("]]>") {
+			text.Write(p.src[start:p.pos])
+			p.consume("]]>")
+			return nil
+		}
+		p.advance()
+	}
+	return p.errf("unterminated CDATA section")
+}
+
+func (p *parser) parseReference() (string, error) {
+	if err := p.expect("&"); err != nil {
+		return "", err
+	}
+	start := p.pos
+	for !p.eof() && p.peek() != ';' {
+		if p.pos-start > 12 {
+			return "", p.errf("unterminated entity reference")
+		}
+		p.advance()
+	}
+	if p.eof() {
+		return "", p.errf("unterminated entity reference")
+	}
+	name := string(p.src[start:p.pos])
+	p.advance() // ';'
+	switch name {
+	case "lt":
+		return "<", nil
+	case "gt":
+		return ">", nil
+	case "amp":
+		return "&", nil
+	case "apos":
+		return "'", nil
+	case "quot":
+		return "\"", nil
+	}
+	if strings.HasPrefix(name, "#") {
+		num := name[1:]
+		base := 10
+		if strings.HasPrefix(num, "x") || strings.HasPrefix(num, "X") {
+			num, base = num[1:], 16
+		}
+		cp, err := strconv.ParseUint(num, base, 32)
+		if err != nil || !utf8.ValidRune(rune(cp)) || cp == 0 {
+			return "", p.errf("invalid character reference &%s;", name)
+		}
+		return string(rune(cp)), nil
+	}
+	return "", p.errf("unknown entity &%s;", name)
+}

@@ -1,0 +1,143 @@
+package xmldom
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// genTree builds a random well-formed tree; it is the generator for the
+// serialize→parse round-trip property.
+func genTree(r *rand.Rand, depth int) *Node {
+	el := &Node{Kind: ElementNode, Name: Name{Local: randName(r)}}
+	nattrs := r.Intn(3)
+	seen := map[string]bool{}
+	for i := 0; i < nattrs; i++ {
+		an := randName(r)
+		if seen[an] {
+			continue
+		}
+		seen[an] = true
+		el.Attrs = append(el.Attrs, &Node{
+			Kind: AttributeNode, Name: Name{Local: an}, Data: randText(r), Parent: el,
+		})
+	}
+	if depth > 0 {
+		nchildren := r.Intn(4)
+		lastText := false
+		for i := 0; i < nchildren; i++ {
+			switch r.Intn(3) {
+			case 0:
+				if lastText {
+					continue // model never holds adjacent text nodes
+				}
+				t := randText(r)
+				if t == "" {
+					continue
+				}
+				el.Children = append(el.Children, &Node{Kind: TextNode, Data: t, Parent: el})
+				lastText = true
+			case 1:
+				c := genTree(r, depth-1)
+				c.Parent = el
+				el.Children = append(el.Children, c)
+				lastText = false
+			case 2:
+				el.Children = append(el.Children, &Node{Kind: CommentNode, Data: "c" + randName(r), Parent: el})
+				lastText = false
+			}
+		}
+	}
+	return el
+}
+
+func randName(r *rand.Rand) string {
+	const letters = "abcdefghij"
+	n := 1 + r.Intn(6)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(letters[r.Intn(len(letters))])
+	}
+	return sb.String()
+}
+
+func randText(r *rand.Rand) string {
+	const chars = "abc <>&\"'xyz \t\n"
+	n := r.Intn(12)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(chars[r.Intn(len(chars))])
+	}
+	return sb.String()
+}
+
+// TestQuickRoundTrip checks serialize(parse(serialize(t))) ≡ t for random
+// trees: the serializer must produce well-formed XML and the parser must
+// reconstruct the identical structure.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := &Node{Kind: DocumentNode}
+		rootEl := genTree(r, 4)
+		rootEl.Parent = doc
+		doc.Children = []*Node{rootEl}
+		doc.Seal()
+
+		text := Serialize(doc)
+		doc2, err := ParseString(text)
+		if err != nil {
+			t.Logf("seed %d: parse error %v on %q", seed, err, text)
+			return false
+		}
+		if !DeepEqual(doc, doc2) {
+			t.Logf("seed %d: structures differ\n%s\n%s", seed, text, Serialize(doc2))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDocOrderTotal checks that Before is a strict total order over all
+// nodes of a random tree.
+func TestQuickDocOrderTotal(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := &Node{Kind: DocumentNode}
+		rootEl := genTree(r, 3)
+		rootEl.Parent = doc
+		doc.Children = []*Node{rootEl}
+		doc.Seal()
+
+		var all []*Node
+		var collect func(n *Node)
+		collect = func(n *Node) {
+			all = append(all, n)
+			for _, a := range n.Attrs {
+				all = append(all, a)
+			}
+			for _, c := range n.Children {
+				collect(c)
+			}
+		}
+		collect(doc)
+		for i := range all {
+			for j := range all {
+				bij, bji := all[i].Before(all[j]), all[j].Before(all[i])
+				if i == j && (bij || bji) {
+					return false // irreflexive
+				}
+				if i != j && bij == bji {
+					return false // total and antisymmetric
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

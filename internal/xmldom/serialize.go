@@ -1,0 +1,183 @@
+package xmldom
+
+import (
+	"strings"
+)
+
+// Serialize renders the subtree rooted at n back to XML text. Namespace
+// declarations are re-synthesized from the expanded names: a binding is
+// emitted on the outermost element that needs it. The output of
+// Serialize(Parse(x)) is structurally equal to x (attribute order and
+// namespace prefix choices are preserved where possible).
+func Serialize(n *Node) string {
+	var sb strings.Builder
+	s := serializer{sb: &sb}
+	s.node(n, nsScope{})
+	return sb.String()
+}
+
+// nsScope tracks prefix→URI bindings in scope during serialization.
+type nsScope struct {
+	bindings []nsBinding
+}
+
+func (s nsScope) lookup(prefix string) (string, bool) {
+	if prefix == "xml" {
+		return xmlNamespace, true
+	}
+	for i := len(s.bindings) - 1; i >= 0; i-- {
+		if s.bindings[i].prefix == prefix {
+			return s.bindings[i].uri, true
+		}
+	}
+	if prefix == "" {
+		return "", true
+	}
+	return "", false
+}
+
+func (s nsScope) with(prefix, uri string) nsScope {
+	nb := make([]nsBinding, len(s.bindings), len(s.bindings)+1)
+	copy(nb, s.bindings)
+	return nsScope{bindings: append(nb, nsBinding{prefix: prefix, uri: uri})}
+}
+
+type serializer struct {
+	sb *strings.Builder
+}
+
+func (s *serializer) node(n *Node, scope nsScope) {
+	switch n.Kind {
+	case DocumentNode:
+		for _, c := range n.Children {
+			s.node(c, scope)
+		}
+	case ElementNode:
+		s.element(n, scope)
+	case TextNode:
+		s.sb.WriteString(EscapeText(n.Data))
+	case CommentNode:
+		s.sb.WriteString("<!--")
+		s.sb.WriteString(n.Data)
+		s.sb.WriteString("-->")
+	case ProcessingInstructionNode:
+		s.sb.WriteString("<?")
+		s.sb.WriteString(n.Name.Local)
+		if n.Data != "" {
+			s.sb.WriteByte(' ')
+			s.sb.WriteString(n.Data)
+		}
+		s.sb.WriteString("?>")
+	case AttributeNode:
+		// A detached attribute serializes as name="value".
+		s.sb.WriteString(n.Name.String())
+		s.sb.WriteString(`="`)
+		s.sb.WriteString(EscapeAttr(n.Data))
+		s.sb.WriteByte('"')
+	}
+}
+
+func (s *serializer) element(n *Node, scope nsScope) {
+	// Determine which namespace declarations this element must emit.
+	type decl struct{ prefix, uri string }
+	var decls []decl
+	need := func(prefix, uri string) {
+		if got, ok := scope.lookup(prefix); ok && got == uri {
+			return
+		}
+		for _, d := range decls {
+			if d.prefix == prefix {
+				return
+			}
+		}
+		decls = append(decls, decl{prefix, uri})
+		scope = scope.with(prefix, uri)
+	}
+	need(n.Name.Prefix, n.Name.Space)
+	for _, a := range n.Attrs {
+		if a.Name.Space != "" {
+			need(a.Name.Prefix, a.Name.Space)
+		}
+	}
+
+	s.sb.WriteByte('<')
+	s.sb.WriteString(n.Name.String())
+	for _, d := range decls {
+		s.sb.WriteByte(' ')
+		if d.prefix == "" {
+			s.sb.WriteString("xmlns")
+		} else {
+			s.sb.WriteString("xmlns:")
+			s.sb.WriteString(d.prefix)
+		}
+		s.sb.WriteString(`="`)
+		s.sb.WriteString(EscapeAttr(d.uri))
+		s.sb.WriteByte('"')
+	}
+	for _, a := range n.Attrs {
+		s.sb.WriteByte(' ')
+		s.sb.WriteString(a.Name.String())
+		s.sb.WriteString(`="`)
+		s.sb.WriteString(EscapeAttr(a.Data))
+		s.sb.WriteByte('"')
+	}
+	if len(n.Children) == 0 {
+		s.sb.WriteString("/>")
+		return
+	}
+	s.sb.WriteByte('>')
+	for _, c := range n.Children {
+		s.node(c, scope)
+	}
+	s.sb.WriteString("</")
+	s.sb.WriteString(n.Name.String())
+	s.sb.WriteByte('>')
+}
+
+// EscapeText escapes character data for element content.
+func EscapeText(s string) string {
+	if !strings.ContainsAny(s, "<>&") {
+		return s
+	}
+	var sb strings.Builder
+	sb.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			sb.WriteString("&lt;")
+		case '>':
+			sb.WriteString("&gt;")
+		case '&':
+			sb.WriteString("&amp;")
+		default:
+			sb.WriteByte(s[i])
+		}
+	}
+	return sb.String()
+}
+
+// EscapeAttr escapes character data for a double-quoted attribute value.
+func EscapeAttr(s string) string {
+	if !strings.ContainsAny(s, `<&"`+"\n\t") {
+		return s
+	}
+	var sb strings.Builder
+	sb.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			sb.WriteString("&lt;")
+		case '&':
+			sb.WriteString("&amp;")
+		case '"':
+			sb.WriteString("&quot;")
+		case '\n':
+			sb.WriteString("&#10;")
+		case '\t':
+			sb.WriteString("&#9;")
+		default:
+			sb.WriteByte(s[i])
+		}
+	}
+	return sb.String()
+}

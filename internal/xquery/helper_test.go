@@ -1,0 +1,8 @@
+package xquery
+
+import "demaq/internal/xpath"
+
+// Aliases used by tests to keep call sites short.
+type xpathExpr = xpath.Expr
+
+func parseExpr(src string) (xpath.Expr, error) { return xpath.ParseExprString(src) }

@@ -1,0 +1,170 @@
+package xquery
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"demaq/internal/xdm"
+	"demaq/internal/xmldom"
+)
+
+// Property-based tests over evaluator invariants.
+
+func evalQ(t *testing.T, src string, doc *xmldom.Node) (xdm.Sequence, error) {
+	t.Helper()
+	e, err := parseExpr(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	c, err := Compile(e, CompileOptions{AllowSlice: true})
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	seq, _, err := Eval(c, &fakeRuntime{}, EvalOptions{ContextDoc: doc})
+	return seq, err
+}
+
+// count(lo to hi) == max(0, hi-lo+1) and sum follows Gauss.
+func TestQuickRangeInvariants(t *testing.T) {
+	f := func(loRaw, span int8) bool {
+		lo := int64(loRaw)
+		hi := lo + int64(span%50)
+		src := fmt.Sprintf("count(%d to %d)", lo, hi)
+		seq, err := evalQ(t, src, nil)
+		if err != nil {
+			return false
+		}
+		want := hi - lo + 1
+		if want < 0 {
+			want = 0
+		}
+		if seq[0].(xdm.Value).I != want {
+			return false
+		}
+		if want == 0 {
+			return true
+		}
+		sumSrc := fmt.Sprintf("sum(%d to %d)", lo, hi)
+		seq, err = evalQ(t, sumSrc, nil)
+		if err != nil {
+			return false
+		}
+		gauss := (lo + hi) * want / 2
+		return seq[0].(xdm.Value).I == gauss
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// reverse(reverse(s)) preserves s; count is invariant under reverse.
+func TestQuickReverseInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(10)
+		items := ""
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				items += ","
+			}
+			items += fmt.Sprint(r.Intn(100))
+		}
+		src := fmt.Sprintf("string-join(for $x in reverse(reverse((%s))) return string($x), \",\")", items)
+		seq, err := evalQ(t, src, nil)
+		if err != nil {
+			return false
+		}
+		return xdm.ItemString(seq[0]) == items
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Predicates by position: //i[k] selects exactly the k-th element, and
+// unions of disjoint position predicates partition the sequence.
+func TestQuickPositionalPredicates(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		xml := "<l>"
+		for i := 0; i < n; i++ {
+			xml += fmt.Sprintf("<i>%d</i>", i)
+		}
+		xml += "</l>"
+		doc := xmldom.MustParse(xml)
+		k := 1 + r.Intn(n)
+		seq, err := evalQ(t, fmt.Sprintf("//i[%d]", k), doc)
+		if err != nil || len(seq) != 1 {
+			return false
+		}
+		if xdm.ItemString(seq[0]) != fmt.Sprint(k-1) {
+			return false
+		}
+		// position() = k ≡ [k]
+		seq2, err := evalQ(t, fmt.Sprintf("//i[position() = %d]", k), doc)
+		if err != nil || len(seq2) != 1 {
+			return false
+		}
+		return seq2[0].(xdm.Node).N == seq[0].(xdm.Node).N
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FLWOR order by yields a sorted permutation.
+func TestQuickOrderBySorts(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(15)
+		items := ""
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				items += ","
+			}
+			items += fmt.Sprint(r.Intn(50))
+		}
+		src := fmt.Sprintf("for $x in (%s) order by $x return $x", items)
+		seq, err := evalQ(t, src, nil)
+		if err != nil || len(seq) != n {
+			return false
+		}
+		prev := int64(-1)
+		for _, it := range seq {
+			v := it.(xdm.Value).I
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Constructed elements round-trip through serialization: the constructor
+// result parses back to a deep-equal tree.
+func TestQuickConstructorSerializeParse(t *testing.T) {
+	f := func(a, b uint8) bool {
+		src := fmt.Sprintf(`<r x="%d"><c>%d</c><c>tail</c></r>`, a, b)
+		seq, err := evalQ(t, src, nil)
+		if err != nil || len(seq) != 1 {
+			return false
+		}
+		el := seq[0].(xdm.Node).N
+		text := xmldom.Serialize(el)
+		doc2, err := xmldom.ParseString(text)
+		if err != nil {
+			return false
+		}
+		return xmldom.DeepEqual(el, doc2.Root())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

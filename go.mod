@@ -1,0 +1,3 @@
+module demaq
+
+go 1.24

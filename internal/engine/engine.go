@@ -98,6 +98,10 @@ type Engine struct {
 
 	txnSeq atomic.Uint64
 
+	// decls indexes the application's queue declarations by name; queue
+	// kind and schema lookups sit on the per-message hot path.
+	decls map[string]*qdl.QueueDecl
+
 	stats struct {
 		processed, rulesEval, rulesFired, enqueued, resets, errors, deadlocks, collected atomic.Uint64
 	}
@@ -186,6 +190,10 @@ func New(cfg Config, app *qdl.Application) (*Engine, error) {
 		prog:  prog,
 		lm:    locks.NewLockManager(),
 		sched: newScheduler(),
+		decls: make(map[string]*qdl.QueueDecl, len(app.Queues)),
+	}
+	for _, q := range app.Queues {
+		e.decls[q.Name] = q
 	}
 	materialized := true
 	if cfg.Materialized != nil {
@@ -419,21 +427,14 @@ func (e *Engine) routeNewMessage(q *msgstore.Queue, id msgstore.MsgID) {
 }
 
 func (e *Engine) queueKind(name string) qdl.QueueKind {
-	for _, q := range e.prog.App.Queues {
-		if q.Name == name {
-			return q.Kind
-		}
+	if q := e.decls[name]; q != nil {
+		return q.Kind
 	}
 	return qdl.KindBasic
 }
 
 func (e *Engine) queueDecl(name string) *qdl.QueueDecl {
-	for _, q := range e.prog.App.Queues {
-		if q.Name == name {
-			return q
-		}
-	}
-	return nil
+	return e.decls[name]
 }
 
 // worker is the message-processing loop.

@@ -95,6 +95,11 @@ func (e *Engine) Reload(app *qdl.Application) error {
 	}
 	e.prog = prog
 	e.schemas = nil
+	decls := make(map[string]*qdl.QueueDecl, len(app.Queues))
+	for _, q := range app.Queues {
+		decls[q.Name] = q
+	}
+	e.decls = decls
 
 	materialized := true
 	if e.cfg.Materialized != nil {

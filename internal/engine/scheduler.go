@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"container/heap"
 	"sync"
 
 	"demaq/internal/msgstore"
@@ -12,52 +13,146 @@ import (
 // "a message in a high priority queue may be processed before another one
 // stored in a queue with a lower priority, even if it has been created
 // more recently".
+//
+// Dispatch is O(log #queues): non-empty queues live in a priority heap
+// keyed (priority desc, head message ID asc), so Claim pops the best queue
+// directly instead of scanning all queues. Each queue buffers its messages
+// in a ring deque, making both Add (back) and Requeue (front, the deadlock
+// victim path) O(1). Claimers and idle-waiters use separate condition
+// variables so adding one message signals exactly one worker instead of
+// waking the whole pool.
 type scheduler struct {
 	mu       sync.Mutex
-	cond     *sync.Cond
+	workCond *sync.Cond // waits in Claim; Signal per available message
+	idleCond *sync.Cond // waits in WaitIdle; Broadcast on idle transitions
 	queues   map[string]*schedQueue
+	active   queueHeap // non-empty queues, best dispatch candidate on top
 	pending  int
 	inflight int
 	closed   bool
 }
 
+// schedQueue is one queue's dispatch state: a ring-buffer deque of message
+// IDs plus its position in the active heap (-1 while empty).
 type schedQueue struct {
 	name     string
 	priority int
-	fifo     []msgstore.MsgID
+	heapIdx  int
+
+	buf  []msgstore.MsgID
+	head int
+	n    int
+}
+
+func (q *schedQueue) empty() bool           { return q.n == 0 }
+func (q *schedQueue) front() msgstore.MsgID { return q.buf[q.head] }
+
+func (q *schedQueue) grow() {
+	if q.n < len(q.buf) {
+		return
+	}
+	newCap := 2 * len(q.buf)
+	if newCap < 8 {
+		newCap = 8
+	}
+	nb := make([]msgstore.MsgID, newCap)
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf, q.head = nb, 0
+}
+
+func (q *schedQueue) pushBack(id msgstore.MsgID) {
+	q.grow()
+	q.buf[(q.head+q.n)%len(q.buf)] = id
+	q.n++
+}
+
+func (q *schedQueue) pushFront(id msgstore.MsgID) {
+	q.grow()
+	q.head = (q.head - 1 + len(q.buf)) % len(q.buf)
+	q.buf[q.head] = id
+	q.n++
+}
+
+func (q *schedQueue) popFront() msgstore.MsgID {
+	id := q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return id
+}
+
+// queueHeap orders active queues by priority (higher first), breaking ties
+// on the oldest head message (smaller ID first).
+type queueHeap []*schedQueue
+
+func (h queueHeap) Len() int { return len(h) }
+func (h queueHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].front() < h[j].front()
+}
+func (h queueHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *queueHeap) Push(x any) {
+	q := x.(*schedQueue)
+	q.heapIdx = len(*h)
+	*h = append(*h, q)
+}
+func (h *queueHeap) Pop() any {
+	old := *h
+	q := old[len(old)-1]
+	old[len(old)-1] = nil
+	q.heapIdx = -1
+	*h = old[:len(old)-1]
+	return q
 }
 
 func newScheduler() *scheduler {
 	s := &scheduler{queues: map[string]*schedQueue{}}
-	s.cond = sync.NewCond(&s.mu)
+	s.workCond = sync.NewCond(&s.mu)
+	s.idleCond = sync.NewCond(&s.mu)
 	return s
+}
+
+// queueLocked returns (creating if needed) the dispatch state of a queue.
+func (s *scheduler) queueLocked(name string) *schedQueue {
+	q, ok := s.queues[name]
+	if !ok {
+		q = &schedQueue{name: name, heapIdx: -1}
+		s.queues[name] = q
+	}
+	return q
 }
 
 // DeclareQueue registers a queue with its priority.
 func (s *scheduler) DeclareQueue(name string, priority int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if q, ok := s.queues[name]; ok {
-		q.priority = priority
-		return
+	q := s.queueLocked(name)
+	q.priority = priority
+	if q.heapIdx >= 0 {
+		heap.Fix(&s.active, q.heapIdx)
 	}
-	s.queues[name] = &schedQueue{name: name, priority: priority}
 }
 
 // Add makes a message available for processing.
 func (s *scheduler) Add(queue string, id msgstore.MsgID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	q, ok := s.queues[queue]
-	if !ok {
-		q = &schedQueue{name: queue}
-		s.queues[queue] = q
+	q := s.queueLocked(queue)
+	q.pushBack(id)
+	if q.heapIdx < 0 {
+		heap.Push(&s.active, q)
 	}
-	q.fifo = append(q.fifo, id)
+	// A back-push of a non-empty queue leaves its head (the sort key)
+	// unchanged, so no heap fix is needed.
 	s.pending++
-	// Broadcast, not Signal: Claim and WaitIdle share the condition
-	// variable, and a Signal could wake only a WaitIdle waiter.
-	s.cond.Broadcast()
+	s.workCond.Signal()
 }
 
 // Requeue returns a message to the front of its queue after a retryable
@@ -65,15 +160,16 @@ func (s *scheduler) Add(queue string, id msgstore.MsgID) {
 func (s *scheduler) Requeue(queue string, id msgstore.MsgID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	q := s.queues[queue]
-	if q == nil {
-		q = &schedQueue{name: queue}
-		s.queues[queue] = q
+	q := s.queueLocked(queue)
+	q.pushFront(id)
+	if q.heapIdx < 0 {
+		heap.Push(&s.active, q)
+	} else {
+		heap.Fix(&s.active, q.heapIdx) // head got older
 	}
-	q.fifo = append([]msgstore.MsgID{id}, q.fifo...)
 	s.pending++
 	s.inflight--
-	s.cond.Broadcast()
+	s.workCond.Signal()
 }
 
 // Claim blocks until a message is available (or the scheduler closes) and
@@ -86,24 +182,19 @@ func (s *scheduler) Claim() (queue string, id msgstore.MsgID, ok bool) {
 		if s.closed {
 			return "", 0, false
 		}
-		var best *schedQueue
-		for _, q := range s.queues {
-			if len(q.fifo) == 0 {
-				continue
+		if len(s.active) > 0 {
+			best := s.active[0]
+			id := best.popFront()
+			if best.empty() {
+				heap.Pop(&s.active)
+			} else {
+				heap.Fix(&s.active, 0) // head advanced to a newer message
 			}
-			if best == nil || q.priority > best.priority ||
-				(q.priority == best.priority && q.fifo[0] < best.fifo[0]) {
-				best = q
-			}
-		}
-		if best != nil {
-			id := best.fifo[0]
-			best.fifo = best.fifo[1:]
 			s.pending--
 			s.inflight++
 			return best.name, id, true
 		}
-		s.cond.Wait()
+		s.workCond.Wait()
 	}
 }
 
@@ -111,7 +202,9 @@ func (s *scheduler) Claim() (queue string, id msgstore.MsgID, ok bool) {
 func (s *scheduler) Done() {
 	s.mu.Lock()
 	s.inflight--
-	s.cond.Broadcast()
+	if s.pending == 0 && s.inflight == 0 {
+		s.idleCond.Broadcast()
+	}
 	s.mu.Unlock()
 }
 
@@ -119,7 +212,8 @@ func (s *scheduler) Done() {
 func (s *scheduler) Close() {
 	s.mu.Lock()
 	s.closed = true
-	s.cond.Broadcast()
+	s.workCond.Broadcast()
+	s.idleCond.Broadcast()
 	s.mu.Unlock()
 }
 
@@ -134,7 +228,7 @@ func (s *scheduler) Idle() bool {
 func (s *scheduler) WaitIdle() {
 	s.mu.Lock()
 	for !(s.pending == 0 && s.inflight == 0) && !s.closed {
-		s.cond.Wait()
+		s.idleCond.Wait()
 	}
 	s.mu.Unlock()
 }

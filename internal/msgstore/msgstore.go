@@ -6,6 +6,24 @@
 // payloads are never modified after enqueue; the only in-place mutation is
 // the processed flag, and physical removal is driven by the retention
 // logic in internal/slicing via redo-only batch deletes.
+//
+// Concurrency: there is no store-wide mutex. State is striped so that
+// independent transactions never contend (Sec. 4.3's fine-grained locking
+// carried into the store itself):
+//
+//   - the queue registry has its own RWMutex (DDL is rare);
+//   - each Queue guards its message list with a per-queue RWMutex;
+//   - the byID index is sharded by message ID with per-shard RWMutexes;
+//   - message IDs come from an atomic counter;
+//   - collections have per-collection mutexes under a registry RWMutex;
+//   - the processed/dead message flags are atomics.
+//
+// Lock discipline: no code path holds two of these locks at once (queue
+// and shard locks are always taken one after the other), so there is no
+// lock ordering to maintain and no deadlock potential. Txn.Commit runs the
+// page-store transaction without any msgstore lock held, which lets
+// concurrent committers overlap inside the WAL and coalesce their fsyncs
+// (group commit).
 package msgstore
 
 import (
@@ -13,6 +31,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"demaq/internal/store"
@@ -36,14 +55,17 @@ const (
 // msgMeta is the in-memory descriptor of one message. Payloads of
 // persistent messages stay on disk and are parsed on demand through the
 // document cache; transient messages keep their document in memory.
+// id, rid, doc, props, enqueued and q are immutable once the message is
+// published; processed and dead are the only mutable fields.
 type msgMeta struct {
 	id        MsgID
 	rid       store.RID // persistent queues
 	doc       *xmldom.Node
 	props     map[string]xdm.Value
 	enqueued  time.Time
-	processed bool
-	dead      bool // physically removed
+	q         *Queue
+	processed atomic.Bool
+	dead      atomic.Bool // physically removed
 }
 
 // Queue is one message queue.
@@ -53,7 +75,9 @@ type Queue struct {
 	Priority int
 
 	heap store.HeapID // persistent queues
-	msgs []*msgMeta   // in id order; GC'd entries flagged dead and compacted
+
+	mu   sync.RWMutex
+	msgs []*msgMeta // in id order; GC'd entries flagged dead and compacted
 	live int
 }
 
@@ -66,23 +90,59 @@ type Message struct {
 	Processed bool
 }
 
+// idShardCount stripes the byID index. Power of two so the shard selector
+// compiles to a mask.
+const idShardCount = 32
+
+type idShard struct {
+	mu   sync.RWMutex
+	byID map[MsgID]*msgMeta
+}
+
 // Store is the message store.
 type Store struct {
-	mu     sync.RWMutex
-	ps     *store.Store
-	queues map[string]*Queue
-	byID   map[MsgID]*msgMeta
-	owner  map[MsgID]*Queue
-	colls  map[string]*collection
-	cache  *docCache
+	ps    *store.Store
+	cache *docCache
 
-	nextID MsgID
+	nextID atomic.Uint64 // next MsgID to assign
+
+	qmu    sync.RWMutex // guards the queues map (not queue contents)
+	queues map[string]*Queue
+
+	shards [idShardCount]idShard
+
+	cmu   sync.RWMutex // guards the colls map (not collection contents)
+	colls map[string]*collection
 }
 
 type collection struct {
 	name string
 	heap store.HeapID
+
+	mu   sync.RWMutex
 	docs []*xmldom.Node
+}
+
+func (ms *Store) shard(id MsgID) *idShard { return &ms.shards[uint64(id)%idShardCount] }
+
+// lookup returns the live message meta for id, or nil.
+func (ms *Store) lookup(id MsgID) *msgMeta {
+	sh := ms.shard(id)
+	sh.mu.RLock()
+	m := sh.byID[id]
+	sh.mu.RUnlock()
+	if m == nil || m.dead.Load() {
+		return nil
+	}
+	return m
+}
+
+// getQueue resolves a queue by name under the registry read lock.
+func (ms *Store) getQueue(name string) *Queue {
+	ms.qmu.RLock()
+	q := ms.queues[name]
+	ms.qmu.RUnlock()
+	return q
 }
 
 // Options configure the message store.
@@ -111,12 +171,13 @@ func Open(dir string, opts Options) (*Store, error) {
 	ms := &Store{
 		ps:     ps,
 		queues: map[string]*Queue{},
-		byID:   map[MsgID]*msgMeta{},
-		owner:  map[MsgID]*Queue{},
 		colls:  map[string]*collection{},
 		cache:  newDocCache(opts.CacheDocs),
-		nextID: 1,
 	}
+	for i := range ms.shards {
+		ms.shards[i].byID = map[MsgID]*msgMeta{}
+	}
+	ms.nextID.Store(1)
 	for _, name := range ps.HeapNames() {
 		switch {
 		case len(name) > 2 && name[:2] == "q:":
@@ -146,8 +207,8 @@ func (ms *Store) PageStore() *store.Store { return ms.ps }
 // CreateQueue declares a queue. Declaring an existing queue updates its
 // priority and verifies the mode matches.
 func (ms *Store) CreateQueue(name string, mode QueueMode, priority int) (*Queue, error) {
-	ms.mu.Lock()
-	defer ms.mu.Unlock()
+	ms.qmu.Lock()
+	defer ms.qmu.Unlock()
 	if q, ok := ms.queues[name]; ok {
 		if q.Mode != mode {
 			return nil, fmt.Errorf("msgstore: queue %q exists with different mode", name)
@@ -169,16 +230,14 @@ func (ms *Store) CreateQueue(name string, mode QueueMode, priority int) (*Queue,
 
 // Queue returns a queue by name.
 func (ms *Store) Queue(name string) (*Queue, bool) {
-	ms.mu.RLock()
-	defer ms.mu.RUnlock()
-	q, ok := ms.queues[name]
-	return q, ok
+	q := ms.getQueue(name)
+	return q, q != nil
 }
 
 // QueueNames lists declared queues.
 func (ms *Store) QueueNames() []string {
-	ms.mu.RLock()
-	defer ms.mu.RUnlock()
+	ms.qmu.RLock()
+	defer ms.qmu.RUnlock()
 	out := make([]string, 0, len(ms.queues))
 	for n := range ms.queues {
 		out = append(out, n)
@@ -196,14 +255,15 @@ func (ms *Store) loadQueue(name string) error {
 			return true // skip corrupt records; recovery guarantees should prevent this
 		}
 		m.rid = rid
+		m.q = q
 		q.msgs = append(q.msgs, m)
-		if !m.dead {
+		if !m.dead.Load() {
 			q.live++
 		}
-		ms.byID[m.id] = m
-		ms.owner[m.id] = q
-		if m.id >= ms.nextID {
-			ms.nextID = m.id + 1
+		sh := ms.shard(m.id)
+		sh.byID[m.id] = m
+		if next := uint64(m.id) + 1; next > ms.nextID.Load() {
+			ms.nextID.Store(next)
 		}
 		return true
 	})
@@ -257,7 +317,7 @@ func encodeMessage(m *msgMeta, payload []byte) []byte {
 	size += 4 + len(payload)
 	out := make([]byte, 0, size)
 	status := byte(0)
-	if m.processed {
+	if m.processed.Load() {
 		status |= 1
 	}
 	out = append(out, status)
@@ -281,10 +341,10 @@ func decodeMessage(data []byte) (*msgMeta, error) {
 		return nil, fmt.Errorf("msgstore: record too short")
 	}
 	m := &msgMeta{
-		processed: data[0]&1 != 0,
-		id:        MsgID(binary.LittleEndian.Uint64(data[1:])),
-		enqueued:  time.Unix(0, int64(binary.LittleEndian.Uint64(data[9:]))).UTC(),
+		id:       MsgID(binary.LittleEndian.Uint64(data[1:])),
+		enqueued: time.Unix(0, int64(binary.LittleEndian.Uint64(data[9:]))).UTC(),
 	}
+	m.processed.Store(data[0]&1 != 0)
 	n := int(binary.LittleEndian.Uint16(data[17:]))
 	off := 19
 	if n > 0 {

@@ -62,8 +62,9 @@ func (t *Txn) RecordReset(slicing, key string) {
 	t.resets = append(t.resets, ResetEvent{Slicing: slicing, Key: key})
 }
 
-// writeReset appends one reset event to the system heap inside pt. The
-// caller holds ms.mu.
+// writeReset appends one reset event to the system heap inside pt. It is
+// called from the persist phase of Commit without any msgstore lock held;
+// heap creation is idempotent under the page store's own lock.
 func (ms *Store) writeReset(pt *store.Txn, e ResetEvent) error {
 	h, ok := ms.ps.Heap(resetsHeapName)
 	if !ok {

@@ -2,6 +2,7 @@ package msgstore
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"demaq/internal/store"
@@ -10,10 +11,22 @@ import (
 )
 
 // Txn is a message-store transaction. Mutations are buffered and applied
-// atomically at Commit: the persistent part through one page-store
-// transaction, the in-memory indexes under the store lock afterwards. This
-// mirrors the paper's execution model, where rule evaluation produces a
-// pending action list that is applied as a unit (Sec. 3.1).
+// atomically at Commit, which runs a three-phase pipeline:
+//
+//  1. prepare — resolve target queues and messages (short read locks only)
+//     and decide whether a page-store transaction is needed;
+//  2. persist — run the page-store transaction with NO msgstore lock held,
+//     so concurrent committers overlap inside the WAL and their commit
+//     fsyncs coalesce (group commit);
+//  3. publish — apply the in-memory indexes under the per-shard and
+//     per-queue locks; queue message lists stay in ID order even when
+//     commits complete out of ID order.
+//
+// This mirrors the paper's execution model, where rule evaluation produces
+// a pending action list that is applied as a unit (Sec. 3.1), while the
+// fine-grained locking of Sec. 4.3 keeps independent transactions from
+// serializing on the store. Isolation between concurrent transactions is
+// the job of the logical lock manager above (internal/txn).
 type Txn struct {
 	ms   *Store
 	done bool
@@ -33,6 +46,10 @@ type pendingEnqueue struct {
 	props map[string]xdm.Value
 	at    time.Time
 	id    MsgID
+
+	// Filled during Commit.
+	q   *Queue    // prepare
+	rid store.RID // persist (persistent queues)
 }
 
 // Begin starts a transaction.
@@ -44,15 +61,10 @@ func (t *Txn) Enqueue(queue string, doc *xmldom.Node, props map[string]xdm.Value
 	if t.done {
 		return 0, fmt.Errorf("msgstore: transaction finished")
 	}
-	t.ms.mu.Lock()
-	_, ok := t.ms.queues[queue]
-	if !ok {
-		t.ms.mu.Unlock()
+	if t.ms.getQueue(queue) == nil {
 		return 0, fmt.Errorf("msgstore: unknown queue %q", queue)
 	}
-	id := t.ms.nextID
-	t.ms.nextID++
-	t.ms.mu.Unlock()
+	id := MsgID(t.ms.nextID.Add(1) - 1)
 	if doc.Kind != xmldom.DocumentNode {
 		doc = doc.CloneAsDocument()
 	}
@@ -76,116 +88,120 @@ func (t *Txn) Commit() ([]Message, error) {
 	}
 	t.done = true
 	ms := t.ms
-	ms.mu.Lock()
-	defer ms.mu.Unlock()
 
-	// Persistent phase first: if it fails, nothing is applied.
-	var pt *store.Txn
-	needDisk := false
-	type diskEnq struct {
-		pe  *pendingEnqueue
-		q   *Queue
-		rid store.RID
-	}
-	var diskEnqs []diskEnq
+	// --- prepare: resolve targets, no page-store work yet ---
+	needDisk := len(t.resets) > 0
 	for _, pe := range t.enqueues {
-		if q := ms.queues[pe.queue]; q != nil && q.Mode == Persistent {
-			needDisk = true
-		}
-	}
-	for _, id := range t.processed {
-		if m := ms.byID[id]; m != nil && ms.owner[id] != nil && ms.owner[id].Mode == Persistent {
-			needDisk = true
-		}
-	}
-	if len(t.resets) > 0 {
-		needDisk = true
-	}
-	if needDisk {
-		pt = ms.ps.Begin()
-	}
-	for _, pe := range t.enqueues {
-		q := ms.queues[pe.queue]
-		if q == nil {
-			if pt != nil {
-				pt.Abort()
-			}
+		pe.q = ms.getQueue(pe.queue)
+		if pe.q == nil {
 			return nil, fmt.Errorf("msgstore: unknown queue %q", pe.queue)
 		}
-		if q.Mode != Persistent {
-			continue
+		if pe.q.Mode == Persistent {
+			needDisk = true
 		}
-		m := &msgMeta{id: pe.id, props: pe.props, enqueued: pe.at}
-		rec := encodeMessage(m, []byte(xmldom.Serialize(pe.doc)))
-		rid, err := pt.Insert(q.heap, rec)
-		if err != nil {
-			pt.Abort()
-			return nil, err
-		}
-		diskEnqs = append(diskEnqs, diskEnq{pe: pe, q: q, rid: rid})
 	}
+	toProcess := make([]*msgMeta, 0, len(t.processed))
 	for _, id := range t.processed {
-		m := ms.byID[id]
-		q := ms.owner[id]
-		if m == nil || q == nil || m.dead {
-			continue
+		m := ms.lookup(id)
+		if m == nil {
+			continue // vanished (GC'd) or never existed; matches enqueue-order apply
 		}
-		if q.Mode == Persistent {
-			// Status byte is payload offset 0.
-			cur := byte(0)
-			if m.processed {
-				cur = 1
+		toProcess = append(toProcess, m)
+		if m.q.Mode == Persistent {
+			needDisk = true
+		}
+	}
+
+	// --- persist: one page-store transaction, no msgstore lock held ---
+	if needDisk {
+		pt := ms.ps.Begin()
+		for _, pe := range t.enqueues {
+			if pe.q.Mode != Persistent {
+				continue
 			}
-			if err := pt.SetByte(m.rid, 0, cur|1); err != nil {
+			m := &msgMeta{id: pe.id, props: pe.props, enqueued: pe.at}
+			rec := encodeMessage(m, []byte(xmldom.Serialize(pe.doc)))
+			rid, err := pt.Insert(pe.q.heap, rec)
+			if err != nil {
+				pt.Abort()
+				return nil, err
+			}
+			pe.rid = rid
+		}
+		for _, m := range toProcess {
+			// Skip messages the GC removed since prepare. (In practice GC
+			// only touches already-processed messages, which no worker
+			// marks again, but the re-check keeps the pipeline safe on its
+			// own terms.)
+			if m.q.Mode != Persistent || m.dead.Load() {
+				continue
+			}
+			// Status byte is payload offset 0; bit0 is the processed flag
+			// (the record's only mutable bit), so the write is idempotent
+			// under concurrent markers.
+			if err := pt.SetByte(m.rid, 0, 1); err != nil {
 				pt.Abort()
 				return nil, err
 			}
 		}
-	}
-	// Persist slice resets with the current ID high-water mark (every
-	// message that exists now is dismissed from the slice).
-	for _, re := range t.resets {
-		re.Watermark = ms.nextID - 1
-		if err := ms.writeReset(pt, re); err != nil {
-			pt.Abort()
-			return nil, err
+		// Persist slice resets with the current ID high-water mark (every
+		// message that exists now is dismissed from the slice).
+		for _, re := range t.resets {
+			re.Watermark = MsgID(ms.nextID.Load() - 1)
+			if err := ms.writeReset(pt, re); err != nil {
+				pt.Abort()
+				return nil, err
+			}
+			t.AppliedResets = append(t.AppliedResets, re)
 		}
-		t.AppliedResets = append(t.AppliedResets, re)
-	}
-	if pt != nil {
 		if err := pt.Commit(); err != nil {
 			return nil, err
 		}
 	}
 
-	// In-memory phase: cannot fail.
+	// --- publish: in-memory indexes under short striped locks ---
 	var out []Message
 	for _, pe := range t.enqueues {
-		q := ms.queues[pe.queue]
-		m := &msgMeta{id: pe.id, props: pe.props, enqueued: pe.at}
+		q := pe.q
+		m := &msgMeta{id: pe.id, props: pe.props, enqueued: pe.at, q: q}
 		if q.Mode == Persistent {
-			for _, de := range diskEnqs {
-				if de.pe == pe {
-					m.rid = de.rid
-					break
-				}
-			}
+			m.rid = pe.rid
 			ms.cache.put(pe.id, pe.doc)
 		} else {
 			m.doc = pe.doc
 		}
-		q.msgs = append(q.msgs, m)
+		// Point index first: scans discover messages through the queue
+		// list, so a message must be resolvable by ID before it appears
+		// there.
+		sh := ms.shard(m.id)
+		sh.mu.Lock()
+		sh.byID[m.id] = m
+		sh.mu.Unlock()
+		q.mu.Lock()
+		q.insertSorted(m)
 		q.live++
-		ms.byID[m.id] = m
-		ms.owner[m.id] = q
+		q.mu.Unlock()
 		out = append(out, Message{ID: m.id, Queue: q.Name, Props: m.props, Enqueued: m.enqueued})
 	}
-	for _, id := range t.processed {
-		if m := ms.byID[id]; m != nil {
-			m.processed = true
-		}
+	for _, m := range toProcess {
+		m.processed.Store(true)
 	}
 	return out, nil
+}
+
+// insertSorted inserts m into the queue's message list keeping ID order.
+// Commits usually complete in roughly ID order, so the append fast path
+// dominates. Caller holds q.mu.
+func (q *Queue) insertSorted(m *msgMeta) {
+	n := len(q.msgs)
+	if n == 0 || q.msgs[n-1].id < m.id {
+		q.msgs = append(q.msgs, m)
+		return
+	}
+	i := sort.Search(n, func(i int) bool { return q.msgs[i].id > m.id })
+	q.msgs = append(q.msgs, nil)
+	copy(q.msgs[i+1:], q.msgs[i:])
+	q.msgs[i] = m
 }
 
 // Abort discards the staged mutations. Pre-assigned message IDs are simply
@@ -194,17 +210,15 @@ func (t *Txn) Abort() {
 	t.done = true
 	t.enqueues = nil
 	t.processed = nil
+	t.resets = nil
 }
 
 // --- read side ---
 
 // Doc returns the parsed document of a message.
 func (ms *Store) Doc(id MsgID) (*xmldom.Node, error) {
-	ms.mu.RLock()
-	m := ms.byID[id]
-	q := ms.owner[id]
-	ms.mu.RUnlock()
-	if m == nil || m.dead {
+	m := ms.lookup(id)
+	if m == nil {
 		return nil, fmt.Errorf("msgstore: message %d not found", id)
 	}
 	if m.doc != nil {
@@ -222,29 +236,23 @@ func (ms *Store) Doc(id MsgID) (*xmldom.Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("msgstore: message %d payload: %w", id, err)
 	}
-	_ = q
 	ms.cache.put(id, doc)
 	return doc, nil
 }
 
 // Get returns the message descriptor.
 func (ms *Store) Get(id MsgID) (Message, bool) {
-	ms.mu.RLock()
-	defer ms.mu.RUnlock()
-	m := ms.byID[id]
-	q := ms.owner[id]
-	if m == nil || m.dead || q == nil {
+	m := ms.lookup(id)
+	if m == nil {
 		return Message{}, false
 	}
-	return Message{ID: m.id, Queue: q.Name, Props: m.props, Enqueued: m.enqueued, Processed: m.processed}, true
+	return Message{ID: m.id, Queue: m.q.Name, Props: m.props, Enqueued: m.enqueued, Processed: m.processed.Load()}, true
 }
 
 // Property returns one property value of a message.
 func (ms *Store) Property(id MsgID, name string) (xdm.Value, bool) {
-	ms.mu.RLock()
-	defer ms.mu.RUnlock()
-	m := ms.byID[id]
-	if m == nil || m.dead {
+	m := ms.lookup(id)
+	if m == nil {
 		return xdm.Value{}, false
 	}
 	v, ok := m.props[name]
@@ -253,20 +261,19 @@ func (ms *Store) Property(id MsgID, name string) (xdm.Value, bool) {
 
 // Messages returns the live messages of a queue in enqueue order.
 func (ms *Store) Messages(queue string) ([]Message, error) {
-	ms.mu.RLock()
-	q, ok := ms.queues[queue]
-	if !ok {
-		ms.mu.RUnlock()
+	q := ms.getQueue(queue)
+	if q == nil {
 		return nil, fmt.Errorf("msgstore: unknown queue %q", queue)
 	}
+	q.mu.RLock()
+	defer q.mu.RUnlock()
 	out := make([]Message, 0, q.live)
 	for _, m := range q.msgs {
-		if m.dead {
+		if m.dead.Load() {
 			continue
 		}
-		out = append(out, Message{ID: m.id, Queue: q.Name, Props: m.props, Enqueued: m.enqueued, Processed: m.processed})
+		out = append(out, Message{ID: m.id, Queue: q.Name, Props: m.props, Enqueued: m.enqueued, Processed: m.processed.Load()})
 	}
-	ms.mu.RUnlock()
 	return out, nil
 }
 
@@ -292,41 +299,48 @@ func (ms *Store) QueueDocs(queue string) ([]*xmldom.Node, error) {
 // retention-based redo-only batch delete (Sec. 4.1). It is called by the
 // garbage collector for messages no longer held by any live slice.
 func (ms *Store) Remove(queue string, ids []MsgID) error {
-	ms.mu.Lock()
-	defer ms.mu.Unlock()
-	q, ok := ms.queues[queue]
-	if !ok {
+	q := ms.getQueue(queue)
+	if q == nil {
 		return fmt.Errorf("msgstore: unknown queue %q", queue)
 	}
 	var rids []store.RID
+	removed := 0
 	for _, id := range ids {
-		m := ms.byID[id]
-		if m == nil || m.dead {
+		sh := ms.shard(id)
+		sh.mu.Lock()
+		m := sh.byID[id]
+		if m == nil || m.q != q {
+			sh.mu.Unlock()
 			continue
 		}
+		delete(sh.byID, id)
+		sh.mu.Unlock()
+		if !m.dead.CompareAndSwap(false, true) {
+			continue
+		}
+		removed++
 		if q.Mode == Persistent {
 			rids = append(rids, m.rid)
 		}
-		m.dead = true
-		q.live--
-		delete(ms.byID, id)
-		delete(ms.owner, id)
 		ms.cache.drop(id)
 	}
-	if len(rids) > 0 {
-		if err := ms.ps.BatchDelete(q.heap, rids); err != nil {
-			return err
-		}
-	}
+	q.mu.Lock()
+	q.live -= removed
 	// Compact the in-memory slice when dead entries dominate.
 	if len(q.msgs) > 64 && q.live*2 < len(q.msgs) {
 		livemsgs := make([]*msgMeta, 0, q.live)
 		for _, m := range q.msgs {
-			if !m.dead {
+			if !m.dead.Load() {
 				livemsgs = append(livemsgs, m)
 			}
 		}
 		q.msgs = livemsgs
+	}
+	q.mu.Unlock()
+	// Disk deletion runs outside all msgstore locks; recovery re-runs of a
+	// lost batch delete are idempotent (processed messages re-collect).
+	if len(rids) > 0 {
+		return ms.ps.BatchDelete(q.heap, rids)
 	}
 	return nil
 }
@@ -334,15 +348,15 @@ func (ms *Store) Remove(queue string, ids []MsgID) error {
 // UnprocessedIDs returns the IDs of unprocessed messages per queue, used by
 // the engine to rebuild scheduler state after a restart.
 func (ms *Store) UnprocessedIDs(queue string) []MsgID {
-	ms.mu.RLock()
-	defer ms.mu.RUnlock()
-	q, ok := ms.queues[queue]
-	if !ok {
+	q := ms.getQueue(queue)
+	if q == nil {
 		return nil
 	}
+	q.mu.RLock()
+	defer q.mu.RUnlock()
 	var out []MsgID
 	for _, m := range q.msgs {
-		if !m.dead && !m.processed {
+		if !m.dead.Load() && !m.processed.Load() {
 			out = append(out, m.id)
 		}
 	}
@@ -351,15 +365,15 @@ func (ms *Store) UnprocessedIDs(queue string) []MsgID {
 
 // ProcessedIDs returns the IDs of processed (retention-eligible) messages.
 func (ms *Store) ProcessedIDs(queue string) []MsgID {
-	ms.mu.RLock()
-	defer ms.mu.RUnlock()
-	q, ok := ms.queues[queue]
-	if !ok {
+	q := ms.getQueue(queue)
+	if q == nil {
 		return nil
 	}
+	q.mu.RLock()
+	defer q.mu.RUnlock()
 	var out []MsgID
 	for _, m := range q.msgs {
-		if !m.dead && m.processed {
+		if !m.dead.Load() && m.processed.Load() {
 			out = append(out, m.id)
 		}
 	}
@@ -370,35 +384,44 @@ func (ms *Store) ProcessedIDs(queue string) []MsgID {
 
 // CreateCollection declares a master-data collection.
 func (ms *Store) CreateCollection(name string) error {
-	ms.mu.Lock()
-	defer ms.mu.Unlock()
-	if _, ok := ms.colls[name]; ok {
-		return nil
+	_, err := ms.getOrCreateCollection(name)
+	return err
+}
+
+func (ms *Store) getOrCreateCollection(name string) (*collection, error) {
+	ms.cmu.RLock()
+	c := ms.colls[name]
+	ms.cmu.RUnlock()
+	if c != nil {
+		return c, nil
+	}
+	ms.cmu.Lock()
+	defer ms.cmu.Unlock()
+	if c := ms.colls[name]; c != nil {
+		return c, nil
 	}
 	h, err := ms.ps.CreateHeap("c:" + name)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	ms.colls[name] = &collection{name: name, heap: h}
-	return nil
+	c = &collection{name: name, heap: h}
+	ms.colls[name] = c
+	return c, nil
 }
 
-// AddToCollection durably appends a document to a collection.
+// AddToCollection durably appends a document to a collection. Different
+// collections append concurrently; the page-store commit participates in
+// group commit like any other transaction.
 func (ms *Store) AddToCollection(name string, doc *xmldom.Node) error {
-	ms.mu.Lock()
-	defer ms.mu.Unlock()
-	c, ok := ms.colls[name]
-	if !ok {
-		ms.mu.Unlock()
-		if err := ms.CreateCollection(name); err != nil {
-			return err
-		}
-		ms.mu.Lock()
-		c = ms.colls[name]
+	c, err := ms.getOrCreateCollection(name)
+	if err != nil {
+		return err
 	}
 	if doc.Kind != xmldom.DocumentNode {
 		doc = doc.CloneAsDocument()
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	pt := ms.ps.Begin()
 	if _, err := pt.Insert(c.heap, []byte(xmldom.Serialize(doc))); err != nil {
 		pt.Abort()
@@ -414,10 +437,13 @@ func (ms *Store) AddToCollection(name string, doc *xmldom.Node) error {
 // Collection returns the documents of a collection (empty if undeclared,
 // matching fn:collection's behavior for unknown sources in Demaq).
 func (ms *Store) Collection(name string) []*xmldom.Node {
-	ms.mu.RLock()
-	defer ms.mu.RUnlock()
-	if c, ok := ms.colls[name]; ok {
-		return c.docs
+	ms.cmu.RLock()
+	c := ms.colls[name]
+	ms.cmu.RUnlock()
+	if c == nil {
+		return nil
 	}
-	return nil
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.docs
 }

@@ -1,0 +1,117 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentCommits drives the group-commit path directly: parallel
+// transactions insert and commit with SyncCommits on; every record must be
+// durable across a crash, and the WAL must never fsync more often than it
+// commits.
+func TestConcurrentCommits(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := s.CreateHeap("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, perWorker = 8, 20
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tx := s.Begin()
+				if _, err := tx.Insert(h, []byte(fmt.Sprintf("rec-%d-%d", w, i))); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.WALFsyncs > st.Commits {
+		t.Fatalf("fsyncs %d > commits %d", st.WALFsyncs, st.Commits)
+	}
+	s.CrashForTest()
+
+	s2, err := Open(dir, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	h2, ok := s2.Heap("q")
+	if !ok {
+		t.Fatal("heap lost")
+	}
+	count := 0
+	if err := s2.Scan(h2, func(_ RID, _ []byte) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != workers*perWorker {
+		t.Fatalf("recovered %d records, want %d", count, workers*perWorker)
+	}
+}
+
+// TestConcurrentCommitAndAbort mixes committing and aborting transactions
+// running in parallel; aborted inserts must not survive recovery.
+func TestConcurrentCommitAndAbort(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := s.CreateHeap("q")
+	const workers, perWorker = 6, 10
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tx := s.Begin()
+				if _, err := tx.Insert(h, []byte(fmt.Sprintf("r-%d-%d", w, i))); err != nil {
+					t.Error(err)
+					return
+				}
+				if w%2 == 0 {
+					if err := tx.Commit(); err != nil {
+						t.Error(err)
+					}
+				} else {
+					if err := tx.Abort(); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s.CrashForTest()
+
+	s2, err := Open(dir, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	h2, _ := s2.Heap("q")
+	count := 0
+	if err := s2.Scan(h2, func(_ RID, _ []byte) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	want := (workers / 2) * perWorker
+	if count != want {
+		t.Fatalf("recovered %d records, want %d (aborts must not survive)", count, want)
+	}
+}

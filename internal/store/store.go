@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 )
 
 // Options configure a store.
@@ -55,6 +56,15 @@ type Stats struct {
 	LogBytes     uint64
 	Commits      uint64
 	Aborts       uint64
+
+	// Group-commit observability (experiment E10): WALFsyncs counts
+	// physical fsyncs; WALFlushCalls counts commit flush requests that had
+	// work to do; WALCoalesced counts requests satisfied by another
+	// committer's fsync. WALFsyncs / Commits < 1 under concurrency means
+	// group commit is coalescing.
+	WALFsyncs     uint64
+	WALFlushCalls uint64
+	WALCoalesced  uint64
 }
 
 // Store is the page-based storage engine. All operations are safe for
@@ -76,7 +86,7 @@ type Store struct {
 	nextHeap  uint32
 
 	nextTxn uint64
-	commits uint64
+	commits atomic.Uint64 // incremented after the commit flush, outside mu
 	aborts  uint64
 
 	closed bool
@@ -349,17 +359,21 @@ func (s *Store) CrashForTest() {
 
 // Stats returns storage counters.
 func (s *Store) Stats() Stats {
+	fsyncs, flushCalls, coalesced := s.log.syncStats()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		PageCount:    s.pageCount,
-		FreePages:    len(s.freeList),
-		BufferHits:   s.pool.hits,
-		BufferMisses: s.pool.misses,
-		Evictions:    s.pool.evictions,
-		LogBytes:     s.log.size(),
-		Commits:      s.commits,
-		Aborts:       s.aborts,
+		PageCount:     s.pageCount,
+		FreePages:     len(s.freeList),
+		BufferHits:    s.pool.hits,
+		BufferMisses:  s.pool.misses,
+		Evictions:     s.pool.evictions,
+		LogBytes:      s.log.size(),
+		Commits:       s.commits.Load(),
+		Aborts:        s.aborts,
+		WALFsyncs:     fsyncs,
+		WALFlushCalls: flushCalls,
+		WALCoalesced:  coalesced,
 	}
 }
 

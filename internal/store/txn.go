@@ -47,29 +47,54 @@ func (t *Txn) ensureActive() error {
 	return nil
 }
 
-// Commit makes the transaction durable.
+// Commit makes the transaction durable. The store mutex is only held while
+// the commit record is appended; the WAL flush — the expensive fsync — runs
+// outside it, so concurrent committers overlap in the log and coalesce
+// their fsyncs (group commit). Isolation between the committing
+// transactions is the responsibility of the logical lock layer above.
 func (t *Txn) Commit() error {
 	t.s.mu.Lock()
-	defer t.s.mu.Unlock()
-	return t.s.commitLocked(t)
+	lsn, err := t.s.prepareCommitLocked(t)
+	t.s.mu.Unlock()
+	return t.s.finishCommit(lsn, err)
 }
 
+// commitLocked commits an internal auto-committed transaction (DDL, batch
+// deletes) while the caller already holds s.mu.
 func (s *Store) commitLocked(t *Txn) error {
+	lsn, err := s.prepareCommitLocked(t)
+	return s.finishCommit(lsn, err)
+}
+
+// finishCommit flushes the log up to the commit record and counts the
+// commit. The wal serializes flushes internally, so this is safe both with
+// and without s.mu held.
+func (s *Store) finishCommit(lsn uint64, err error) error {
+	if err != nil || lsn == 0 {
+		return err
+	}
+	if err := s.log.flush(lsn); err != nil {
+		return err
+	}
+	s.commits.Add(1)
+	return nil
+}
+
+// prepareCommitLocked appends the commit record and releases deferred page
+// frees; it returns the LSN the caller must flush to (0 for read-only
+// transactions). Caller holds s.mu.
+func (s *Store) prepareCommitLocked(t *Txn) (uint64, error) {
 	if t.done {
-		return ErrTxnDone
+		return 0, ErrTxnDone
 	}
 	t.done = true
 	if !t.began && t.lastLSN == 0 {
-		return nil // read-only transaction: nothing to log
+		return 0, nil // read-only transaction: nothing to log
 	}
 	// Deferred overflow frees become visible with the commit.
 	s.freePages(t.freeOnCommit)
 	lsn := s.log.append(&logRecord{typ: recCommit, txn: t.id, prevLSN: t.lastLSN})
-	if err := s.log.flush(lsn); err != nil {
-		return err
-	}
-	s.commits++
-	return nil
+	return lsn, nil
 }
 
 // Abort rolls the transaction back by applying compensations in reverse

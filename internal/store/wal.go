@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 )
 
 // The write-ahead log is a sequence of CRC-protected records. The LSN of a
@@ -60,8 +61,17 @@ type logRecord struct {
 }
 
 // wal is the log manager. Appends are buffered; Flush forces durability up
-// to a target LSN. A single mutex serializes appends, which doubles as the
-// group-commit mechanism: concurrent commits coalesce their fsyncs.
+// to a target LSN.
+//
+// The flush path is the group-commit mechanism: one flusher at a time swaps
+// the append buffer out, writes and fsyncs it with wal.mu RELEASED (so
+// appends from other transactions keep landing in a fresh buffer), then
+// publishes the new durable offset. Committers that arrive while a sync is
+// in flight wait on the condition variable; when they wake, their commit
+// record is usually already durable — either it rode along in the swapped
+// buffer, or the next flusher picks it up together with every other record
+// buffered meanwhile. N concurrent commits therefore cost far fewer than N
+// fsyncs; the fsyncs/flushWaits counters make the ratio observable.
 //
 // LSNs are monotonic across the store's lifetime: checkpoints truncate the
 // log file but advance a base offset (persisted in the store header), so a
@@ -69,6 +79,9 @@ type logRecord struct {
 // after it.
 type wal struct {
 	mu       sync.Mutex
+	cond     *sync.Cond // signaled when a flush completes
+	syncing  bool       // a flusher is writing/fsyncing outside mu
+	ioErr    error      // sticky: a failed log write poisons the wal
 	f        *os.File
 	base     uint64 // LSN offset of byte 0 of the current log file
 	buf      []byte
@@ -76,6 +89,25 @@ type wal struct {
 	bufStart uint64 // file offset of buf[0]
 	flushed  uint64 // file offset known durable
 	sync     bool   // fsync on flush
+
+	fsyncs     uint64 // physical fsyncs performed
+	flushCalls uint64 // flush requests that had to wait or write
+	coalesced  uint64 // flush requests satisfied by another flusher's sync
+
+	// Adaptive group-commit linger: when the previous batch carried several
+	// committers, the next flusher waits — event-driven, with a timer only
+	// as fallback — until a comparable cohort has boarded the current
+	// buffer, so the group rides one fsync instead of splitting into
+	// alternating near-empty batches. Solo committers never linger
+	// (lastGroup is 1 for them). joiners counts uncovered flush arrivals
+	// since the last buffer swap, i.e. the committers aboard the batch
+	// being assembled; it is reset when the buffer is swapped out.
+	joiners       int    // committers aboard the batch being assembled
+	lastGroup     int    // batch size of the previous sync
+	swapEpoch     uint64 // incremented per buffer swap; detects stale joins
+	lingering     bool   // the flusher is waiting for its cohort
+	lingerGen     uint64 // guards the fallback timer against stale firings
+	lingerExpired bool   // fallback timer fired during the current linger
 }
 
 func openWAL(path string, base uint64, syncOnCommit bool) (*wal, error) {
@@ -88,14 +120,16 @@ func openWAL(path string, base uint64, syncOnCommit bool) (*wal, error) {
 		f.Close()
 		return nil, err
 	}
-	return &wal{
+	w := &wal{
 		f:        f,
 		base:     base,
 		fileSize: uint64(st.Size()),
 		bufStart: uint64(st.Size()),
 		flushed:  uint64(st.Size()),
 		sync:     syncOnCommit,
-	}, nil
+	}
+	w.cond = sync.NewCond(&w.mu)
+	return w, nil
 }
 
 func (w *wal) close() error { return w.f.Close() }
@@ -119,28 +153,119 @@ func (w *wal) appendLocked(r *logRecord) uint64 {
 	return lsn
 }
 
-// flush makes the log durable up to at least the given LSN.
+// flush makes the log durable up to at least the given LSN. Only one
+// flusher writes at a time; it does so with the mutex released so appends
+// (and later flush requests, which wait and usually find their records
+// already durable) are never blocked behind an fsync.
 func (w *wal) flush(lsn uint64) error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if lsn <= w.base+w.flushed {
+		w.mu.Unlock()
 		return nil
 	}
-	if len(w.buf) > 0 {
-		if _, err := w.f.WriteAt(w.buf, int64(w.bufStart)); err != nil {
+	w.flushCalls++
+	w.joiners++
+	myEpoch := w.swapEpoch
+	if w.lingering {
+		// Nudge the lingering flusher: one more committer is aboard.
+		w.cond.Broadcast()
+	}
+	for {
+		if lsn <= w.base+w.flushed {
+			// A concurrent flusher covered our LSN while we waited. This
+			// must be checked before ioErr: our records are durable even if
+			// a later batch failed. If no swap happened since we boarded,
+			// our join counted toward the batch still being assembled —
+			// take it back so the next linger doesn't wait for us.
+			if w.swapEpoch == myEpoch {
+				w.joiners--
+			}
+			w.coalesced++
+			w.mu.Unlock()
+			return nil
+		}
+		if w.ioErr != nil {
+			err := w.ioErr
+			w.mu.Unlock()
 			return err
 		}
-		w.bufStart += uint64(len(w.buf))
-		w.fileSize = w.bufStart
-		w.buf = w.buf[:0]
+		if !w.syncing {
+			break
+		}
+		w.cond.Wait()
 	}
-	if w.sync {
-		if err := w.f.Sync(); err != nil {
-			return err
+	// Become the flusher. Under observed concurrency, linger until a cohort
+	// the size of the previous batch has boarded (joiners signal as they
+	// arrive; a timer bounds the wait in case the cohort shrank).
+	w.syncing = true
+	if w.sync && w.lastGroup > 1 && w.joiners < w.lastGroup {
+		w.lingering = true
+		w.lingerExpired = false
+		w.lingerGen++
+		gen := w.lingerGen
+		timer := time.AfterFunc(500*time.Microsecond, func() {
+			w.mu.Lock()
+			// A fired timer may run after its linger already ended; the
+			// generation check keeps it from expiring a later linger.
+			if w.lingering && w.lingerGen == gen {
+				w.lingerExpired = true
+				w.cond.Broadcast()
+			}
+			w.mu.Unlock()
+		})
+		for w.joiners < w.lastGroup && !w.lingerExpired && w.ioErr == nil {
+			w.cond.Wait()
+		}
+		timer.Stop()
+		w.lingering = false
+	}
+	// Swap the buffer out and sync outside the mutex.
+	buf := w.buf
+	start := w.bufStart
+	w.buf = nil
+	w.bufStart += uint64(len(buf))
+	target := w.bufStart
+	w.swapEpoch++
+	w.lastGroup = w.joiners
+	w.joiners = 0
+	w.mu.Unlock()
+
+	var err error
+	if len(buf) > 0 {
+		_, err = w.f.WriteAt(buf, int64(start))
+	}
+	if err == nil && w.sync {
+		err = w.f.Sync()
+	}
+
+	w.mu.Lock()
+	w.syncing = false
+	if err != nil {
+		w.ioErr = err
+	} else {
+		w.fileSize = target
+		w.flushed = target
+		if w.sync {
+			w.fsyncs++
 		}
 	}
-	w.flushed = w.fileSize
-	return nil
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	return err
+}
+
+// quiesceLocked waits until no flusher is in flight. Caller holds w.mu.
+func (w *wal) quiesceLocked() {
+	for w.syncing {
+		w.cond.Wait()
+	}
+}
+
+// syncStats returns the fsync/coalescing counters.
+func (w *wal) syncStats() (fsyncs, flushCalls, coalesced uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.fsyncs, w.flushCalls, w.coalesced
 }
 
 // size returns the cumulative log bytes ever written (across truncations),
@@ -156,6 +281,7 @@ func (w *wal) size() uint64 {
 func (w *wal) truncate() (uint64, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	w.quiesceLocked()
 	newBase := w.base + w.bufStart + uint64(len(w.buf))
 	if err := w.f.Truncate(0); err != nil {
 		return 0, err
@@ -178,6 +304,7 @@ func (w *wal) truncate() (uint64, error) {
 func (w *wal) scan(fn func(r *logRecord) error) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	w.quiesceLocked()
 	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
 		return err
 	}

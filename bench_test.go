@@ -16,6 +16,8 @@ import (
 	"demaq/internal/gateway"
 	"demaq/internal/msgstore"
 	"demaq/internal/property"
+	"demaq/internal/qdl"
+	"demaq/internal/rule"
 	"demaq/internal/slicing"
 	"demaq/internal/store"
 	"demaq/internal/xdm"
@@ -544,6 +546,86 @@ func BenchmarkE10ConcurrentCommit(b *testing.B) {
 			if commits > 0 {
 				b.ReportMetric(float64(fsyncs)/float64(commits), "fsyncs/commit")
 			}
+		})
+	}
+}
+
+// --- E11: compiled rule programs vs the AST interpreter (Sec. 4.4.1) ---
+//
+// Measures pure rule-evaluation throughput on the E7 pipeline workload:
+// the three stage rules are compiled once and evaluated against their
+// triggering messages, comparing the flat instruction backend (default)
+// with the reference AST interpreter (the NoRuleOptimizations path). The
+// store and scheduler are deliberately out of the loop so the metric
+// isolates what the compilation tentpole changes.
+
+type benchRuntime struct{ doc *xmldom.Node }
+
+func (r benchRuntime) Message() (*xmldom.Node, error)          { return r.doc, nil }
+func (benchRuntime) Queue(string) ([]*xmldom.Node, error)      { return nil, nil }
+func (benchRuntime) Property(string) (xdm.Value, error)        { return xdm.Value{}, fmt.Errorf("no props") }
+func (benchRuntime) Slice() ([]*xmldom.Node, error)            { return nil, nil }
+func (benchRuntime) SliceKey() (xdm.Value, error)              { return xdm.Value{}, nil }
+func (benchRuntime) Collection(string) ([]*xmldom.Node, error) { return nil, nil }
+func (benchRuntime) Now() time.Time                            { return time.Unix(0, 0).UTC() }
+
+func BenchmarkE11CompiledRules(b *testing.B) {
+	const pipelineApp = `
+		create queue inbox kind basic mode persistent;
+		create queue stage1 kind basic mode persistent;
+		create queue stage2 kind basic mode persistent;
+		create queue outbox kind basic mode persistent;
+		create rule s0 for inbox if (//order) then
+		  do enqueue <checked>{//order/id}</checked> into stage1;
+		create rule s1 for stage1 if (//checked) then
+		  do enqueue <priced>{//checked/id}</priced> into stage2;
+		create rule s2 for stage2 if (//priced) then
+		  do enqueue <done>{//priced/id}</done> into outbox;
+	`
+	app, err := qdl.Parse(pipelineApp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pad := stringsRepeat("p", 4096)
+	msgs := map[string]*xmldom.Node{
+		"inbox":  xmldom.MustParse(fmt.Sprintf(`<order><id>7</id><pad>%s</pad></order>`, pad)),
+		"stage1": xmldom.MustParse(fmt.Sprintf(`<checked><id>7</id><pad>%s</pad></checked>`, pad)),
+		"stage2": xmldom.MustParse(fmt.Sprintf(`<priced><id>7</id><pad>%s</pad></priced>`, pad)),
+	}
+	queues := []string{"inbox", "stage1", "stage2"}
+
+	for _, compiled := range []bool{false, true} {
+		name := "backend=interpreted"
+		opts := rule.Options{Dispatch: true, InlineFixedProps: true}
+		if compiled {
+			name = "backend=compiled"
+			opts = rule.DefaultOptions()
+		}
+		b.Run(name, func(b *testing.B) {
+			prog, err := rule.Compile(app, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			evaluated := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, q := range queues {
+					doc := msgs[q]
+					plan := prog.QueuePlans[q]
+					for _, r := range plan.RulesFor(rule.ElementNames(doc)) {
+						_, ups, err := xquery.Eval(r.Body, benchRuntime{doc: doc}, xquery.EvalOptions{ContextDoc: doc})
+						if err != nil {
+							b.Fatal(err)
+						}
+						if ups.Len() != 1 {
+							b.Fatalf("rule %s produced %d updates", r.Name, ups.Len())
+						}
+						evaluated++
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(evaluated)/b.Elapsed().Seconds(), "rules/sec")
 		})
 	}
 }

@@ -54,8 +54,9 @@ type Options struct {
 	// NoMaterializedSlices evaluates slice access by re-running the slice
 	// definition instead of maintaining the B-tree index (experiment E1).
 	NoMaterializedSlices bool
-	// NoRuleOptimizations disables condition dispatch and property
-	// inlining in the rule compiler (experiment E4 baseline).
+	// NoRuleOptimizations disables condition dispatch, property inlining
+	// and the compiled rule backend (experiment E4/E11 baseline): rule
+	// bodies then run on the reference AST interpreter.
 	NoRuleOptimizations bool
 	// GCInterval enables periodic retention garbage collection.
 	GCInterval time.Duration

@@ -506,7 +506,15 @@ func (e *Engine) processMessage(queue string, id msgstore.MsgID) error {
 		return nil // duplicate schedule after crash recovery
 	}
 	now := time.Now().UTC()
-	names := rule.ElementNames(doc)
+	// Element names are the dispatch key set: computed lazily, only when
+	// some applicable rule actually has an element trigger.
+	var namesMemo map[string]bool
+	elementNames := func() map[string]bool {
+		if namesMemo == nil {
+			namesMemo = rule.ElementNames(doc)
+		}
+		return namesMemo
+	}
 
 	// Lock the slices of the message (they are read by slice rules and
 	// advanced by resets).
@@ -528,13 +536,13 @@ func (e *Engine) processMessage(queue string, id msgstore.MsgID) error {
 	}
 	var toRun []ruleCtx
 	if plan := e.prog.QueuePlans[queue]; plan != nil {
-		for _, r := range plan.RulesFor(names) {
+		for _, r := range plan.Select(msg.Props, elementNames) {
 			toRun = append(toRun, ruleCtx{r: r})
 		}
 	}
 	for _, mb := range memberships {
 		if plan := e.prog.SlicePlans[mb.Slicing]; plan != nil {
-			for _, r := range plan.RulesFor(names) {
+			for _, r := range plan.Select(msg.Props, elementNames) {
 				toRun = append(toRun, ruleCtx{r: r, slicing: mb.Slicing, key: mb.Key})
 			}
 		}

@@ -7,9 +7,13 @@ import (
 	"demaq/internal/xmldom"
 )
 
-// docCache is an LRU cache of parsed message documents. Message trees are
-// immutable, so cached documents can be shared freely between concurrent
-// rule evaluations.
+// docCache is an LRU cache of parsed message documents. Store.Doc hands the
+// same *xmldom.Node to every caller — concurrent rule evaluations of the
+// same message share one tree without copying or locking. That is sound
+// only because sealed xmldom trees are deeply immutable (see the contract
+// on xmldom.Node): readers traverse, and anything that needs an owned tree
+// (do enqueue payloads, constructor content) deep-copies. The contract is
+// enforced under -race by TestDocCacheSharedEvaluationRace.
 type docCache struct {
 	mu  sync.Mutex
 	cap int

@@ -13,10 +13,10 @@ package rule
 
 import (
 	"fmt"
-	"sort"
 
 	"demaq/internal/property"
 	"demaq/internal/qdl"
+	"demaq/internal/xdm"
 	"demaq/internal/xmldom"
 	"demaq/internal/xpath"
 	"demaq/internal/xquery"
@@ -24,16 +24,29 @@ import (
 
 // Options control the compiler's optimizations (E4 ablation knobs).
 type Options struct {
-	// Dispatch builds the condition-dispatch index.
+	// Dispatch builds the condition-dispatch index (element triggers and
+	// property prefilters).
 	Dispatch bool
 	// InlineFixedProps rewrites qs:property("p") for fixed string
 	// properties into the property's defining expression (view merging).
 	InlineFixedProps bool
+	// Compile lowers rule bodies and property expressions to the xquery
+	// compiled backend; disabled they run on the reference AST interpreter.
+	Compile bool
 }
 
 // DefaultOptions enables all optimizations.
 func DefaultOptions() Options {
-	return Options{Dispatch: true, InlineFixedProps: true}
+	return Options{Dispatch: true, InlineFixedProps: true, Compile: true}
+}
+
+// PropPred is a necessary property condition of a rule: the rule can only
+// fire when the message property Name, if present, equals Value. It is
+// checked against the already-materialized property map, before the
+// message document is touched.
+type PropPred struct {
+	Name  string
+	Value string
 }
 
 // Rule is one compiled rule.
@@ -47,18 +60,35 @@ type Rule struct {
 	// necessary condition for the rule to produce updates; "" means the
 	// rule must always be evaluated.
 	Trigger string
+	// PropPreds are cheap property equality prefilters (see PropPred).
+	PropPreds []PropPred
 	// Order is the declaration position, preserved when combining plans.
 	Order int
 }
 
+// propMatch reports whether the property prefilters admit a message with
+// the given properties. An absent property admits the rule: only a present,
+// different value proves the condition false.
+func (r *Rule) propMatch(props map[string]xdm.Value) bool {
+	for _, pp := range r.PropPreds {
+		if v, ok := props[pp.Name]; ok &&
+			(v.T == xdm.TypeString || v.T == xdm.TypeUntyped) && v.StringValue() != pp.Value {
+			return false
+		}
+	}
+	return true
+}
+
 // Plan is the combined execution plan of one queue or slicing: all attached
-// rules, with the optional dispatch index.
+// rules in declaration order, with cached dispatch capabilities.
 type Plan struct {
 	Target    string
 	OnSlicing bool
 	Rules     []*Rule
-	dispatch  map[string][]*Rule
-	always    []*Rule
+	// hasTriggers / hasPropPreds cache whether any rule carries an element
+	// trigger / a property prefilter, enabling the no-dispatch fast path.
+	hasTriggers  bool
+	hasPropPreds bool
 }
 
 // Program is a fully compiled application.
@@ -106,7 +136,7 @@ func Compile(app *qdl.Application, opts Options) (*Program, error) {
 			PerQueue: map[string]*xquery.Compiled{},
 		}
 		for _, b := range pd.Bindings {
-			compiled, err := xquery.Compile(b.Value, xquery.CompileOptions{})
+			compiled, err := xquery.Compile(b.Value, xquery.CompileOptions{NoProgram: !opts.Compile})
 			if err != nil {
 				return nil, fmt.Errorf("rule: property %q: %v", pd.Name, err)
 			}
@@ -158,16 +188,26 @@ func Compile(app *qdl.Application, opts Options) (*Program, error) {
 			}
 		}
 		body := rd.Body
+		// Property prefilters are read off the original body: the
+		// view-merging rewrite below may replace the qs:property() calls
+		// they are derived from.
+		var propPreds []PropPred
+		if opts.Dispatch && !onSlicing {
+			propPreds = analyzePropPreds(body, prog)
+		}
 		if !onSlicing {
 			body = rewrite(body, prog, rd.Target)
 		}
-		compiled, err := xquery.Compile(body, xquery.CompileOptions{AllowSlice: onSlicing})
+		compiled, err := xquery.Compile(body, xquery.CompileOptions{
+			AllowSlice: onSlicing, NoProgram: !opts.Compile,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("rule: %q: %v", rd.Name, err)
 		}
 		r := &Rule{
 			Name: rd.Name, Target: rd.Target, OnSlicing: onSlicing,
 			ErrorQueue: rd.ErrorQueue, Body: compiled, Order: i,
+			PropPreds: propPreds,
 		}
 		if opts.Dispatch {
 			r.Trigger = analyzeTrigger(body)
@@ -186,15 +226,15 @@ func Compile(app *qdl.Application, opts Options) (*Program, error) {
 		}
 	}
 
-	// Build dispatch indexes.
+	// Cache dispatch capabilities per plan.
 	for _, plans := range []map[string]*Plan{prog.QueuePlans, prog.SlicePlans} {
 		for _, plan := range plans {
-			plan.dispatch = map[string][]*Rule{}
 			for _, r := range plan.Rules {
-				if r.Trigger == "" {
-					plan.always = append(plan.always, r)
-				} else {
-					plan.dispatch[r.Trigger] = append(plan.dispatch[r.Trigger], r)
+				if r.Trigger != "" {
+					plan.hasTriggers = true
+				}
+				if len(r.PropPreds) > 0 {
+					plan.hasPropPreds = true
 				}
 			}
 		}
@@ -220,17 +260,36 @@ func MustCompile(src string, opts Options) *Program {
 // dispatch disabled (or for rules without an analyzable trigger) every rule
 // is returned — the canonical plan of Sec. 4.4.1.
 func (p *Plan) RulesFor(elementNames map[string]bool) []*Rule {
-	if len(p.dispatch) == 0 {
+	return p.Select(nil, func() map[string]bool { return elementNames })
+}
+
+// Select returns the rules to evaluate for a message, in declaration
+// order, applying the two dispatch prefilters: property equality checks
+// against the already-materialized property map first, then element
+// triggers against the document's element names. names is invoked lazily,
+// only when a property-surviving rule actually carries an element trigger —
+// a rule dispatched away on properties never touches the document.
+func (p *Plan) Select(props map[string]xdm.Value, names func() map[string]bool) []*Rule {
+	if !p.hasTriggers && (!p.hasPropPreds || len(props) == 0) {
 		return p.Rules
 	}
-	out := append([]*Rule(nil), p.always...)
-	for name, rules := range p.dispatch {
-		if elementNames[name] {
-			out = append(out, rules...)
+	var nm map[string]bool
+	sel := make([]*Rule, 0, len(p.Rules))
+	for _, r := range p.Rules {
+		if len(props) > 0 && !r.propMatch(props) {
+			continue
 		}
+		if r.Trigger != "" {
+			if nm == nil {
+				nm = names()
+			}
+			if !nm[r.Trigger] {
+				continue
+			}
+		}
+		sel = append(sel, r)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Order < out[j].Order })
-	return out
+	return sel
 }
 
 // ElementNames collects the distinct local element names of a document,
@@ -301,6 +360,92 @@ func pathTrigger(e xpath.Expr) string {
 		}
 	}
 	return ""
+}
+
+// analyzePropPreds extracts a necessary property-equality condition from a
+// rule body of the form "if (C) then T" with no else branch: when the
+// LEFTMOST conjunct of C is qs:property("p") = "literal" (either operand
+// order) over a string-typed property, the rule cannot fire unless the
+// message's p property, when present, equals the literal. The engine checks
+// the predicate against the property map before any document access.
+//
+// Only the leftmost conjunct is sound to prefilter on: "and" evaluates
+// left-to-right with short-circuiting, so when the leftmost conjunct is
+// false the interpreter never evaluates the rest of the condition — a
+// later conjunct that would raise a dynamic error (and route the message
+// to an error queue, Sec. 3.6) is unreachable, and skipping the rule is
+// observationally identical. A property test in any other position may be
+// preceded by an erroring conjunct, where skipping would swallow the
+// error-queue message.
+func analyzePropPreds(body xpath.Expr, prog *Program) []PropPred {
+	ife, ok := body.(*xpath.IfExpr)
+	if !ok || ife.Else != nil {
+		return nil
+	}
+	leftmost := ife.Cond
+	for {
+		b, ok := leftmost.(*xpath.BinaryExpr)
+		if !ok || b.Op != xpath.BinAnd {
+			break
+		}
+		leftmost = b.Left
+	}
+	if pp, ok := propEquality(leftmost, prog); ok {
+		return []PropPred{pp}
+	}
+	return nil
+}
+
+// propEquality matches qs:property("p") = "lit" (or the mirrored form) for
+// a declared string-typed property.
+func propEquality(e xpath.Expr, prog *Program) (PropPred, bool) {
+	cmp, ok := e.(*xpath.ComparisonExpr)
+	if !ok || !cmp.General || cmp.Op != xdm.OpEq {
+		return PropPred{}, false
+	}
+	name, ok := propCallName(cmp.Left, prog)
+	lit, lok := stringLiteral(cmp.Right)
+	if !ok || !lok {
+		name, ok = propCallName(cmp.Right, prog)
+		lit, lok = stringLiteral(cmp.Left)
+		if !ok || !lok {
+			return PropPred{}, false
+		}
+	}
+	return PropPred{Name: name, Value: lit}, true
+}
+
+func propCallName(e xpath.Expr, prog *Program) (string, bool) {
+	fc, ok := e.(*xpath.FuncCall)
+	if !ok || fc.Prefix != "qs" || fc.Local != "property" || len(fc.Args) != 1 {
+		return "", false
+	}
+	name, ok := stringLiteral(fc.Args[0])
+	if !ok {
+		return "", false
+	}
+	def, ok := prog.Properties.Def(name)
+	if !ok || def.Type != xdm.TypeString {
+		return "", false
+	}
+	// A property the view-merging rewrite will inline is off limits: the
+	// deployed body then re-evaluates the defining expression against the
+	// document, which can error (e.g. string() of a multi-node match)
+	// where the materialized property map cannot — skipping the rule
+	// would silently swallow the Sec. 3.6 error-queue message. Only the
+	// qs:property() runtime lookup is guaranteed to agree with the map.
+	if def.Fixed && prog.opts.InlineFixedProps {
+		return "", false
+	}
+	return name, true
+}
+
+func stringLiteral(e xpath.Expr) (string, bool) {
+	lit, ok := e.(*xpath.Literal)
+	if !ok || lit.Value.T != xdm.TypeString {
+		return "", false
+	}
+	return lit.Value.S, true
 }
 
 // checkEnqueueTargets verifies statically that every "do enqueue ... into

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"demaq/internal/qdl"
+	"demaq/internal/xdm"
 	"demaq/internal/xmldom"
 	"demaq/internal/xpath"
 )
@@ -188,6 +189,137 @@ func TestCompileErrors(t *testing.T) {
 			t.Errorf("expected compile error for %q", src)
 		}
 	}
+}
+
+const propPredApp = `
+create queue orders kind basic mode persistent;
+create queue eu kind basic mode persistent;
+create queue us kind basic mode persistent;
+create property region as xs:string queue orders value //region;
+create property amount as xs:integer queue orders value //amount;
+create rule euOrders for orders
+  if (qs:property("region") = "eu" and //order) then do enqueue <eu/> into eu;
+create rule usOrders for orders
+  if ("us" = qs:property("region")) then do enqueue <us/> into us;
+create rule bigOrders for orders
+  if (qs:property("amount") = 100) then do enqueue <big/> into us;
+create rule lateTest for orders
+  if (//order and qs:property("region") = "eu") then do enqueue <late/> into eu;
+`
+
+func TestPropPredAnalysis(t *testing.T) {
+	prog := MustCompile(propPredApp, DefaultOptions())
+	rules := prog.QueuePlans["orders"].Rules
+	byName := map[string]*Rule{}
+	for _, r := range rules {
+		byName[r.Name] = r
+	}
+	if got := byName["euOrders"].PropPreds; len(got) != 1 || got[0] != (PropPred{Name: "region", Value: "eu"}) {
+		t.Fatalf("euOrders preds: %+v", got)
+	}
+	if got := byName["usOrders"].PropPreds; len(got) != 1 || got[0] != (PropPred{Name: "region", Value: "us"}) {
+		t.Fatalf("usOrders preds (mirrored operands): %+v", got)
+	}
+	// Non-string property types never become prefilters: their general
+	// comparison is not plain string equality.
+	if got := byName["bigOrders"].PropPreds; len(got) != 0 {
+		t.Fatalf("bigOrders must not carry preds: %+v", got)
+	}
+	// A property test that is not the leftmost conjunct is refused: an
+	// earlier conjunct could raise a dynamic error that the interpreter
+	// would route to an error queue, so skipping is unsound.
+	if got := byName["lateTest"].PropPreds; len(got) != 0 {
+		t.Fatalf("non-leftmost property test must not carry preds: %+v", got)
+	}
+}
+
+// TestPropPredSkipsInlinedProperties pins the soundness rule: a fixed
+// string property that InlineFixedProps rewrites into its defining
+// expression must not become a prefilter — the inlined body re-evaluates
+// the expression against the document and can error (e.g. string() over a
+// multi-node match) where the materialized property map cannot, and
+// skipping the rule would swallow that error-queue message.
+func TestPropPredSkipsInlinedProperties(t *testing.T) {
+	const app = `
+		create queue orders kind basic mode persistent;
+		create queue eu kind basic mode persistent;
+		create property region as xs:string fixed queue orders value //region;
+		create rule euOrders for orders
+		  if (qs:property("region") = "eu") then do enqueue <eu/> into eu;
+	`
+	prog := MustCompile(app, DefaultOptions())
+	if got := prog.QueuePlans["orders"].Rules[0].PropPreds; len(got) != 0 {
+		t.Fatalf("inlined fixed property must not become a prefilter: %+v", got)
+	}
+	// Without inlining the runtime lookup agrees with the property map,
+	// so the prefilter is sound and kept.
+	prog2 := MustCompile(app, Options{Dispatch: true, InlineFixedProps: false, Compile: true})
+	if got := prog2.QueuePlans["orders"].Rules[0].PropPreds; len(got) != 1 {
+		t.Fatalf("non-inlined fixed property should carry a prefilter: %+v", got)
+	}
+}
+
+func TestSelectPropertyPrefilter(t *testing.T) {
+	prog := MustCompile(propPredApp, DefaultOptions())
+	plan := prog.QueuePlans["orders"]
+	doc := xmldom.MustParse(`<order><region>eu</region><amount>100</amount></order>`)
+	names := func() map[string]bool { return ElementNames(doc) }
+
+	sel := planNames(plan.Select(map[string]xdm.Value{"region": xdm.NewString("eu")}, names))
+	if len(sel) != 3 || sel[0] != "euOrders" || sel[1] != "bigOrders" || sel[2] != "lateTest" {
+		t.Fatalf("eu message selected %v", sel)
+	}
+	// A message without the property runs every rule: absence proves
+	// nothing, only a present different value does.
+	sel = planNames(plan.Select(map[string]xdm.Value{"amount": xdm.NewInteger(3)}, names))
+	if len(sel) != 4 {
+		t.Fatalf("propertyless message selected %v", sel)
+	}
+	// RulesFor (no property view) keeps the legacy behavior.
+	if got := len(plan.RulesFor(ElementNames(doc))); got != 4 {
+		t.Fatalf("RulesFor: %d", got)
+	}
+}
+
+// TestSelectLazyNames asserts that plans without element triggers never
+// compute the element-name set.
+func TestSelectLazyNames(t *testing.T) {
+	prog := MustCompile(`
+		create queue q kind basic mode persistent;
+		create rule r for q do enqueue <x/> into q;
+	`, Options{Dispatch: false, Compile: true})
+	plan := prog.QueuePlans["q"]
+	called := false
+	sel := plan.Select(nil, func() map[string]bool { called = true; return nil })
+	if called {
+		t.Fatal("element names must not be computed without element triggers")
+	}
+	if len(sel) != 1 {
+		t.Fatalf("selected %d rules", len(sel))
+	}
+}
+
+func TestCompileDisabledKeepsInterpreter(t *testing.T) {
+	prog := MustCompile(miniApp, Options{Dispatch: true, InlineFixedProps: true})
+	for _, r := range prog.QueuePlans["crm"].Rules {
+		if r.Body.HasProgram() {
+			t.Fatalf("rule %s compiled despite Compile=false", r.Name)
+		}
+	}
+	prog2 := MustCompile(miniApp, DefaultOptions())
+	for _, r := range prog2.QueuePlans["crm"].Rules {
+		if !r.Body.HasProgram() {
+			t.Fatalf("rule %s not compiled under default options", r.Name)
+		}
+	}
+}
+
+func planNames(rules []*Rule) []string {
+	out := make([]string, len(rules))
+	for i, r := range rules {
+		out[i] = r.Name
+	}
+	return out
 }
 
 func TestCompileProcurement(t *testing.T) {

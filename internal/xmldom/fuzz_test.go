@@ -1,0 +1,46 @@
+package xmldom
+
+import (
+	"testing"
+)
+
+// FuzzParse drives the parser with arbitrary bytes. For every input the
+// parser accepts, the round-trip oracle must hold: Serialize of the parsed
+// tree reparses successfully, the reparsed tree is structurally equal to
+// the first, and a second round-trip produces byte-identical output
+// (serialization is a fixed point after one normalization pass).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`<a/>`,
+		`<a><b>text</b><b x="1"/></a>`,
+		`<m><k>s1</k><data>payload &amp; more</data></m>`,
+		`<ns:a xmlns:ns="urn:x"><ns:b ns:attr="v"/></ns:a>`,
+		`<a xmlns="urn:default"><b/></a>`,
+		`<a><!--comment--><?pi data?>t</a>`,
+		`<a>&lt;escaped&gt; &quot;q&quot; &#65; &#x42;</a>`,
+		`<?xml version="1.0"?><root><nested><deep>x</deep></nested></root>`,
+		`<a att="  spaced  value "><![CDATA[raw <stuff> &]]></a>`,
+		"<a>\n\tmixed <b>content</b> tail\n</a>",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := Parse(data)
+		if err != nil {
+			return // rejected input: only panics are failures
+		}
+		first := Serialize(doc)
+		doc2, err := Parse([]byte(first))
+		if err != nil {
+			t.Fatalf("serialized output does not reparse: %v\ninput:  %q\noutput: %q", err, data, first)
+		}
+		if !DeepEqual(doc, doc2) {
+			t.Fatalf("round-trip changed the tree\ninput:  %q\noutput: %q\nreout:  %q", data, first, Serialize(doc2))
+		}
+		second := Serialize(doc2)
+		if first != second {
+			t.Fatalf("serialization is not idempotent\nfirst:  %q\nsecond: %q", first, second)
+		}
+	})
+}

@@ -77,8 +77,18 @@ func (n Name) Matches(space, local string) bool {
 var docSeq atomic.Uint64
 
 // Node is a node in an XML tree. The zero value is not useful; use Parse or
-// a Builder to obtain nodes. Fields are exported for read access; mutating
-// a tree after it is sealed is a programming error.
+// a Builder to obtain nodes.
+//
+// Immutability contract: once a tree is sealed (Parse, Builder.Done and
+// Clone seal automatically), it is deeply immutable. Fields are exported
+// for read access only; no code may assign to Kind, Name, Data, Parent,
+// Children or Attrs of a sealed node, and all package xquery evaluation
+// honors this — axes traverse, atomization reads string values, and
+// constructors deep-copy (Builder.Subtree) instead of re-parenting. The
+// msgstore document cache relies on the contract to hand one shared *Node
+// to concurrent rule evaluations without locking; the -race test
+// msgstore.TestDocCacheSharedEvaluationRace guards it. Code that needs a
+// mutable tree must work on a Clone.
 type Node struct {
 	Kind     NodeKind
 	Name     Name    // element/attribute name; PI target in Local

@@ -5,12 +5,15 @@ import (
 )
 
 // Compiled is a statically checked, executable expression. The compile
-// phase resolves function references, verifies variable scoping, and
-// records whether the expression contains update primitives. The rule
-// compiler (internal/rule) performs its rewrites on the AST before
+// phase resolves function references, verifies variable scoping, records
+// whether the expression contains update primitives, and — unless
+// CompileOptions.NoProgram is set — lowers the AST into a flat evaluation
+// program (program.go) that Eval executes instead of walking the tree. The
+// rule compiler (internal/rule) performs its rewrites on the AST before
 // compiling.
 type Compiled struct {
 	ast      xpath.Expr
+	prog     *program // nil: evaluate by AST interpretation
 	updating bool
 	// usesSlice reports whether qs:slice()/qs:slicekey() occur; such
 	// expressions are only valid for rules attached to slicings (Sec. 3.5.2).
@@ -26,6 +29,10 @@ func (c *Compiled) Updating() bool { return c.updating }
 // UsesSlice reports whether the expression calls qs:slice()/qs:slicekey().
 func (c *Compiled) UsesSlice() bool { return c.usesSlice }
 
+// HasProgram reports whether Eval runs the compiled backend (true) or the
+// AST interpreter (false).
+func (c *Compiled) HasProgram() bool { return c.prog != nil }
+
 // CompileOptions configure static analysis.
 type CompileOptions struct {
 	// AllowSlice permits qs:slice()/qs:slicekey(); set for slicing rules.
@@ -33,9 +40,13 @@ type CompileOptions struct {
 	// ExtraVars are names of variables bound externally (beyond FLWOR and
 	// quantified bindings).
 	ExtraVars []string
+	// NoProgram skips lowering to the compiled backend; Eval then uses the
+	// reference AST interpreter (the engine's NoRuleOptimizations knob).
+	NoProgram bool
 }
 
-// Compile statically checks an expression.
+// Compile statically checks an expression and lowers it to an evaluation
+// program.
 func Compile(e xpath.Expr, opts CompileOptions) (*Compiled, error) {
 	c := &Compiled{ast: e}
 	vars := map[string]bool{}
@@ -44,6 +55,13 @@ func Compile(e xpath.Expr, opts CompileOptions) (*Compiled, error) {
 	}
 	if err := c.check(e, vars, opts); err != nil {
 		return nil, err
+	}
+	if !opts.NoProgram {
+		// Lowering failures are not user errors: the static check above has
+		// accepted the expression, so fall back to the interpreter.
+		if p, err := lower(e, opts); err == nil && p != nil {
+			c.prog = p
+		}
 	}
 	return c, nil
 }

@@ -23,8 +23,20 @@ type EvalOptions struct {
 
 // Eval evaluates a compiled expression. It returns the result sequence and
 // the pending update list produced by update primitives. No side effects
-// are performed.
+// are performed. Expressions compiled with a program (the default) run the
+// flat instruction backend; others fall back to the AST interpreter.
 func Eval(c *Compiled, rt Runtime, opts EvalOptions) (xdm.Sequence, *UpdateList, error) {
+	if c.prog != nil {
+		return evalProgram(c.prog, rt, opts)
+	}
+	return EvalInterpreted(c, rt, opts)
+}
+
+// EvalInterpreted evaluates by walking the AST recursively — the reference
+// implementation the compiled backend is differentially tested against
+// (differential_test.go), and the execution path of
+// CompileOptions.NoProgram.
+func EvalInterpreted(c *Compiled, rt Runtime, opts EvalOptions) (xdm.Sequence, *UpdateList, error) {
 	ev := &evaluator{rt: rt, updates: &UpdateList{}, ns: opts.Namespaces}
 	ctx := &evalCtx{pos: 1, size: 1}
 	if opts.ContextDoc != nil {
@@ -219,25 +231,7 @@ func (ev *evaluator) evalBinary(x *xpath.BinaryExpr, ctx *evalCtx) (xdm.Sequence
 		if err != nil || empty {
 			return xdm.EmptySequence, err
 		}
-		loi, err := lo.Cast(xdm.TypeInteger)
-		if err != nil {
-			return nil, dynErr("XPTY0004", "range bounds must be integers")
-		}
-		hii, err := hi.Cast(xdm.TypeInteger)
-		if err != nil {
-			return nil, dynErr("XPTY0004", "range bounds must be integers")
-		}
-		if loi.I > hii.I {
-			return xdm.EmptySequence, nil
-		}
-		if hii.I-loi.I > 10_000_000 {
-			return nil, dynErr("FOAR0002", "range too large")
-		}
-		out := make(xdm.Sequence, 0, hii.I-loi.I+1)
-		for i := loi.I; i <= hii.I; i++ {
-			out = append(out, xdm.NewInteger(i))
-		}
-		return out, nil
+		return rangeSeq(lo, hi)
 	}
 	// Arithmetic.
 	l, lEmpty, err := ev.atomicOperand(x.Left, ctx)
@@ -324,17 +318,7 @@ func (ev *evaluator) evalUnary(x *xpath.UnaryExpr, ctx *evalCtx) (xdm.Sequence, 
 	if err != nil || empty {
 		return xdm.EmptySequence, err
 	}
-	if !x.Neg {
-		return xdm.Singleton(v), nil
-	}
-	if v.T == xdm.TypeInteger {
-		return xdm.Singleton(xdm.NewInteger(-v.I)), nil
-	}
-	f := v.Number()
-	if math.IsNaN(f) && v.T != xdm.TypeDouble && v.T != xdm.TypeDecimal && v.T != xdm.TypeUntyped {
-		return nil, dynErr("XPTY0004", "unary minus on non-numeric operand")
-	}
-	return xdm.Singleton(xdm.NewDouble(-f)), nil
+	return negateValue(x.Neg, v)
 }
 
 func (ev *evaluator) evalComparison(x *xpath.ComparisonExpr, ctx *evalCtx) (xdm.Sequence, error) {

@@ -630,6 +630,83 @@ func BenchmarkE11CompiledRules(b *testing.B) {
 	}
 }
 
+// --- E12: native binary document storage vs text-parse rehydration ---
+//
+// Measures cold-cache Store.Doc: the cost of turning a stored payload back
+// into a usable tree. The binary tree encoding (default) materializes with
+// one arena allocation and sliced strings; the TextPayloads baseline pays
+// a full character-level XML parse with per-node allocations. Payload
+// sizes bracket typical messages (4KB) and large documents (64KB).
+
+// e12Payload builds a structured order document of roughly size bytes.
+func e12Payload(size int) string {
+	const item = `<item sku="A-1001" qty="3"><name>article</name><price cur="EUR">19.90</price><note>mixed <b>content</b> tail</note></item>`
+	n := size / len(item)
+	if n < 1 {
+		n = 1
+	}
+	out := make([]byte, 0, size+128)
+	out = append(out, `<order id="42" state="open">`...)
+	for i := 0; i < n; i++ {
+		out = append(out, item...)
+	}
+	out = append(out, `</order>`...)
+	return string(out)
+}
+
+func BenchmarkE12Rehydration(b *testing.B) {
+	for _, size := range []int{4 << 10, 64 << 10} {
+		for _, text := range []bool{false, true} {
+			format := "binary"
+			if text {
+				format = "text"
+			}
+			b.Run(fmt.Sprintf("size=%dKB/format=%s", size>>10, format), func(b *testing.B) {
+				opts := msgstore.DefaultOptions()
+				opts.TextPayloads = text
+				opts.CacheDocs = 2 // force every timed Doc onto the cold path
+				ms, err := msgstore.Open(b.TempDir(), opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer ms.Close()
+				if _, err := ms.CreateQueue("q", msgstore.Persistent, 0); err != nil {
+					b.Fatal(err)
+				}
+				doc := xmldom.MustParse(e12Payload(size))
+				const nMsgs = 64
+				ids := make([]msgstore.MsgID, nMsgs)
+				for i := range ids {
+					tx := ms.Begin()
+					id, err := tx.Enqueue("q", doc, nil, time.Now())
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := tx.Commit(); err != nil {
+						b.Fatal(err)
+					}
+					ids[i] = id
+				}
+				ms.FlushDocCache()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := ms.Doc(ids[i%nMsgs]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				st := ms.Stats()
+				payload := st.PayloadEncodedBytes
+				if text {
+					payload = st.PayloadTextBytes
+				}
+				b.ReportMetric(float64(payload)/nMsgs/1024, "KB/doc")
+			})
+		}
+	}
+}
+
 func stringsRepeat(s string, n int) string {
 	out := make([]byte, 0, len(s)*n)
 	for i := 0; i < n; i++ {

@@ -43,10 +43,11 @@ var experiments = []struct {
 	{"E9", "reliable messaging under loss (Sec. 4.2)", runE9},
 	{"A2", "buffer pool size ablation", runA2},
 	{"A3", "commit durability policy ablation", runA3},
+	{"E12", "binary vs text payload rehydration (Sec. 4.1)", runE12},
 }
 
 func main() {
-	sel := flag.String("e", "all", "comma-separated experiment IDs (E1..E9,A2,A3) or 'all'")
+	sel := flag.String("e", "all", "comma-separated experiment IDs (E1..E9,E12,A2,A3) or 'all'")
 	flag.Parse()
 	want := map[string]bool{}
 	if *sel != "all" {
@@ -564,5 +565,60 @@ func runA3() {
 		}
 		fmt.Printf("%-12s %14s %14.0f\n", mode, (elapsed / msgs).Round(time.Microsecond),
 			float64(msgs)/elapsed.Seconds())
+	}
+}
+
+// runE12 sweeps cold-cache rehydration (Store.Doc on an evicted document)
+// across payload sizes, comparing the binary tree encoding with the
+// text-parse baseline (msgstore.Options.TextPayloads).
+func runE12() {
+	const nMsgs, reads = 32, 2000
+	item := `<item sku="A-1001" qty="3"><name>article</name><price cur="EUR">19.90</price></item>`
+	fmt.Printf("%-10s %-8s %14s %14s %12s\n", "payload", "format", "elapsed/doc", "docs/sec", "stored KB")
+	for _, size := range []int{4 << 10, 64 << 10} {
+		var sb strings.Builder
+		sb.WriteString(`<order id="42">`)
+		for sb.Len() < size {
+			sb.WriteString(item)
+		}
+		sb.WriteString(`</order>`)
+		doc := xmldom.MustParse(sb.String())
+		for _, text := range []bool{false, true} {
+			dir := tempDir()
+			opts := msgstore.DefaultOptions()
+			opts.TextPayloads = text
+			opts.CacheDocs = 2
+			ms, err := msgstore.Open(dir, opts)
+			if err != nil {
+				panic(err)
+			}
+			ms.CreateQueue("q", msgstore.Persistent, 0)
+			ids := make([]msgstore.MsgID, nMsgs)
+			for i := range ids {
+				tx := ms.Begin()
+				ids[i], _ = tx.Enqueue("q", doc, nil, time.Now())
+				tx.Commit()
+			}
+			ms.FlushDocCache()
+			start := time.Now()
+			for i := 0; i < reads; i++ {
+				if _, err := ms.Doc(ids[i%nMsgs]); err != nil {
+					panic(err)
+				}
+			}
+			elapsed := time.Since(start)
+			st := ms.Stats()
+			stored := st.PayloadEncodedBytes
+			format := "binary"
+			if text {
+				stored = st.PayloadTextBytes
+				format = "text"
+			}
+			ms.Close()
+			cleanup(dir)
+			fmt.Printf("%-10s %-8s %14s %14.0f %12.1f\n", fmt.Sprintf("%dKB", size>>10), format,
+				(elapsed / reads).Round(time.Microsecond), float64(reads)/elapsed.Seconds(),
+				float64(stored)/nMsgs/1024)
+		}
 	}
 }

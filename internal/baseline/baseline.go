@@ -2,8 +2,10 @@
 // BPEL-style "instance context" engine in the spirit of the Oracle BPEL
 // dehydration store the paper discusses (Sec. 2.1). Every process instance
 // owns one monolithic runtime-context document; handling an event loads
-// (rehydrates) the full context from the store, parses it, appends the
-// event, serializes the whole document and writes it back (dehydrates).
+// (rehydrates) the full context from the store, materializes it, appends
+// the event, re-encodes the whole document and writes it back
+// (dehydrates). Contexts use the same binary storage format as Demaq
+// message payloads, so the comparison isolates the state model.
 //
 // Demaq's claim is that representing state as regular messages — appended
 // once, queried declaratively — scales better with instance count and
@@ -42,8 +44,12 @@ func Open(dir string, opts store.Options) (*ContextEngine, error) {
 	}
 	e := &ContextEngine{ps: ps, heap: h, index: map[string]store.RID{}}
 	// Rehydrate the index (instance id is the context root's id attribute).
+	// Contexts are stored in the same binary tree encoding as Demaq message
+	// payloads (Materialize dispatches, so text records from older stores
+	// still load) — the E-series comparison measures the state models, not
+	// a storage-format handicap.
 	err = ps.Scan(h, func(rid store.RID, data []byte) bool {
-		doc, err := xmldom.Parse(data)
+		doc, err := xmldom.Materialize(data)
 		if err != nil {
 			return true
 		}
@@ -77,7 +83,7 @@ func (e *ContextEngine) HandleEvent(instance string, event *xmldom.Node) error {
 			tx.Abort()
 			return err
 		}
-		doc, err = xmldom.Parse(data) // rehydration: full parse
+		doc, err = xmldom.Materialize(data) // rehydration: structural decode
 		if err != nil {
 			tx.Abort()
 			return fmt.Errorf("baseline: context of %s corrupt: %w", instance, err)
@@ -108,7 +114,7 @@ func (e *ContextEngine) HandleEvent(instance string, event *xmldom.Node) error {
 			return err
 		}
 	}
-	newRID, err := tx.Insert(e.heap, []byte(xmldom.Serialize(newDoc)))
+	newRID, err := tx.Insert(e.heap, xmldom.Encode(newDoc))
 	if err != nil {
 		tx.Abort()
 		return err
@@ -132,7 +138,7 @@ func (e *ContextEngine) EventCount(instance string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	doc, err := xmldom.Parse(data)
+	doc, err := xmldom.Materialize(data)
 	if err != nil {
 		return 0, err
 	}

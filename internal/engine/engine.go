@@ -24,6 +24,7 @@ import (
 	"demaq/internal/rule"
 	"demaq/internal/schema"
 	"demaq/internal/slicing"
+	"demaq/internal/store"
 	locks "demaq/internal/txn"
 	"demaq/internal/xdm"
 	"demaq/internal/xmldom"
@@ -50,7 +51,12 @@ type Config struct {
 	Workers int
 	// Granularity selects slice- or queue-level locking.
 	Granularity LockGranularity
-	// Store configures the message store.
+	// Store configures the message store. Store.CacheDocs sizes the
+	// document cache (zero = 4096): it bounds how many rehydrated message
+	// trees stay resident, and cold misses pay one structural decode per
+	// document. A zero Store.Store takes full page-store defaults; any
+	// non-zero field means the caller owns the whole page-store
+	// configuration and it is used verbatim.
 	Store msgstore.Options
 	// Rules configures the rule compiler.
 	Rules rule.Options
@@ -156,8 +162,15 @@ func New(cfg Config, app *qdl.Application) (*Engine, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
+	// Store defaulting: each knob defaults independently, and the nested
+	// page-store options default only when fully zero — a caller that sets
+	// any page-store field (a buffer size, a durability choice) owns the
+	// whole struct and is taken verbatim, never silently overridden.
+	if cfg.Store.Store == (store.Options{}) {
+		cfg.Store.Store = store.DefaultOptions()
+	}
 	if cfg.Store.CacheDocs == 0 {
-		cfg.Store = msgstore.DefaultOptions()
+		cfg.Store.CacheDocs = msgstore.DefaultOptions().CacheDocs
 	}
 	if cfg.Resources == nil {
 		cfg.Resources = fstest.MapFS{}

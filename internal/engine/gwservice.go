@@ -292,7 +292,9 @@ func (g *gatewayService) sendOne(gw *outgoingGW, id msgstore.MsgID) {
 			fmt.Errorf("payload element <%s> does not match interface element <%s>", doc.Root().Name.Local, gw.element))
 		return
 	}
-	payload := []byte(xmldom.Serialize(doc))
+	// Outgoing messages cross the text/binary boundary here: payloads are
+	// stored as binary trees and lazily re-serialized to wire XML.
+	payload := xmldom.AppendSerialize(nil, doc)
 	props := map[string]string{}
 	for k, v := range msg.Props {
 		props[k] = v.StringValue()

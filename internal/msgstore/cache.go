@@ -7,18 +7,21 @@ import (
 	"demaq/internal/xmldom"
 )
 
-// docCache is an LRU cache of parsed message documents. Store.Doc hands the
-// same *xmldom.Node to every caller — concurrent rule evaluations of the
-// same message share one tree without copying or locking. That is sound
-// only because sealed xmldom trees are deeply immutable (see the contract
-// on xmldom.Node): readers traverse, and anything that needs an owned tree
-// (do enqueue payloads, constructor content) deep-copies. The contract is
-// enforced under -race by TestDocCacheSharedEvaluationRace.
+// docCache is an LRU cache of materialized message documents. Store.Doc
+// hands the same *xmldom.Node to every caller — concurrent rule
+// evaluations of the same message share one tree without copying or
+// locking. That is sound only because sealed xmldom trees are deeply
+// immutable (see the contract on xmldom.Node): readers traverse, and
+// anything that needs an owned tree (do enqueue payloads, constructor
+// content) deep-copies. The contract is enforced under -race by
+// TestDocCacheSharedEvaluationRace.
 type docCache struct {
 	mu  sync.Mutex
 	cap int
 	lru *list.List
 	m   map[MsgID]*list.Element
+
+	hits, misses, evictions uint64
 }
 
 type cacheEntry struct {
@@ -34,9 +37,11 @@ func (c *docCache) get(id MsgID) (*xmldom.Node, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[id]; ok {
+		c.hits++
 		c.lru.MoveToFront(el)
 		return el.Value.(*cacheEntry).doc, true
 	}
+	c.misses++
 	return nil, false
 }
 
@@ -54,6 +59,7 @@ func (c *docCache) put(id MsgID, doc *xmldom.Node) {
 		back := c.lru.Back()
 		c.lru.Remove(back)
 		delete(c.m, back.Value.(*cacheEntry).id)
+		c.evictions++
 	}
 }
 
@@ -63,5 +69,26 @@ func (c *docCache) drop(id MsgID) {
 	if el, ok := c.m[id]; ok {
 		c.lru.Remove(el)
 		delete(c.m, id)
+	}
+}
+
+// clear empties the cache without touching the counters.
+func (c *docCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Init()
+	clear(c.m)
+}
+
+// stats snapshots the cache counters into a Stats value.
+func (c *docCache) stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		DocCacheHits:      c.hits,
+		DocCacheMisses:    c.misses,
+		DocCacheEvictions: c.evictions,
+		DocCacheSize:      c.lru.Len(),
+		DocCacheCap:       c.cap,
 	}
 }

@@ -1,0 +1,191 @@
+package msgstore
+
+import (
+	"testing"
+
+	"demaq/internal/xdm"
+	"demaq/internal/xmldom"
+)
+
+const formatTestDoc = `<order xmlns:p="urn:proc"><p:item qty="3">widget &amp; bolt</p:item><!--note--><state>open</state></order>`
+
+// TestBinaryPayloadRoundTrip exercises the default storage format end to
+// end: enqueue parses once and persists the encoded tree; a cold-cache Doc
+// is a structural decode that reproduces the exact tree and wire text.
+func TestBinaryPayloadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ms, err := Open(dir, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	if _, err := ms.CreateQueue("q", Persistent, 0); err != nil {
+		t.Fatal(err)
+	}
+	want := xmldom.MustParse(formatTestDoc)
+	id := enqueue(t, ms, "q", formatTestDoc, map[string]xdm.Value{"k": xdm.NewString("v")})
+
+	ms.FlushDocCache()
+	doc, err := ms.Doc(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmldom.DeepEqual(want, doc) {
+		t.Fatalf("rehydrated tree differs:\nwant %s\ngot  %s", xmldom.Serialize(want), xmldom.Serialize(doc))
+	}
+	if a, b := xmldom.Serialize(want), xmldom.Serialize(doc); a != b {
+		t.Fatalf("wire text changed: %q vs %q", a, b)
+	}
+	st := ms.Stats()
+	if st.PayloadEncodedBytes == 0 {
+		t.Fatalf("no encoded payload bytes accounted: %+v", st)
+	}
+	if st.PayloadTextBytes != 0 {
+		t.Fatalf("text bytes accounted in binary mode: %+v", st)
+	}
+	if st.DocCacheMisses == 0 {
+		t.Fatalf("cold read did not count a cache miss: %+v", st)
+	}
+
+	// The processed write rewrites the status byte; the format bit must
+	// survive it, across a crash-recovery reopen.
+	tx := ms.Begin()
+	tx.MarkProcessed(id)
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	ms.Close()
+	ms2, err := Open(dir, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms2.Close()
+	m, ok := ms2.Get(id)
+	if !ok || !m.Processed {
+		t.Fatalf("processed flag lost across reopen: %+v", m)
+	}
+	doc, err = ms2.Doc(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmldom.DeepEqual(want, doc) {
+		t.Fatal("rehydration after reopen differs")
+	}
+}
+
+// TestTextPayloadBaseline keeps the pre-E12 text format reachable and
+// interoperable: a store written with TextPayloads reopens in binary mode
+// and serves both old text records and new binary ones.
+func TestTextPayloadBaseline(t *testing.T) {
+	dir := t.TempDir()
+	opts := DefaultOptions()
+	opts.TextPayloads = true
+	ms, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ms.CreateQueue("q", Persistent, 0); err != nil {
+		t.Fatal(err)
+	}
+	textID := enqueue(t, ms, "q", formatTestDoc, nil)
+	if st := ms.Stats(); st.PayloadTextBytes == 0 || st.PayloadEncodedBytes != 0 {
+		t.Fatalf("text mode accounting wrong: %+v", st)
+	}
+	ms.FlushDocCache()
+	if _, err := ms.Doc(textID); err != nil {
+		t.Fatal(err)
+	}
+	ms.Close()
+
+	ms, err = Open(dir, DefaultOptions()) // binary mode
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	binID := enqueue(t, ms, "q", formatTestDoc, nil)
+	ms.FlushDocCache()
+	want := xmldom.MustParse(formatTestDoc)
+	for _, id := range []MsgID{textID, binID} {
+		doc, err := ms.Doc(id)
+		if err != nil {
+			t.Fatalf("message %d: %v", id, err)
+		}
+		if !xmldom.DeepEqual(want, doc) {
+			t.Fatalf("message %d: mixed-format rehydration differs", id)
+		}
+	}
+}
+
+// TestDocCacheCounters checks hit/miss/eviction accounting and the
+// configured capacity surfacing through Stats.
+func TestDocCacheCounters(t *testing.T) {
+	opts := DefaultOptions()
+	opts.CacheDocs = 2
+	ms, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	if _, err := ms.CreateQueue("q", Persistent, 0); err != nil {
+		t.Fatal(err)
+	}
+	var ids []MsgID
+	for i := 0; i < 3; i++ {
+		ids = append(ids, enqueue(t, ms, "q", `<m><v>x</v></m>`, nil))
+	}
+	base := ms.Stats()
+	if base.DocCacheCap != 2 {
+		t.Fatalf("capacity not surfaced: %+v", base)
+	}
+	// Publishing through the cache (capacity 2) evicted the oldest of the
+	// three enqueued docs.
+	if base.DocCacheEvictions == 0 {
+		t.Fatalf("expected evictions at capacity 2: %+v", base)
+	}
+	if _, err := ms.Doc(ids[2]); err != nil { // resident → hit
+		t.Fatal(err)
+	}
+	if st := ms.Stats(); st.DocCacheHits != base.DocCacheHits+1 {
+		t.Fatalf("hit not counted: %+v", st)
+	}
+	if _, err := ms.Doc(ids[0]); err != nil { // evicted → miss + decode
+		t.Fatal(err)
+	}
+	if st := ms.Stats(); st.DocCacheMisses != base.DocCacheMisses+1 {
+		t.Fatalf("miss not counted: %+v", st)
+	}
+	ms.FlushDocCache()
+	if st := ms.Stats(); st.DocCacheSize != 0 {
+		t.Fatalf("flush left %d entries", st.DocCacheSize)
+	}
+}
+
+// TestCollectionsBinaryFormat checks master-data collections persist in
+// the binary encoding and recover across a reopen.
+func TestCollectionsBinaryFormat(t *testing.T) {
+	dir := t.TempDir()
+	ms, err := Open(dir, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.CreateCollection("rates"); err != nil {
+		t.Fatal(err)
+	}
+	want := xmldom.MustParse(`<rate cur="EUR">1.09</rate>`)
+	if err := ms.AddToCollection("rates", want); err != nil {
+		t.Fatal(err)
+	}
+	if st := ms.Stats(); st.PayloadEncodedBytes == 0 {
+		t.Fatalf("collection write not accounted as encoded: %+v", st)
+	}
+	ms.Close()
+	ms, err = Open(dir, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	docs := ms.Collection("rates")
+	if len(docs) != 1 || !xmldom.DeepEqual(want, docs[0]) {
+		t.Fatalf("collection recovery differs: %d docs", len(docs))
+	}
+}

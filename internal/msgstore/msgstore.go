@@ -64,8 +64,23 @@ type msgMeta struct {
 	props     map[string]xdm.Value
 	enqueued  time.Time
 	q         *Queue
+	binary    bool // payload stored in the binary tree encoding
 	processed atomic.Bool
 	dead      atomic.Bool // physically removed
+}
+
+// status returns the on-disk status byte of the message. The processed
+// write path (Txn.Commit, store.Txn.SetByte) rewrites the whole byte, so
+// it must re-synthesize the payload-format bit alongside the flag.
+func (m *msgMeta) status(processed bool) byte {
+	s := byte(0)
+	if processed {
+		s |= statusProcessed
+	}
+	if m.binary {
+		s |= statusBinaryPayload
+	}
+	return s
 }
 
 // Queue is one message queue.
@@ -103,6 +118,12 @@ type idShard struct {
 type Store struct {
 	ps    *store.Store
 	cache *docCache
+
+	// textPayloads selects the on-disk payload format for new writes
+	// (Options.TextPayloads); reads dispatch on the per-record format bit.
+	textPayloads     bool
+	payloadEncBytes  atomic.Uint64
+	payloadTextBytes atomic.Uint64
 
 	nextID atomic.Uint64 // next MsgID to assign
 
@@ -149,12 +170,48 @@ func (ms *Store) getQueue(name string) *Queue {
 type Options struct {
 	Store     store.Options
 	CacheDocs int // parsed-document cache capacity (default 4096)
+
+	// TextPayloads stores message payloads and collection documents as
+	// serialized XML text instead of the binary tree encoding. This is
+	// the pre-E12 baseline, kept reachable for comparison benchmarks;
+	// rehydration then pays a full character-level parse per doc-cache
+	// miss. Reads always dispatch on the stored format, so a store
+	// written in one mode opens fine in the other.
+	TextPayloads bool
 }
 
 // DefaultOptions returns production settings.
 func DefaultOptions() Options {
 	return Options{Store: store.DefaultOptions(), CacheDocs: 4096}
 }
+
+// Stats reports message-store counters: document-cache effectiveness and
+// payload bytes written per storage format (experiment E12).
+type Stats struct {
+	DocCacheHits      uint64
+	DocCacheMisses    uint64
+	DocCacheEvictions uint64
+	DocCacheSize      int
+	DocCacheCap       int
+
+	// PayloadEncodedBytes / PayloadTextBytes accumulate the payload sizes
+	// written in the binary tree encoding and as XML text respectively
+	// (messages and collection documents).
+	PayloadEncodedBytes uint64
+	PayloadTextBytes    uint64
+}
+
+// Stats returns a snapshot of the store counters.
+func (ms *Store) Stats() Stats {
+	st := ms.cache.stats()
+	st.PayloadEncodedBytes = ms.payloadEncBytes.Load()
+	st.PayloadTextBytes = ms.payloadTextBytes.Load()
+	return st
+}
+
+// FlushDocCache empties the document cache; rehydration benchmarks use it
+// to measure the cold path.
+func (ms *Store) FlushDocCache() { ms.cache.clear() }
 
 // Open opens the message store in dir, recovering state from disk:
 // persistent queues and their messages (including processed flags) are
@@ -169,10 +226,11 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	ms := &Store{
-		ps:     ps,
-		queues: map[string]*Queue{},
-		colls:  map[string]*collection{},
-		cache:  newDocCache(opts.CacheDocs),
+		ps:           ps,
+		queues:       map[string]*Queue{},
+		colls:        map[string]*collection{},
+		cache:        newDocCache(opts.CacheDocs),
+		textPayloads: opts.TextPayloads,
 	}
 	for i := range ms.shards {
 		ms.shards[i].byID = map[MsgID]*msgMeta{}
@@ -279,7 +337,7 @@ func (ms *Store) loadCollection(name string) error {
 	h, _ := ms.ps.Heap("c:" + name)
 	c := &collection{name: name, heap: h}
 	err := ms.ps.Scan(h, func(_ store.RID, payload []byte) bool {
-		doc, err := xmldom.Parse(payload)
+		doc, err := xmldom.Materialize(payload)
 		if err == nil {
 			c.docs = append(c.docs, doc)
 		}
@@ -294,46 +352,63 @@ func (ms *Store) loadCollection(name string) error {
 
 // --- message record encoding ---
 //
-//	[0]   status byte: bit0 processed
+//	[0]   status byte: bit0 processed, bit1 binary-encoded payload
 //	[1:9] msgID
 //	[9:17] enqueued unix nanos
 //	[17:19] property count
 //	per property: u16 name len, name, u8 type, u16 value len, value (lexical)
-//	u32 payload len, payload (serialized XML)
+//	u32 payload len, payload (binary tree encoding, or serialized XML text
+//	when bit1 is unset)
+//
+// The status byte is the record's only mutable byte (store.Txn.SetByte);
+// both bits must be re-synthesized whenever it is written.
 
-func encodeMessage(m *msgMeta, payload []byte) []byte {
-	size := 19
+const (
+	statusProcessed     = byte(1 << 0)
+	statusBinaryPayload = byte(1 << 1)
+)
+
+// recBufPool recycles record build buffers across commits, so a steady
+// enqueue load does not allocate a fresh record buffer per message (the
+// page store copies the record on Insert).
+var recBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// appendMessageRecord appends the full record of m — header, properties
+// and the payload rendered from doc in the store's configured format — and
+// returns the extended buffer.
+func (ms *Store) appendMessageRecord(dst []byte, m *msgMeta, doc *xmldom.Node) []byte {
+	m.binary = !ms.textPayloads
 	type kv struct {
 		k, v string
 		t    uint8
 	}
 	props := make([]kv, 0, len(m.props))
 	for k, v := range m.props {
-		e := kv{k: k, v: v.StringValue(), t: uint8(v.T)}
-		props = append(props, e)
-		size += 2 + len(e.k) + 1 + 2 + len(e.v)
+		props = append(props, kv{k: k, v: v.StringValue(), t: uint8(v.T)})
 	}
 	sort.Slice(props, func(i, j int) bool { return props[i].k < props[j].k })
-	size += 4 + len(payload)
-	out := make([]byte, 0, size)
-	status := byte(0)
-	if m.processed.Load() {
-		status |= 1
-	}
-	out = append(out, status)
-	out = binary.LittleEndian.AppendUint64(out, uint64(m.id))
-	out = binary.LittleEndian.AppendUint64(out, uint64(m.enqueued.UnixNano()))
-	out = binary.LittleEndian.AppendUint16(out, uint16(len(props)))
+	dst = append(dst, m.status(m.processed.Load()))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(m.id))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(m.enqueued.UnixNano()))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(props)))
 	for _, p := range props {
-		out = binary.LittleEndian.AppendUint16(out, uint16(len(p.k)))
-		out = append(out, p.k...)
-		out = append(out, p.t)
-		out = binary.LittleEndian.AppendUint16(out, uint16(len(p.v)))
-		out = append(out, p.v...)
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(p.k)))
+		dst = append(dst, p.k...)
+		dst = append(dst, p.t)
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(p.v)))
+		dst = append(dst, p.v...)
 	}
-	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
-	out = append(out, payload...)
-	return out
+	lenOff := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	if m.binary {
+		dst = xmldom.EncodeAppend(dst, doc)
+		ms.payloadEncBytes.Add(uint64(len(dst) - lenOff - 4))
+	} else {
+		dst = xmldom.AppendSerialize(dst, doc)
+		ms.payloadTextBytes.Add(uint64(len(dst) - lenOff - 4))
+	}
+	binary.LittleEndian.PutUint32(dst[lenOff:], uint32(len(dst)-lenOff-4))
+	return dst
 }
 
 func decodeMessage(data []byte) (*msgMeta, error) {
@@ -343,8 +418,9 @@ func decodeMessage(data []byte) (*msgMeta, error) {
 	m := &msgMeta{
 		id:       MsgID(binary.LittleEndian.Uint64(data[1:])),
 		enqueued: time.Unix(0, int64(binary.LittleEndian.Uint64(data[9:]))).UTC(),
+		binary:   data[0]&statusBinaryPayload != 0,
 	}
-	m.processed.Store(data[0]&1 != 0)
+	m.processed.Store(data[0]&statusProcessed != 0)
 	n := int(binary.LittleEndian.Uint16(data[17:]))
 	off := 19
 	if n > 0 {
@@ -356,12 +432,18 @@ func decodeMessage(data []byte) (*msgMeta, error) {
 		}
 		kl := int(binary.LittleEndian.Uint16(data[off:]))
 		off += 2
+		if off+kl+1+2 > len(data) {
+			return nil, fmt.Errorf("msgstore: truncated property key")
+		}
 		key := string(data[off : off+kl])
 		off += kl
 		typ := xdm.Type(data[off])
 		off++
 		vl := int(binary.LittleEndian.Uint16(data[off:]))
 		off += 2
+		if off+vl > len(data) {
+			return nil, fmt.Errorf("msgstore: truncated property value")
+		}
 		val := string(data[off : off+vl])
 		off += vl
 		v, err := xdm.NewString(val).Cast(typ)
@@ -381,15 +463,31 @@ func decodeMessage(data []byte) (*msgMeta, error) {
 	return m, nil
 }
 
-// payloadOffset computes where the XML payload starts in an encoded record.
+// payloadOffset computes where the payload starts in an encoded record, or
+// -1 if the record is truncated or inconsistent. Records are validated by
+// decodeMessage at load, but Doc re-reads them from disk, so the walk
+// re-checks bounds rather than trusting the stored lengths.
 func payloadOffset(data []byte) int {
+	if len(data) < 19 {
+		return -1
+	}
 	n := int(binary.LittleEndian.Uint16(data[17:]))
 	off := 19
 	for i := 0; i < n; i++ {
+		if off+2 > len(data) {
+			return -1
+		}
 		kl := int(binary.LittleEndian.Uint16(data[off:]))
 		off += 2 + kl + 1
+		if off+2 > len(data) {
+			return -1
+		}
 		vl := int(binary.LittleEndian.Uint16(data[off:]))
 		off += 2 + vl
 	}
-	return off + 4
+	off += 4
+	if off > len(data) {
+		return -1
+	}
+	return off
 }

@@ -48,8 +48,9 @@ type pendingEnqueue struct {
 	id    MsgID
 
 	// Filled during Commit.
-	q   *Queue    // prepare
-	rid store.RID // persist (persistent queues)
+	q      *Queue    // prepare
+	rid    store.RID // persist (persistent queues)
+	binary bool      // persist: payload format written
 }
 
 // Begin starts a transaction.
@@ -115,19 +116,27 @@ func (t *Txn) Commit() ([]Message, error) {
 	// --- persist: one page-store transaction, no msgstore lock held ---
 	if needDisk {
 		pt := ms.ps.Begin()
+		bufp := recBufPool.Get().(*[]byte)
 		for _, pe := range t.enqueues {
 			if pe.q.Mode != Persistent {
 				continue
 			}
+			// The single-parse ingest contract: the sealed tree handed to
+			// Enqueue is rendered straight into the record buffer (binary
+			// encoding by default), with no intermediate string.
 			m := &msgMeta{id: pe.id, props: pe.props, enqueued: pe.at}
-			rec := encodeMessage(m, []byte(xmldom.Serialize(pe.doc)))
+			rec := ms.appendMessageRecord((*bufp)[:0], m, pe.doc)
+			*bufp = rec
+			pe.binary = m.binary
 			rid, err := pt.Insert(pe.q.heap, rec)
 			if err != nil {
 				pt.Abort()
+				recBufPool.Put(bufp)
 				return nil, err
 			}
 			pe.rid = rid
 		}
+		recBufPool.Put(bufp)
 		for _, m := range toProcess {
 			// Skip messages the GC removed since prepare. (In practice GC
 			// only touches already-processed messages, which no worker
@@ -136,10 +145,11 @@ func (t *Txn) Commit() ([]Message, error) {
 			if m.q.Mode != Persistent || m.dead.Load() {
 				continue
 			}
-			// Status byte is payload offset 0; bit0 is the processed flag
-			// (the record's only mutable bit), so the write is idempotent
-			// under concurrent markers.
-			if err := pt.SetByte(m.rid, 0, 1); err != nil {
+			// Status byte is payload offset 0; SetByte rewrites the whole
+			// byte, so the payload-format bit is re-synthesized alongside
+			// the processed flag. Both concurrent markers compute the same
+			// value, so the write stays idempotent.
+			if err := pt.SetByte(m.rid, 0, m.status(true)); err != nil {
 				pt.Abort()
 				return nil, err
 			}
@@ -163,7 +173,7 @@ func (t *Txn) Commit() ([]Message, error) {
 	var out []Message
 	for _, pe := range t.enqueues {
 		q := pe.q
-		m := &msgMeta{id: pe.id, props: pe.props, enqueued: pe.at, q: q}
+		m := &msgMeta{id: pe.id, props: pe.props, enqueued: pe.at, q: q, binary: pe.binary}
 		if q.Mode == Persistent {
 			m.rid = pe.rid
 			ms.cache.put(pe.id, pe.doc)
@@ -231,8 +241,22 @@ func (ms *Store) Doc(id MsgID) (*xmldom.Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	payload := data[payloadOffset(data):]
-	doc, err := xmldom.Parse(payload)
+	// Rehydration dispatches on the record's format bit: binary payloads
+	// decode structurally (one arena, no character-level parse), text
+	// payloads take the parse baseline. The record buffer from Read is
+	// freshly allocated and never touched again, so the decoded tree may
+	// alias it (DecodeOwned) instead of copying the payload once more.
+	po := payloadOffset(data)
+	if po < 0 {
+		return nil, fmt.Errorf("msgstore: message %d record corrupt", id)
+	}
+	payload := data[po:]
+	var doc *xmldom.Node
+	if data[0]&statusBinaryPayload != 0 {
+		doc, err = xmldom.DecodeOwned(payload)
+	} else {
+		doc, err = xmldom.Parse(payload)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("msgstore: message %d payload: %w", id, err)
 	}
@@ -423,7 +447,19 @@ func (ms *Store) AddToCollection(name string, doc *xmldom.Node) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	pt := ms.ps.Begin()
-	if _, err := pt.Insert(c.heap, []byte(xmldom.Serialize(doc))); err != nil {
+	bufp := recBufPool.Get().(*[]byte)
+	var rec []byte
+	if ms.textPayloads {
+		rec = xmldom.AppendSerialize((*bufp)[:0], doc)
+		ms.payloadTextBytes.Add(uint64(len(rec)))
+	} else {
+		rec = xmldom.EncodeAppend((*bufp)[:0], doc)
+		ms.payloadEncBytes.Add(uint64(len(rec)))
+	}
+	*bufp = rec
+	_, err = pt.Insert(c.heap, rec)
+	recBufPool.Put(bufp)
+	if err != nil {
 		pt.Abort()
 		return err
 	}

@@ -25,7 +25,7 @@ func (b *Builder) top() *Node { return b.stack[len(b.stack)-1] }
 
 // StartElement opens a new element as a child of the current node.
 func (b *Builder) StartElement(name Name) *Builder {
-	el := &Node{Kind: ElementNode, Name: name, Parent: b.top()}
+	el := &Node{Kind: ElementNode, Name: InternName(name), Parent: b.top()}
 	b.top().Children = append(b.top().Children, el)
 	b.stack = append(b.stack, el)
 	return b
@@ -47,6 +47,7 @@ func (b *Builder) Attribute(name Name, value string) *Builder {
 	if el.Kind != ElementNode {
 		panic("xmldom: Attribute outside element")
 	}
+	name = InternName(name)
 	for _, a := range el.Attrs {
 		if a.Name.Space == name.Space && a.Name.Local == name.Local {
 			a.Data = value

@@ -1,0 +1,279 @@
+package xmldom
+
+import (
+	"encoding/binary"
+	"fmt"
+	"unsafe"
+)
+
+// Decode materializes a tree from the binary document encoding produced by
+// EncodeAppend. The decode is structural, not textual: all nodes of the
+// document come from one arena allocation, every child/attribute pointer
+// slice is carved out of a second, and string data is sliced out of a
+// single backing copy of the input — so the allocation count is constant
+// in the size of the document. QNames are resolved through the global
+// intern table shared with the parser, so name tests against parsed or
+// decoded trees compare canonical strings.
+//
+// The returned tree is sealed (document order assigned, fresh document
+// sequence) and deeply immutable, exactly like a Parse result. data is not
+// retained; its bytes are copied once into the backing string.
+func Decode(data []byte) (*Node, error) {
+	if !Encoded(data) {
+		return nil, fmt.Errorf("xmldom: not a binary-encoded document")
+	}
+	return decode(string(data))
+}
+
+// DecodeOwned is Decode for a buffer the caller owns and will never write
+// to again: the tree's strings alias data directly instead of copying it,
+// saving one full-payload allocation on the rehydration hot path
+// (msgstore.Store.Doc owns the record buffer it just read). Mutating data
+// after DecodeOwned returns breaks the tree's immutability contract.
+func DecodeOwned(data []byte) (*Node, error) {
+	if !Encoded(data) {
+		return nil, fmt.Errorf("xmldom: not a binary-encoded document")
+	}
+	return decode(unsafe.String(unsafe.SliceData(data), len(data)))
+}
+
+func decode(s string) (*Node, error) {
+	d := decoder{s: s, pos: 1}
+
+	nameCount, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Every dictionary entry takes at least 3 bytes (three length prefixes).
+	if nameCount > uint64(len(d.s))/3 {
+		return nil, d.corrupt("name dictionary larger than input")
+	}
+	if nameCount > 0 {
+		d.names = make([]Name, nameCount)
+	}
+	for i := range d.names {
+		var nm Name
+		if nm.Space, err = d.str(); err != nil {
+			return nil, err
+		}
+		if nm.Prefix, err = d.str(); err != nil {
+			return nil, err
+		}
+		if nm.Local, err = d.str(); err != nil {
+			return nil, err
+		}
+		d.names[i] = InternName(nm)
+	}
+
+	nodeCount, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Every node takes at least one byte of the stream.
+	if nodeCount == 0 || nodeCount > uint64(len(d.s)) {
+		return nil, d.corrupt("implausible node count")
+	}
+	d.nodes = make([]Node, nodeCount)
+	d.ptrs = make([]*Node, nodeCount-1)
+	d.seq = docSeq.Add(1)
+
+	root, err := d.node(nil)
+	if err != nil {
+		return nil, err
+	}
+	if d.pos != len(d.s) {
+		return nil, d.corrupt("trailing bytes after document")
+	}
+	if uint64(d.nused) != nodeCount {
+		return nil, d.corrupt("node count mismatch")
+	}
+	return root, nil
+}
+
+// Materialize turns a stored payload into a tree, dispatching on the
+// format: binary-encoded payloads decode, anything else is parsed as text
+// XML. This is the one entry point storage layers use for rehydration.
+func Materialize(data []byte) (*Node, error) {
+	if Encoded(data) {
+		return Decode(data)
+	}
+	return Parse(data)
+}
+
+type decoder struct {
+	s   string
+	pos int
+
+	names []Name
+	nodes []Node  // node arena
+	ptrs  []*Node // child/attribute pointer arena
+	nused int
+	pused int
+
+	seq uint64
+	ord uint64
+}
+
+func (d *decoder) corrupt(msg string) error {
+	return fmt.Errorf("xmldom: corrupt encoded document at offset %d: %s", d.pos, msg)
+}
+
+func (d *decoder) byte() (byte, error) {
+	if d.pos >= len(d.s) {
+		return 0, d.corrupt("unexpected end of input")
+	}
+	c := d.s[d.pos]
+	d.pos++
+	return c, nil
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	var x uint64
+	var shift uint
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		c, err := d.byte()
+		if err != nil {
+			return 0, err
+		}
+		if c < 0x80 {
+			if i == binary.MaxVarintLen64-1 && c > 1 {
+				return 0, d.corrupt("varint overflow")
+			}
+			return x | uint64(c)<<shift, nil
+		}
+		x |= uint64(c&0x7f) << shift
+		shift += 7
+	}
+	return 0, d.corrupt("varint overflow")
+}
+
+func (d *decoder) str() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(d.s)-d.pos) {
+		return "", d.corrupt("string length past end of input")
+	}
+	s := d.s[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return s, nil
+}
+
+func (d *decoder) nameRef() (Name, error) {
+	i, err := d.uvarint()
+	if err != nil {
+		return Name{}, err
+	}
+	if i >= uint64(len(d.names)) {
+		return Name{}, d.corrupt("name index out of range")
+	}
+	return d.names[i], nil
+}
+
+// alloc hands out the next arena node, stamped with its document-order
+// position (the pre-order decode walk visits nodes in Seal order).
+func (d *decoder) alloc(parent *Node) (*Node, error) {
+	if d.nused >= len(d.nodes) {
+		return nil, d.corrupt("more nodes than declared")
+	}
+	n := &d.nodes[d.nused]
+	d.nused++
+	n.Parent = parent
+	n.seq = d.seq
+	d.ord++
+	n.ord = d.ord
+	return n, nil
+}
+
+// carve slices k pointers out of the pointer arena.
+func (d *decoder) carve(k int) ([]*Node, error) {
+	if k > len(d.ptrs)-d.pused {
+		return nil, d.corrupt("more children than declared nodes")
+	}
+	s := d.ptrs[d.pused : d.pused+k : d.pused+k]
+	d.pused += k
+	return s, nil
+}
+
+func (d *decoder) node(parent *Node) (*Node, error) {
+	n, err := d.alloc(parent)
+	if err != nil {
+		return nil, err
+	}
+	kind, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	n.Kind = NodeKind(kind)
+	switch n.Kind {
+	case DocumentNode:
+		return n, d.children(n)
+	case ElementNode:
+		if n.Name, err = d.nameRef(); err != nil {
+			return nil, err
+		}
+		na, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		// Each attribute takes at least two bytes (name index, length).
+		if na > uint64(len(d.s)-d.pos)/2+1 {
+			return nil, d.corrupt("implausible attribute count")
+		}
+		if na > 0 {
+			if n.Attrs, err = d.carve(int(na)); err != nil {
+				return nil, err
+			}
+			for i := range n.Attrs {
+				a, err := d.alloc(n)
+				if err != nil {
+					return nil, err
+				}
+				a.Kind = AttributeNode
+				if a.Name, err = d.nameRef(); err != nil {
+					return nil, err
+				}
+				if a.Data, err = d.str(); err != nil {
+					return nil, err
+				}
+				n.Attrs[i] = a
+			}
+		}
+		return n, d.children(n)
+	case TextNode, CommentNode:
+		n.Data, err = d.str()
+		return n, err
+	case ProcessingInstructionNode, AttributeNode:
+		if n.Name, err = d.nameRef(); err != nil {
+			return nil, err
+		}
+		n.Data, err = d.str()
+		return n, err
+	}
+	return nil, d.corrupt(fmt.Sprintf("unknown node kind %d", kind))
+}
+
+func (d *decoder) children(n *Node) error {
+	nc, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	if nc > uint64(len(d.s)-d.pos) {
+		return d.corrupt("implausible child count")
+	}
+	if nc == 0 {
+		return nil
+	}
+	if n.Children, err = d.carve(int(nc)); err != nil {
+		return err
+	}
+	for i := range n.Children {
+		c, err := d.node(n)
+		if err != nil {
+			return err
+		}
+		n.Children[i] = c
+	}
+	return nil
+}

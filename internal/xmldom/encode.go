@@ -1,0 +1,135 @@
+package xmldom
+
+import (
+	"encoding/binary"
+	"sync"
+)
+
+// Binary document encoding ("DQB", format v1). Sealed trees are persisted
+// in a compact structural form so that rehydrating a message is a decode —
+// one arena allocation for all nodes, string data sliced out of a single
+// backing buffer — instead of a character-level XML parse. The layout:
+//
+//	[0]      version byte EncVersion (0x01; text XML always starts with
+//	         '<', so the two payload formats are self-distinguishing)
+//	uvarint  name-dictionary size N
+//	N x      name entry: uvarint-prefixed space, prefix, local bytes,
+//	         in order of first appearance in the pre-order walk
+//	uvarint  node count (all nodes: root, attributes, descendants)
+//	node stream, pre-order, attributes before children (Seal order):
+//	  kind byte, then per kind:
+//	    document  uvarint child count, then the children
+//	    element   uvarint name index; uvarint attr count; per attribute
+//	              {uvarint name index, uvarint data length, data bytes};
+//	              uvarint child count, then the children
+//	    text      uvarint data length, data bytes
+//	    comment   uvarint data length, data bytes
+//	    p-instr   uvarint name index (target), uvarint length, data bytes
+//	    attribute (detached root only) uvarint name index, uvarint length,
+//	              data bytes
+//
+// All integers are unsigned varints. Encoding the same tree twice produces
+// identical bytes (the dictionary order is the deterministic walk order),
+// which FuzzEncodeDecode relies on.
+
+// EncVersion is the format version byte and the first byte of every
+// encoded document.
+const EncVersion byte = 0x01
+
+// Encoded reports whether data carries the binary document encoding (as
+// opposed to text XML, which always starts with '<').
+func Encoded(data []byte) bool { return len(data) > 0 && data[0] == EncVersion }
+
+// encoder carries the reusable encoding state: the name dictionary of the
+// current document. Pooled so steady-state encoding does not allocate it.
+type encoder struct {
+	nameIdx map[Name]uint64
+	names   []Name
+	count   uint64
+}
+
+var encPool = sync.Pool{New: func() any { return &encoder{nameIdx: make(map[Name]uint64, 16)} }}
+
+// Encode returns the binary encoding of the subtree rooted at n.
+func Encode(n *Node) []byte { return EncodeAppend(nil, n) }
+
+// EncodeAppend appends the binary encoding of the subtree rooted at n to
+// dst and returns the extended buffer. n must be part of a constructed
+// tree; it is typically a sealed document node.
+func EncodeAppend(dst []byte, n *Node) []byte {
+	e := encPool.Get().(*encoder)
+	e.count = 0
+	e.names = e.names[:0]
+	clear(e.nameIdx)
+
+	e.survey(n)
+
+	dst = append(dst, EncVersion)
+	dst = binary.AppendUvarint(dst, uint64(len(e.names)))
+	for _, nm := range e.names {
+		dst = appendStr(dst, nm.Space)
+		dst = appendStr(dst, nm.Prefix)
+		dst = appendStr(dst, nm.Local)
+	}
+	dst = binary.AppendUvarint(dst, e.count)
+	dst = e.node(dst, n)
+
+	encPool.Put(e)
+	return dst
+}
+
+func appendStr(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// survey counts nodes and assigns dictionary slots in walk order.
+func (e *encoder) survey(n *Node) {
+	e.count++
+	switch n.Kind {
+	case ElementNode, ProcessingInstructionNode, AttributeNode:
+		e.name(n.Name)
+	}
+	for _, a := range n.Attrs {
+		e.count++
+		e.name(a.Name)
+	}
+	for _, c := range n.Children {
+		e.survey(c)
+	}
+}
+
+func (e *encoder) name(nm Name) {
+	if _, ok := e.nameIdx[nm]; !ok {
+		e.nameIdx[nm] = uint64(len(e.names))
+		e.names = append(e.names, nm)
+	}
+}
+
+func (e *encoder) node(dst []byte, n *Node) []byte {
+	dst = append(dst, byte(n.Kind))
+	switch n.Kind {
+	case DocumentNode:
+		dst = binary.AppendUvarint(dst, uint64(len(n.Children)))
+		for _, c := range n.Children {
+			dst = e.node(dst, c)
+		}
+	case ElementNode:
+		dst = binary.AppendUvarint(dst, e.nameIdx[n.Name])
+		dst = binary.AppendUvarint(dst, uint64(len(n.Attrs)))
+		for _, a := range n.Attrs {
+			dst = binary.AppendUvarint(dst, e.nameIdx[a.Name])
+			dst = appendStr(dst, a.Data)
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(n.Children)))
+		for _, c := range n.Children {
+			dst = e.node(dst, c)
+		}
+	case TextNode, CommentNode:
+		dst = appendStr(dst, n.Data)
+	case ProcessingInstructionNode, AttributeNode:
+		dst = binary.AppendUvarint(dst, e.nameIdx[n.Name])
+		dst = appendStr(dst, n.Data)
+	}
+	return dst
+}

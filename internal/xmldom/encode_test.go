@@ -1,0 +1,281 @@
+package xmldom
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+var codecFixtures = []string{
+	`<a/>`,
+	`<a><b>text</b><b x="1"/></a>`,
+	`<m><k>s1</k><data>payload &amp; more</data></m>`,
+	`<ns:a xmlns:ns="urn:x"><ns:b ns:attr="v"/></ns:a>`,
+	`<a xmlns="urn:default"><b/><c q="2">t</c></a>`,
+	`<a><!--comment--><?pi data?>t</a>`,
+	`<a>&lt;escaped&gt; &quot;q&quot; &#65; &#x42;</a>`,
+	`<?xml version="1.0"?><root><nested><deep attr="x">x</deep></nested></root>`,
+	`<a att="  spaced  value "><![CDATA[raw <stuff> &]]></a>`,
+	"<a>\n\tmixed <b>content</b> tail\n</a>",
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, src := range codecFixtures {
+		doc := MustParse(src)
+		enc := Encode(doc)
+		if !Encoded(enc) {
+			t.Fatalf("%s: encoding not recognized by Encoded", src)
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", src, err)
+		}
+		if !dec.Sealed() {
+			t.Fatalf("%s: decoded tree not sealed", src)
+		}
+		owned, err := DecodeOwned(append([]byte(nil), enc...))
+		if err != nil || !DeepEqual(dec, owned) {
+			t.Fatalf("%s: DecodeOwned differs from Decode (err=%v)", src, err)
+		}
+		if !DeepEqual(doc, dec) {
+			t.Fatalf("%s: decoded tree differs\nwant %s\ngot  %s", src, Serialize(doc), Serialize(dec))
+		}
+		if got, want := Serialize(dec), Serialize(doc); got != want {
+			t.Fatalf("%s: serialization changed: %q vs %q", src, got, want)
+		}
+		re := Encode(dec)
+		if !bytes.Equal(enc, re) {
+			t.Fatalf("%s: re-encode not byte-identical (%d vs %d bytes)", src, len(enc), len(re))
+		}
+	}
+}
+
+// TestDecodeDocumentOrder checks that decode assigns the same document
+// order Seal would: an in-order walk of the decoded tree must be strictly
+// increasing under Before, with attributes right after their element.
+func TestDecodeDocumentOrder(t *testing.T) {
+	doc := MustParse(`<a p="1" q="2"><b/><c r="3">t<d/></c><!--x--></a>`)
+	dec, err := Decode(Encode(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seq []*Node
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		seq = append(seq, n)
+		for _, a := range n.Attrs {
+			seq = append(seq, a)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(dec)
+	for i := 1; i < len(seq); i++ {
+		if !seq[i-1].Before(seq[i]) {
+			t.Fatalf("node %d not before node %d in decoded order", i-1, i)
+		}
+		if seq[i].Before(seq[i-1]) {
+			t.Fatalf("Before not antisymmetric at %d", i)
+		}
+	}
+	for _, n := range seq[1:] {
+		if n.Parent == nil {
+			t.Fatalf("non-root node without parent: %v", n.Kind)
+		}
+		if n.Document() != dec {
+			t.Fatalf("Document() does not reach decoded root")
+		}
+	}
+}
+
+// TestDecodeDetachedRoots covers non-document roots: elements, attributes
+// and text can be encoded standalone (collections and constructed nodes).
+func TestDecodeDetachedRoots(t *testing.T) {
+	el := MustParse(`<x a="1"><y/></x>`).Root()
+	dec, err := Decode(Encode(el))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !DeepEqual(el, dec) {
+		t.Fatalf("element root round-trip failed")
+	}
+	attr := &Node{Kind: AttributeNode, Name: Name{Local: "k"}, Data: "v"}
+	attr.Seal()
+	dec, err = Decode(Encode(attr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Kind != AttributeNode || dec.Data != "v" || dec.Name.Local != "k" {
+		t.Fatalf("attribute root round-trip failed: %+v", dec)
+	}
+}
+
+// TestDecodeCorrupt feeds truncations and bit flips of a valid encoding to
+// the decoder: every outcome must be a clean error or a successful decode,
+// never a panic or hang.
+func TestDecodeCorrupt(t *testing.T) {
+	enc := Encode(MustParse(`<ns:a xmlns:ns="urn:x" k="v"><b>text</b><!--c--><?p d?></ns:a>`))
+	for i := 0; i <= len(enc); i++ {
+		_, _ = Decode(enc[:i])
+	}
+	for i := 0; i < len(enc); i++ {
+		for _, flip := range []byte{0x01, 0x80, 0xff} {
+			mut := append([]byte(nil), enc...)
+			mut[i] ^= flip
+			if doc, err := Decode(mut); err == nil && doc == nil {
+				t.Fatalf("nil doc without error at byte %d", i)
+			}
+		}
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("Decode(nil) must fail")
+	}
+	if _, err := Decode([]byte{EncVersion}); err == nil {
+		t.Fatal("Decode of bare version byte must fail")
+	}
+}
+
+// TestMaterializeDispatch checks the storage-layer entry point: text XML
+// parses, encoded payloads decode, and both yield equal trees.
+func TestMaterializeDispatch(t *testing.T) {
+	src := `<order id="7"><item>x</item></order>`
+	fromText, err := Materialize([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := Materialize(Encode(fromText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !DeepEqual(fromText, fromBin) {
+		t.Fatal("materialized trees differ between formats")
+	}
+}
+
+// TestInternNameSharing checks that parse and decode agree on canonical
+// name strings, which is what makes node tests pointer-comparable.
+func TestInternNameSharing(t *testing.T) {
+	a := MustParse(`<order><item/></order>`)
+	b, err := Decode(Encode(MustParse(`<order><item/></order>`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, bn := a.Root().Name, b.Root().Name
+	if an != bn {
+		t.Fatalf("names differ: %+v vs %+v", an, bn)
+	}
+	// Identical canonical strings share backing storage; the cheap proxy
+	// observable without unsafe is that interning is idempotent.
+	if InternString("order") != InternString("order") {
+		t.Fatal("InternString not stable")
+	}
+	if got := InternName(Name{Local: "order"}); got != InternName(Name{Local: "order"}) {
+		t.Fatalf("InternName not stable: %+v", got)
+	}
+}
+
+// FuzzEncodeDecode is the differential oracle for the storage format: for
+// any parsable document, encode→decode must reproduce the tree exactly
+// (same structure via DeepEqual, same wire text via Serialize) and
+// decode→re-encode must be byte-identical, so the format has one canonical
+// encoding per tree.
+func FuzzEncodeDecode(f *testing.F) {
+	for _, s := range codecFixtures {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Arbitrary bytes into the decoder must fail cleanly, never panic;
+		// a record that happens to decode must serialize without crashing.
+		if dec, err := Decode(data); err == nil {
+			_ = Serialize(dec)
+		}
+		doc, err := Parse(data)
+		if err != nil {
+			return // rejected input: only panics are failures
+		}
+		enc := Encode(doc)
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("decode of fresh encoding failed: %v\ninput: %q", err, data)
+		}
+		if !DeepEqual(doc, dec) {
+			t.Fatalf("decoded tree differs\ninput: %q\nwant:  %q\ngot:   %q", data, Serialize(doc), Serialize(dec))
+		}
+		if a, b := Serialize(doc), Serialize(dec); a != b {
+			t.Fatalf("wire text changed across the storage format\nwant: %q\ngot:  %q", a, b)
+		}
+		re := Encode(dec)
+		if !bytes.Equal(enc, re) {
+			t.Fatalf("re-encode not byte-identical\ninput: %q", data)
+		}
+	})
+}
+
+// bigDoc builds a ~nElems-element document exercising attributes, mixed
+// content and a namespace, for the allocation and benchmark fixtures.
+func bigDoc(nElems int) *Node {
+	var sb strings.Builder
+	sb.WriteString(`<m:batch xmlns:m="urn:demaq:test">`)
+	for i := 0; i < nElems; i++ {
+		sb.WriteString(`<m:item id="`)
+		sb.WriteString(strings.Repeat("7", 1+i%4))
+		sb.WriteString(`" state="open"><name>article name</name><qty>42</qty><note>mixed <b>content</b> tail</note></m:item>`)
+	}
+	sb.WriteString(`</m:batch>`)
+	return MustParse(sb.String())
+}
+
+// TestDecodeAllocs is the allocation regression gate for rehydration: the
+// decode of an arbitrarily large document must stay at a constant, small
+// number of allocations (node arena, pointer arena, backing string, name
+// dictionary) — per-node allocations must not creep back in.
+func TestDecodeAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under -race")
+	}
+	doc := bigDoc(40) // ~200 nodes
+	enc := Encode(doc)
+	if _, err := Decode(enc); err != nil { // warm the intern table
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := Decode(enc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// 4 structural allocations + a little slack for runtime noise; a
+	// per-node regression would show up as hundreds.
+	if avg > 8 {
+		t.Fatalf("Decode allocates %.1f times per run, want <= 8", avg)
+	}
+	owned := testing.AllocsPerRun(200, func() {
+		if _, err := DecodeOwned(enc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if owned >= avg {
+		t.Fatalf("DecodeOwned (%.1f allocs) must undercut Decode (%.1f): the backing-string copy is its whole point", owned, avg)
+	}
+}
+
+// TestAppendSerializeAllocs gates the pooled-serializer path: rendering
+// into a pre-sized buffer must not allocate per node. The only permitted
+// allocations are the namespace-scope copies for declarations the
+// document actually introduces (one per declaring element).
+func TestAppendSerializeAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under -race")
+	}
+	doc := bigDoc(40)
+	buf := AppendSerialize(nil, doc)
+	size := cap(buf)
+	avg := testing.AllocsPerRun(200, func() {
+		buf = AppendSerialize(buf[:0], doc)
+	})
+	// The root element introduces one namespace declaration: one decls
+	// slice plus one scope copy. Nothing may scale with node count.
+	if avg > 3 {
+		t.Fatalf("AppendSerialize allocates %.1f times per run into a %d-byte buffer, want <= 3", avg, size)
+	}
+}

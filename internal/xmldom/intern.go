@@ -1,0 +1,98 @@
+package xmldom
+
+import (
+	"strings"
+	"sync"
+)
+
+// Name interning. The parser, the builder and the binary decoder all route
+// expanded names through one process-wide table, so every occurrence of the
+// same QName — across documents, and across parse vs. decode — shares the
+// same backing strings. Two things fall out of that:
+//
+//   - name comparisons in XPath node tests hit Go's string pointer
+//     fast-path (== compares the data pointer before the bytes), making
+//     the per-node name check effectively an identity test;
+//   - decoded documents do not pin their record buffer through tiny name
+//     strings: dictionary entries are detached (strings.Clone) when first
+//     interned.
+//
+// The table only ever grows, so it is capped: applications have a bounded
+// element vocabulary, but fuzzers and hostile inputs do not. Past the cap,
+// InternName returns its input unchanged — correctness never depends on
+// interning, only the fast-path does.
+
+// internCap bounds the global name table. 64Ki distinct QNames is far
+// beyond any real message vocabulary.
+const internCap = 1 << 16
+
+var internTab = struct {
+	sync.RWMutex
+	names map[Name]Name
+	strs  map[string]string
+}{
+	names: make(map[Name]Name, 256),
+	strs:  make(map[string]string, 256),
+}
+
+// InternName returns a canonical copy of n whose Space, Prefix and Local
+// strings are shared with every other interned occurrence of the same
+// expanded name. The canonical copy is detached from any larger backing
+// buffer n's strings may slice into.
+func InternName(n Name) Name {
+	internTab.RLock()
+	c, ok := internTab.names[n]
+	internTab.RUnlock()
+	if ok {
+		return c
+	}
+	internTab.Lock()
+	defer internTab.Unlock()
+	if c, ok = internTab.names[n]; ok {
+		return c
+	}
+	if len(internTab.names) >= internCap {
+		return n
+	}
+	c = Name{
+		Space:  internStrLocked(n.Space),
+		Prefix: internStrLocked(n.Prefix),
+		Local:  internStrLocked(n.Local),
+	}
+	internTab.names[c] = c
+	return c
+}
+
+// InternString returns the canonical shared copy of s. Compiled XPath node
+// tests intern their expected local names so the comparison against
+// interned document names short-circuits on pointer equality.
+func InternString(s string) string {
+	if s == "" {
+		return ""
+	}
+	internTab.RLock()
+	c, ok := internTab.strs[s]
+	internTab.RUnlock()
+	if ok {
+		return c
+	}
+	internTab.Lock()
+	defer internTab.Unlock()
+	return internStrLocked(s)
+}
+
+// internStrLocked interns one string component; caller holds the write lock.
+func internStrLocked(s string) string {
+	if s == "" {
+		return ""
+	}
+	if c, ok := internTab.strs[s]; ok {
+		return c
+	}
+	if len(internTab.strs) >= internCap {
+		return s
+	}
+	c := strings.Clone(s)
+	internTab.strs[c] = c
+	return c
+}

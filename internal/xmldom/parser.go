@@ -221,7 +221,7 @@ func (p *parser) parsePI() (*Node, error) {
 		if p.hasPrefix("?>") {
 			data := string(p.src[start:p.pos])
 			p.consume("?>")
-			return &Node{Kind: ProcessingInstructionNode, Name: Name{Local: target}, Data: data}, nil
+			return &Node{Kind: ProcessingInstructionNode, Name: InternName(Name{Local: target}), Data: data}, nil
 		}
 		p.advance()
 	}
@@ -362,7 +362,7 @@ func (p *parser) parseElement() (*Node, error) {
 	if !ok {
 		return nil, p.errf("undeclared namespace prefix %q", prefix)
 	}
-	el.Name = Name{Space: uri, Prefix: prefix, Local: local}
+	el.Name = InternName(Name{Space: uri, Prefix: prefix, Local: local})
 
 	for _, ra := range attrs {
 		aprefix, alocal, err := splitQName(ra.name)
@@ -376,7 +376,7 @@ func (p *parser) parseElement() (*Node, error) {
 				return nil, p.errf("undeclared namespace prefix %q", aprefix)
 			}
 		}
-		an := &Node{Kind: AttributeNode, Name: Name{Space: auri, Prefix: aprefix, Local: alocal}, Data: ra.value, Parent: el}
+		an := &Node{Kind: AttributeNode, Name: InternName(Name{Space: auri, Prefix: aprefix, Local: alocal}), Data: ra.value, Parent: el}
 		el.Attrs = append(el.Attrs, an)
 	}
 

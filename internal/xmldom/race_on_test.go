@@ -1,0 +1,7 @@
+//go:build race
+
+package xmldom
+
+// raceEnabled reports whether the race detector is active; allocation
+// regression tests skip under -race, where alloc counts are unstable.
+const raceEnabled = true

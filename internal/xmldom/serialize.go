@@ -10,10 +10,18 @@ import (
 // Serialize(Parse(x)) is structurally equal to x (attribute order and
 // namespace prefix choices are preserved where possible).
 func Serialize(n *Node) string {
-	var sb strings.Builder
-	s := serializer{sb: &sb}
+	return string(AppendSerialize(nil, n))
+}
+
+// AppendSerialize appends the XML text of the subtree rooted at n to dst
+// and returns the extended buffer. It is the allocation-free core of
+// Serialize: callers on hot paths (message persistence, gateway sends)
+// hand it a pooled or pre-sized buffer and serialization of a
+// namespace-normalized tree performs no allocation beyond buffer growth.
+func AppendSerialize(dst []byte, n *Node) []byte {
+	s := serializer{buf: dst}
 	s.node(n, nsScope{})
-	return sb.String()
+	return s.buf
 }
 
 // nsScope tracks prefix→URI bindings in scope during serialization.
@@ -43,7 +51,17 @@ func (s nsScope) with(prefix, uri string) nsScope {
 }
 
 type serializer struct {
-	sb *strings.Builder
+	buf []byte
+}
+
+func (s *serializer) str(v string) { s.buf = append(s.buf, v...) }
+func (s *serializer) byte(c byte)  { s.buf = append(s.buf, c) }
+func (s *serializer) name(n Name) {
+	if n.Prefix != "" {
+		s.str(n.Prefix)
+		s.byte(':')
+	}
+	s.str(n.Local)
 }
 
 func (s *serializer) node(n *Node, scope nsScope) {
@@ -55,25 +73,25 @@ func (s *serializer) node(n *Node, scope nsScope) {
 	case ElementNode:
 		s.element(n, scope)
 	case TextNode:
-		s.sb.WriteString(EscapeText(n.Data))
+		s.buf = AppendEscapedText(s.buf, n.Data)
 	case CommentNode:
-		s.sb.WriteString("<!--")
-		s.sb.WriteString(n.Data)
-		s.sb.WriteString("-->")
+		s.str("<!--")
+		s.str(n.Data)
+		s.str("-->")
 	case ProcessingInstructionNode:
-		s.sb.WriteString("<?")
-		s.sb.WriteString(n.Name.Local)
+		s.str("<?")
+		s.str(n.Name.Local)
 		if n.Data != "" {
-			s.sb.WriteByte(' ')
-			s.sb.WriteString(n.Data)
+			s.byte(' ')
+			s.str(n.Data)
 		}
-		s.sb.WriteString("?>")
+		s.str("?>")
 	case AttributeNode:
 		// A detached attribute serializes as name="value".
-		s.sb.WriteString(n.Name.String())
-		s.sb.WriteString(`="`)
-		s.sb.WriteString(EscapeAttr(n.Data))
-		s.sb.WriteByte('"')
+		s.name(n.Name)
+		s.str(`="`)
+		s.buf = AppendEscapedAttr(s.buf, n.Data)
+		s.byte('"')
 	}
 }
 
@@ -100,38 +118,82 @@ func (s *serializer) element(n *Node, scope nsScope) {
 		}
 	}
 
-	s.sb.WriteByte('<')
-	s.sb.WriteString(n.Name.String())
+	s.byte('<')
+	s.name(n.Name)
 	for _, d := range decls {
-		s.sb.WriteByte(' ')
+		s.byte(' ')
 		if d.prefix == "" {
-			s.sb.WriteString("xmlns")
+			s.str("xmlns")
 		} else {
-			s.sb.WriteString("xmlns:")
-			s.sb.WriteString(d.prefix)
+			s.str("xmlns:")
+			s.str(d.prefix)
 		}
-		s.sb.WriteString(`="`)
-		s.sb.WriteString(EscapeAttr(d.uri))
-		s.sb.WriteByte('"')
+		s.str(`="`)
+		s.buf = AppendEscapedAttr(s.buf, d.uri)
+		s.byte('"')
 	}
 	for _, a := range n.Attrs {
-		s.sb.WriteByte(' ')
-		s.sb.WriteString(a.Name.String())
-		s.sb.WriteString(`="`)
-		s.sb.WriteString(EscapeAttr(a.Data))
-		s.sb.WriteByte('"')
+		s.byte(' ')
+		s.name(a.Name)
+		s.str(`="`)
+		s.buf = AppendEscapedAttr(s.buf, a.Data)
+		s.byte('"')
 	}
 	if len(n.Children) == 0 {
-		s.sb.WriteString("/>")
+		s.str("/>")
 		return
 	}
-	s.sb.WriteByte('>')
+	s.byte('>')
 	for _, c := range n.Children {
 		s.node(c, scope)
 	}
-	s.sb.WriteString("</")
-	s.sb.WriteString(n.Name.String())
-	s.sb.WriteByte('>')
+	s.str("</")
+	s.name(n.Name)
+	s.byte('>')
+}
+
+// AppendEscapedText appends s escaped for element content.
+func AppendEscapedText(dst []byte, s string) []byte {
+	if !strings.ContainsAny(s, "<>&") {
+		return append(dst, s...)
+	}
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			dst = append(dst, "&lt;"...)
+		case '>':
+			dst = append(dst, "&gt;"...)
+		case '&':
+			dst = append(dst, "&amp;"...)
+		default:
+			dst = append(dst, s[i])
+		}
+	}
+	return dst
+}
+
+// AppendEscapedAttr appends s escaped for a double-quoted attribute value.
+func AppendEscapedAttr(dst []byte, s string) []byte {
+	if !strings.ContainsAny(s, `<&"`+"\n\t") {
+		return append(dst, s...)
+	}
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			dst = append(dst, "&lt;"...)
+		case '&':
+			dst = append(dst, "&amp;"...)
+		case '"':
+			dst = append(dst, "&quot;"...)
+		case '\n':
+			dst = append(dst, "&#10;"...)
+		case '\t':
+			dst = append(dst, "&#9;"...)
+		default:
+			dst = append(dst, s[i])
+		}
+	}
+	return dst
 }
 
 // EscapeText escapes character data for element content.
@@ -139,21 +201,7 @@ func EscapeText(s string) string {
 	if !strings.ContainsAny(s, "<>&") {
 		return s
 	}
-	var sb strings.Builder
-	sb.Grow(len(s) + 8)
-	for i := 0; i < len(s); i++ {
-		switch s[i] {
-		case '<':
-			sb.WriteString("&lt;")
-		case '>':
-			sb.WriteString("&gt;")
-		case '&':
-			sb.WriteString("&amp;")
-		default:
-			sb.WriteByte(s[i])
-		}
-	}
-	return sb.String()
+	return string(AppendEscapedText(nil, s))
 }
 
 // EscapeAttr escapes character data for a double-quoted attribute value.
@@ -161,23 +209,5 @@ func EscapeAttr(s string) string {
 	if !strings.ContainsAny(s, `<&"`+"\n\t") {
 		return s
 	}
-	var sb strings.Builder
-	sb.Grow(len(s) + 8)
-	for i := 0; i < len(s); i++ {
-		switch s[i] {
-		case '<':
-			sb.WriteString("&lt;")
-		case '&':
-			sb.WriteString("&amp;")
-		case '"':
-			sb.WriteString("&quot;")
-		case '\n':
-			sb.WriteString("&#10;")
-		case '\t':
-			sb.WriteString("&#9;")
-		default:
-			sb.WriteByte(s[i])
-		}
-	}
-	return sb.String()
+	return string(AppendEscapedAttr(nil, s))
 }

@@ -1192,12 +1192,15 @@ func lowerTest(axis xpath.Axis, test xpath.NodeTest) nodePred {
 func nameTest(kind xmldom.NodeKind, name xmldom.Name) nodePred {
 	if name.Prefix == "" {
 		// Lax namespace matching (see evaluator.matchName): local name only.
-		local := name.Local
+		// The expected name is interned at compile time so the comparison
+		// against parsed/decoded documents (whose names are interned too)
+		// short-circuits on string pointer equality.
+		local := xmldom.InternString(name.Local)
 		return func(_ *machine, n *xmldom.Node) bool {
 			return n.Kind == kind && n.Name.Local == local
 		}
 	}
-	prefix, local := name.Prefix, name.Local
+	prefix, local := name.Prefix, xmldom.InternString(name.Local)
 	return func(m *machine, n *xmldom.Node) bool {
 		if n.Kind != kind || n.Name.Local != local {
 			return false

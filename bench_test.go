@@ -707,6 +707,80 @@ func BenchmarkE12Rehydration(b *testing.B) {
 	}
 }
 
+// --- E13: set-oriented batch execution on the pipeline workload ---
+//
+// Measures end-to-end processing throughput of the E7 pipeline with
+// durable commits, sweeping Config.BatchSize: batch=1 is the
+// tuple-at-a-time baseline (one transaction ID, one lock round, one WAL
+// commit per message), batch=32 claims, evaluates and commits whole
+// groups. The workload is preloaded (untimed) so the timed region is pure
+// set-oriented processing: Start + Drain over b.N input messages, each
+// traversing three rule stages (4·b.N processed messages). fsyncs/msg and
+// allocs are reported to show where the batch amortization lands.
+
+func BenchmarkE13BatchPipeline(b *testing.B) {
+	app := `
+		create queue inbox kind basic mode persistent;
+		create queue stage1 kind basic mode persistent;
+		create queue stage2 kind basic mode persistent;
+		create queue outbox kind basic mode persistent;
+		create rule s0 for inbox if (//order) then
+		  do enqueue <checked>{//order/id}</checked> into stage1;
+		create rule s1 for stage1 if (//checked) then
+		  do enqueue <priced>{//checked/id}</priced> into stage2;
+		create rule s2 for stage2 if (//priced) then
+		  do enqueue <done>{//priced/id}</done> into outbox;
+	`
+	for _, batch := range []int{1, 32} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			srv, err := Open(b.TempDir(), app, &Options{Workers: 8, BatchSize: batch})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			// Preload b.N messages (untimed); 8 concurrent enqueuers let
+			// the ingest commits coalesce in the WAL.
+			pad := stringsRepeat("p", 1024)
+			var wg sync.WaitGroup
+			for w := 0; w < 8; w++ {
+				share := b.N / 8
+				if w < b.N%8 {
+					share++
+				}
+				wg.Add(1)
+				go func(w, share int) {
+					defer wg.Done()
+					for i := 0; i < share; i++ {
+						if _, err := srv.Enqueue("inbox",
+							fmt.Sprintf(`<order><id>%d-%d</id><pad>%s</pad></order>`, w, i, pad), nil); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(w, share)
+			}
+			wg.Wait()
+			before := srv.PageStats()
+			st0 := srv.Stats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			srv.Start()
+			if !srv.Drain(600 * time.Second) {
+				b.Fatal("drain")
+			}
+			b.StopTimer()
+			after := srv.PageStats()
+			st1 := srv.Stats()
+			processed := st1.Processed - st0.Processed
+			if processed > 0 {
+				b.ReportMetric(float64(processed)/b.Elapsed().Seconds(), "msgs/sec")
+				b.ReportMetric(float64(after.WALFsyncs-before.WALFsyncs)/float64(processed), "fsyncs/msg")
+			}
+			b.ReportMetric(st1.AvgBatchSize, "avgbatch")
+		})
+	}
+}
+
 func stringsRepeat(s string, n int) string {
 	out := make([]byte, 0, len(s)*n)
 	for i := 0; i < n; i++ {

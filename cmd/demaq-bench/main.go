@@ -44,10 +44,11 @@ var experiments = []struct {
 	{"A2", "buffer pool size ablation", runA2},
 	{"A3", "commit durability policy ablation", runA3},
 	{"E12", "binary vs text payload rehydration (Sec. 4.1)", runE12},
+	{"E13", "set-oriented batch execution (Sec. 3.1/4.4)", runE13},
 }
 
 func main() {
-	sel := flag.String("e", "all", "comma-separated experiment IDs (E1..E9,E12,A2,A3) or 'all'")
+	sel := flag.String("e", "all", "comma-separated experiment IDs (E1..E9,E12,E13,A2,A3) or 'all'")
 	flag.Parse()
 	want := map[string]bool{}
 	if *sel != "all" {
@@ -565,6 +566,74 @@ func runA3() {
 		}
 		fmt.Printf("%-12s %14s %14.0f\n", mode, (elapsed / msgs).Round(time.Microsecond),
 			float64(msgs)/elapsed.Seconds())
+	}
+}
+
+// runE13 sweeps the batch size of the set-oriented execution loop over the
+// E7 pipeline workload with durable commits: the preloaded backlog is
+// processed by 8 workers claiming, evaluating and committing BatchSize
+// messages per transaction. fsyncs/msg shows the WAL-cohort amortization
+// on top of PR 1's group commit.
+func runE13() {
+	app := `
+		create queue inbox kind basic mode persistent;
+		create queue stage1 kind basic mode persistent;
+		create queue stage2 kind basic mode persistent;
+		create queue outbox kind basic mode persistent;
+		create rule s0 for inbox if (//order) then do enqueue <checked>{//order/id}</checked> into stage1;
+		create rule s1 for stage1 if (//checked) then do enqueue <priced>{//checked/id}</priced> into stage2;
+		create rule s2 for stage2 if (//priced) then do enqueue <done>{//priced/id}</done> into outbox;
+	`
+	const msgs = 2000
+	pad := strings.Repeat("p", 1024)
+	fmt.Printf("%-8s %12s %14s %14s %10s %10s\n", "batch", "elapsed", "msgs/sec", "fsyncs/msg", "avgbatch", "speedup")
+	var base float64
+	for _, batch := range []int{1, 8, 32, 128} {
+		dir := tempDir()
+		srv, err := demaq.Open(dir, app, &demaq.Options{Workers: 8, BatchSize: batch})
+		if err != nil {
+			panic(err)
+		}
+		// Preload (untimed) with concurrent enqueuers so ingest commits
+		// coalesce; the timed phase is pure batch processing.
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < msgs/8; i++ {
+					if _, err := srv.Enqueue("inbox",
+						fmt.Sprintf(`<order><id>%d-%d</id><pad>%s</pad></order>`, w, i, pad), nil); err != nil {
+						panic(err)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		before := srv.PageStats()
+		st0 := srv.Stats()
+		start := time.Now()
+		srv.Start()
+		if !srv.Drain(10 * time.Minute) {
+			panic("drain")
+		}
+		elapsed := time.Since(start)
+		after := srv.PageStats()
+		st1 := srv.Stats()
+		srv.Close()
+		cleanup(dir)
+		processed := st1.Processed - st0.Processed
+		rate := float64(processed) / elapsed.Seconds()
+		speedup := 1.0
+		if batch == 1 {
+			base = rate
+		} else if base > 0 {
+			speedup = rate / base
+		}
+		fmt.Printf("%-8d %12s %14.0f %14.4f %10.2f %9.2fx\n", batch,
+			elapsed.Round(time.Millisecond), rate,
+			float64(after.WALFsyncs-before.WALFsyncs)/float64(processed),
+			st1.AvgBatchSize, speedup)
 	}
 }
 

@@ -3,13 +3,18 @@
 //	demaqctl validate application.dq
 //	demaqctl send http://host:port/queues/in message.xml [key=value ...]
 //	demaqctl send http://host:port/queues/in - < message.xml
+//	demaqctl status http://host:7070
 //
 // "send" POSTs an XML message to an HTTP incoming-gateway endpoint of a
 // running server; key=value pairs become explicit message properties
-// (X-Demaq-* headers).
+// (X-Demaq-* headers). "status" reads the JSON endpoint served by
+// demaqd -status and prints the engine counters, including the
+// set-oriented execution stats (batches claimed, average batch size,
+// deadlock requeues).
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -75,6 +80,39 @@ func main() {
 			fatal(fmt.Errorf("server returned %s: %s", resp.Status, strings.TrimSpace(string(out))))
 		}
 		fmt.Printf("accepted (%s)\n", resp.Status)
+	case "status":
+		if len(os.Args) != 3 {
+			usage()
+		}
+		url := strings.TrimSuffix(os.Args[2], "/")
+		if !strings.HasSuffix(url, "/status") {
+			url += "/status"
+		}
+		client := &http.Client{Timeout: 10 * time.Second}
+		resp, err := client.Get(url)
+		if err != nil {
+			fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			fatal(fmt.Errorf("server returned %s", resp.Status))
+		}
+		var st demaq.Stats
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("processed          %d\n", st.Processed)
+		fmt.Printf("rules evaluated    %d\n", st.RulesEvaluated)
+		fmt.Printf("rules fired        %d\n", st.RulesFired)
+		fmt.Printf("enqueued           %d\n", st.Enqueued)
+		fmt.Printf("resets             %d\n", st.Resets)
+		fmt.Printf("errors             %d\n", st.Errors)
+		fmt.Printf("deadlocks          %d\n", st.Deadlocks)
+		fmt.Printf("deadlock requeues  %d\n", st.DeadlockRequeues)
+		fmt.Printf("collected          %d\n", st.Collected)
+		fmt.Printf("backlog            %d\n", st.Backlog)
+		fmt.Printf("batches claimed    %d\n", st.BatchesClaimed)
+		fmt.Printf("avg batch size     %.2f\n", st.AvgBatchSize)
 	default:
 		usage()
 	}
@@ -83,7 +121,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   demaqctl validate <application.dq>
-  demaqctl send <endpoint-url> <message.xml|-> [prop=value ...]`)
+  demaqctl send <endpoint-url> <message.xml|-> [prop=value ...]
+  demaqctl status <status-url>`)
 	os.Exit(2)
 }
 

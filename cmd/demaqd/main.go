@@ -12,10 +12,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -27,15 +29,17 @@ import (
 
 func main() {
 	var (
-		appFile  = flag.String("app", "", "application file (QDL+QML statements)")
-		dataDir  = flag.String("data", "./demaq-data", "data directory")
-		workers  = flag.Int("workers", 4, "message-processing workers")
-		check    = flag.Bool("check", false, "validate the application and exit")
-		useHTTP  = flag.Bool("http", false, "attach the HTTP gateway transport")
-		simSeed  = flag.Int64("sim", 0, "attach the simulated network transport with this seed")
-		gcEvery  = flag.Duration("gc", 30*time.Second, "retention GC interval (0 disables)")
-		noSync   = flag.Bool("nosync", false, "disable fsync on commit")
-		statsSec = flag.Duration("stats", 10*time.Second, "stats reporting interval (0 disables)")
+		appFile    = flag.String("app", "", "application file (QDL+QML statements)")
+		dataDir    = flag.String("data", "./demaq-data", "data directory")
+		workers    = flag.Int("workers", 4, "message-processing workers")
+		batchSize  = flag.Int("batch", 0, "messages claimed and committed per set-oriented batch (0 = tuned default, 1 = tuple-at-a-time)")
+		check      = flag.Bool("check", false, "validate the application and exit")
+		useHTTP    = flag.Bool("http", false, "attach the HTTP gateway transport")
+		simSeed    = flag.Int64("sim", 0, "attach the simulated network transport with this seed")
+		gcEvery    = flag.Duration("gc", 30*time.Second, "retention GC interval (0 disables)")
+		noSync     = flag.Bool("nosync", false, "disable fsync on commit")
+		statsSec   = flag.Duration("stats", 10*time.Second, "stats reporting interval (0 disables)")
+		statusAddr = flag.String("status", "", "serve engine status as JSON on this address (e.g. :7070; demaqctl status reads it)")
 	)
 	flag.Parse()
 	if *appFile == "" {
@@ -57,6 +61,7 @@ func main() {
 
 	opts := &demaq.Options{
 		Workers:    *workers,
+		BatchSize:  *batchSize,
 		GCInterval: *gcEvery,
 		NoSync:     *noSync,
 		EnableHTTP: *useHTTP,
@@ -72,6 +77,19 @@ func main() {
 	}
 	srv.Start()
 	log.Printf("demaqd: serving %s from %s (queues: %v)", *appFile, *dataDir, srv.Queues())
+	if *statusAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(srv.Stats())
+		})
+		go func() {
+			if err := http.ListenAndServe(*statusAddr, mux); err != nil {
+				log.Printf("demaqd: status server: %v", err)
+			}
+		}()
+		log.Printf("demaqd: status on http://%s/status", *statusAddr)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -35,6 +35,7 @@ import (
 	"demaq/internal/msgstore"
 	"demaq/internal/qdl"
 	"demaq/internal/rule"
+	"demaq/internal/store"
 	"demaq/internal/xdm"
 	"demaq/internal/xmldom"
 )
@@ -45,6 +46,14 @@ import (
 type Options struct {
 	// Workers sets the number of concurrent message processors.
 	Workers int
+	// BatchSize caps how many messages a worker claims, evaluates and
+	// commits as one set-oriented unit (0 = tuned default, currently 32;
+	// 1 = tuple-at-a-time processing, the pre-batching behavior). Larger
+	// batches amortize transaction, locking and WAL-commit overhead;
+	// failures bisect back to single-message semantics, and batches of
+	// low-priority work yield to higher-priority arrivals between
+	// messages.
+	BatchSize int
 	// CoarseLocking switches from slice- to queue-granularity locks
 	// (the experiment E2 baseline; slower under contention).
 	CoarseLocking bool
@@ -122,6 +131,7 @@ func OpenApplication(dir string, app *qdl.Application, opts *Options) (*Server, 
 	cfg := engine.Config{
 		Dir:          dir,
 		Workers:      opts.Workers,
+		BatchSize:    opts.BatchSize,
 		Granularity:  gran,
 		Store:        storeOpts,
 		Rules:        ruleOpts,
@@ -235,6 +245,10 @@ func (s *Server) AddMasterData(collection, xml string) error {
 // messages physically removed.
 func (s *Server) CollectGarbage() (int, error) { return s.eng.CollectGarbage() }
 
+// PageStats returns the page-store counters (commits, WAL fsyncs and
+// group-commit coalescing) for benchmarks and operational tooling.
+func (s *Server) PageStats() store.Stats { return s.eng.MessageStore().PageStore().Stats() }
+
 // Reload replaces the application program at runtime — the dynamic rule
 // evolution the paper lists as future work (Sec. 5). The engine must be
 // idle (Drain first); queues can be added but not removed or re-typed;
@@ -292,7 +306,7 @@ func (s *Server) OpenPeer(dir, source string, opts *Options) (*Server, error) {
 		reg.Add(s.http)
 	}
 	cfg := engine.Config{
-		Dir: dir, Workers: opts.Workers,
+		Dir: dir, Workers: opts.Workers, BatchSize: opts.BatchSize,
 		Store: storeOpts, Rules: ruleOpts, Materialized: &materialized,
 		GCInterval: opts.GCInterval, Logger: opts.Logger,
 		Resources: opts.Resources, Transports: reg,
@@ -344,7 +358,8 @@ func Validate(source string) error {
 
 // FormatStats renders stats for human consumption.
 func FormatStats(st Stats) string {
-	return fmt.Sprintf("processed=%d rules=%d fired=%d enqueued=%d resets=%d errors=%d deadlocks=%d collected=%d backlog=%d",
+	return fmt.Sprintf("processed=%d rules=%d fired=%d enqueued=%d resets=%d errors=%d deadlocks=%d dlrequeues=%d collected=%d backlog=%d batches=%d avgbatch=%.1f",
 		st.Processed, st.RulesEvaluated, st.RulesFired, st.Enqueued, st.Resets,
-		st.Errors, st.Deadlocks, st.Collected, st.Backlog)
+		st.Errors, st.Deadlocks, st.DeadlockRequeues, st.Collected, st.Backlog,
+		st.BatchesClaimed, st.AvgBatchSize)
 }

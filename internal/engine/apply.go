@@ -88,13 +88,32 @@ func (rt *evalRuntime) Collection(name string) ([]*xmldom.Node, error) {
 
 func (rt *evalRuntime) Now() time.Time { return rt.now }
 
-// applyUpdates executes a pending update list and marks the triggering
-// message processed, in one message-store transaction. Target queues and
-// slices are locked before any effect is applied (strict 2PL: everything is
-// held until the worker releases at transaction end).
+// batchItem carries one message's evaluation result — its pending update
+// list plus the context needed to apply it — into the combined batch
+// commit.
+type batchItem struct {
+	id       msgstore.MsgID
+	props    map[string]xdm.Value // parent props, inherited by child messages
+	updates  *xquery.UpdateList
+	ruleName string
+}
+
+// applyUpdates executes one message's pending update list and marks it
+// processed, in one message-store transaction: the single-message shape of
+// applyBatch.
 func (e *Engine) applyUpdates(txnID uint64, id msgstore.MsgID, queue string,
 	parentProps map[string]xdm.Value, updates *xquery.UpdateList, now time.Time, ruleName string) error {
+	return e.applyBatch(txnID, queue, []batchItem{
+		{id: id, props: parentProps, updates: updates, ruleName: ruleName},
+	}, now)
+}
 
+// applyBatch executes the pending update lists of a whole batch and marks
+// every triggering message processed, in one message-store transaction.
+// Target queues and slices are locked before any effect is applied (strict
+// 2PL: everything is held until the worker releases at transaction end);
+// within the batch each distinct resource costs one lock-manager round.
+func (e *Engine) applyBatch(txnID uint64, queue string, items []batchItem, now time.Time) error {
 	type staged struct {
 		up    *xquery.EnqueueUpdate
 		props map[string]xdm.Value
@@ -103,73 +122,98 @@ func (e *Engine) applyUpdates(txnID uint64, id msgstore.MsgID, queue string,
 	}
 	var stagedEnqs []staged
 
+	// lockOnce dedupes lock acquisition across the batch: re-acquiring a
+	// held resource is already cheap inside the manager, but every call
+	// still crosses its global mutex, which the batch should touch once
+	// per distinct resource, not once per update.
+	var acquired map[string]bool
+	lockOnce := func(res string, mode locks.Mode) error {
+		if acquired[res] {
+			return nil
+		}
+		if err := e.lm.Acquire(txnID, res, mode); err != nil {
+			return err
+		}
+		if acquired == nil {
+			acquired = make(map[string]bool, 8)
+		}
+		acquired[res] = true
+		return nil
+	}
+
 	// Lock targets first.
-	for _, up := range updates.Updates {
-		switch u := up.(type) {
-		case *xquery.EnqueueUpdate:
-			mode := locks.IX
-			if e.cfg.Granularity == LockQueue {
-				mode = locks.X
-			}
-			if err := e.lm.Acquire(txnID, locks.Resource("q", u.Queue), mode); err != nil {
-				return err
-			}
-		case *xquery.ResetUpdate:
-			if e.cfg.Granularity == LockSlice {
-				if err := e.lm.Acquire(txnID, locks.Resource("sl", u.Slicing, u.Key.StringValue()), locks.X); err != nil {
+	for _, it := range items {
+		for _, up := range it.updates.Updates {
+			switch u := up.(type) {
+			case *xquery.EnqueueUpdate:
+				mode := locks.IX
+				if e.cfg.Granularity == LockQueue {
+					mode = locks.X
+				}
+				if err := lockOnce(locks.Resource("q", u.Queue), mode); err != nil {
 					return err
+				}
+			case *xquery.ResetUpdate:
+				if e.cfg.Granularity == LockSlice {
+					if err := lockOnce(locks.Resource("sl", u.Slicing, u.Key.StringValue()), locks.X); err != nil {
+						return err
+					}
 				}
 			}
 		}
 	}
 
 	tx := e.ms.Begin()
-	for _, up := range updates.Updates {
-		switch u := up.(type) {
-		case *xquery.EnqueueUpdate:
-			q, ok := e.ms.Queue(u.Queue)
-			if !ok {
-				tx.Abort()
-				return fmt.Errorf("engine: enqueue into unknown queue %q", u.Queue)
-			}
-			system := map[string]xdm.Value{
-				property.SysCreatingRule: xdm.NewString(ruleName),
-				property.SysCreated:      xdm.NewDateTime(now),
-			}
-			props, err := e.prog.Properties.Evaluate(u.Queue, u.Doc, u.Props, parentProps, system, now)
-			if err != nil {
-				tx.Abort()
-				return err
-			}
-			// Validate against the queue schema, if declared.
-			if decl := e.queueDecl(u.Queue); decl != nil && decl.Schema != "" {
-				if err := e.validateSchema(decl, u.Doc); err != nil {
+	processed := make([]msgstore.MsgID, 0, len(items))
+	for _, it := range items {
+		processed = append(processed, it.id)
+		for _, up := range it.updates.Updates {
+			switch u := up.(type) {
+			case *xquery.EnqueueUpdate:
+				q, ok := e.ms.Queue(u.Queue)
+				if !ok {
+					tx.Abort()
+					return fmt.Errorf("engine: enqueue into unknown queue %q", u.Queue)
+				}
+				system := map[string]xdm.Value{
+					property.SysCreatingRule: xdm.NewString(it.ruleName),
+					property.SysCreated:      xdm.NewDateTime(now),
+				}
+				props, err := e.prog.Properties.Evaluate(u.Queue, u.Doc, u.Props, it.props, system, now)
+				if err != nil {
 					tx.Abort()
 					return err
 				}
-			}
-			nid, err := tx.Enqueue(u.Queue, u.Doc, props, now)
-			if err != nil {
-				tx.Abort()
-				return err
-			}
-			// Lock the new message's slices (they change shape).
-			if e.cfg.Granularity == LockSlice {
-				for propName, v := range props {
-					for _, sl := range e.slicingsOn(propName, u.Queue) {
-						if err := e.lm.Acquire(txnID, locks.Resource("sl", sl, v.StringValue()), locks.X); err != nil {
-							tx.Abort()
-							return err
+				// Validate against the queue schema, if declared.
+				if decl := e.queueDecl(u.Queue); decl != nil && decl.Schema != "" {
+					if err := e.validateSchema(decl, u.Doc); err != nil {
+						tx.Abort()
+						return err
+					}
+				}
+				nid, err := tx.Enqueue(u.Queue, u.Doc, props, now)
+				if err != nil {
+					tx.Abort()
+					return err
+				}
+				// Lock the new message's slices (they change shape).
+				if e.cfg.Granularity == LockSlice {
+					for propName, v := range props {
+						for _, sl := range e.slicingsOn(propName, u.Queue) {
+							if err := lockOnce(locks.Resource("sl", sl, v.StringValue()), locks.X); err != nil {
+								tx.Abort()
+								return err
+							}
 						}
 					}
 				}
+				stagedEnqs = append(stagedEnqs, staged{up: u, props: props, id: nid, queue: q})
+			case *xquery.ResetUpdate:
+				tx.RecordReset(u.Slicing, u.Key.StringValue())
 			}
-			stagedEnqs = append(stagedEnqs, staged{up: u, props: props, id: nid, queue: q})
-		case *xquery.ResetUpdate:
-			tx.RecordReset(u.Slicing, u.Key.StringValue())
 		}
 	}
-	if err := tx.MarkProcessed(id); err != nil {
+	if err := tx.MarkProcessedAll(processed); err != nil {
 		tx.Abort()
 		return err
 	}

@@ -1,0 +1,343 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"demaq/internal/msgstore"
+	"demaq/internal/qdl"
+	"demaq/internal/xmldom"
+)
+
+// --- scheduler batch claiming ---
+
+func TestSchedulerClaimBatchHalfOfBacklog(t *testing.T) {
+	s := newScheduler()
+	s.DeclareQueue("q", 0)
+	for i := 1; i <= 8; i++ {
+		s.Add("q", msgstore.MsgID(i))
+	}
+	// A claim takes at most half the backlog (rounded up): 8 → 4 → 2 → 1 → 1.
+	want := [][]msgstore.MsgID{{1, 2, 3, 4}, {5, 6}, {7}, {8}}
+	for _, ids := range want {
+		queue, prio, got, ok := s.ClaimBatch(32, nil)
+		if !ok || queue != "q" || prio != 0 {
+			t.Fatalf("claim = (%s,%d,%v)", queue, prio, ok)
+		}
+		if len(got) != len(ids) {
+			t.Fatalf("batch %v, want %v", got, ids)
+		}
+		for i := range ids {
+			if got[i] != ids[i] {
+				t.Fatalf("batch %v, want %v", got, ids)
+			}
+		}
+		s.DoneN(len(got))
+	}
+	if !s.Idle() {
+		t.Fatal("should be idle")
+	}
+}
+
+func TestSchedulerClaimBatchRespectsMax(t *testing.T) {
+	s := newScheduler()
+	s.DeclareQueue("q", 0)
+	for i := 1; i <= 100; i++ {
+		s.Add("q", msgstore.MsgID(i))
+	}
+	_, _, ids, _ := s.ClaimBatch(16, nil)
+	if len(ids) != 16 {
+		t.Fatalf("claimed %d, want 16", len(ids))
+	}
+	if s.Backlog() != 84 {
+		t.Fatalf("backlog %d", s.Backlog())
+	}
+	s.DoneN(len(ids))
+}
+
+func TestSchedulerClaimBatchSingleQueueAndPriority(t *testing.T) {
+	s := newScheduler()
+	s.DeclareQueue("low", 1)
+	s.DeclareQueue("high", 10)
+	s.Add("low", 1)
+	s.Add("low", 2)
+	s.Add("high", 3)
+	s.Add("high", 4)
+	queue, prio, ids, _ := s.ClaimBatch(32, nil)
+	if queue != "high" || prio != 10 || len(ids) != 1 || ids[0] != 3 {
+		t.Fatalf("first batch (%s,%d,%v)", queue, prio, ids)
+	}
+	s.DoneN(1)
+	queue, _, ids, _ = s.ClaimBatch(32, nil)
+	if queue != "high" || len(ids) != 1 || ids[0] != 4 {
+		t.Fatalf("second batch (%s,%v)", queue, ids)
+	}
+	s.DoneN(1)
+	queue, _, ids, _ = s.ClaimBatch(32, nil)
+	if queue != "low" || len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("third batch (%s,%v)", queue, ids)
+	}
+	s.DoneN(1)
+}
+
+func TestSchedulerRequeueFrontPreservesOrder(t *testing.T) {
+	s := newScheduler()
+	s.DeclareQueue("q", 0)
+	for i := 1; i <= 8; i++ {
+		s.Add("q", msgstore.MsgID(i))
+	}
+	_, _, ids, _ := s.ClaimBatch(32, nil) // {1,2,3,4}
+	// Preempted after one message: give back the suffix in order.
+	s.RequeueFront("q", ids[1:])
+	s.DoneN(1)
+	_, _, ids, _ = s.ClaimBatch(32, nil)
+	// Backlog is {2,3,4,5,6,7,8}: half of 7 is 4.
+	want := []msgstore.MsgID{2, 3, 4, 5}
+	if len(ids) != len(want) {
+		t.Fatalf("batch %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("batch %v, want %v", ids, want)
+		}
+	}
+	s.DoneN(len(ids))
+}
+
+func TestSchedulerPreemptFor(t *testing.T) {
+	s := newScheduler()
+	s.DeclareQueue("low", 1)
+	s.DeclareQueue("high", 10)
+	s.Add("low", 1)
+	if s.PreemptFor(1) {
+		t.Fatal("own priority level must not preempt")
+	}
+	_, _, ids, _ := s.ClaimBatch(32, nil)
+	if s.PreemptFor(1) {
+		t.Fatal("empty scheduler must not preempt")
+	}
+	s.Add("high", 2)
+	if !s.PreemptFor(1) {
+		t.Fatal("higher-priority arrival must preempt a low batch")
+	}
+	if s.PreemptFor(10) {
+		t.Fatal("equal priority must not preempt")
+	}
+	s.DoneN(len(ids))
+}
+
+// --- batch/single differential: identical final state ---
+
+// pipelineDiffApp is the E7 pipeline plus an error-injecting rule: orders
+// carrying <poison/> fail rule evaluation and must land in the error queue
+// with no pipeline output, identically at every batch size.
+const pipelineDiffApp = `
+	create queue inbox kind basic mode persistent;
+	create queue stage1 kind basic mode persistent;
+	create queue stage2 kind basic mode persistent;
+	create queue outbox kind basic mode persistent;
+	create queue errs kind basic mode persistent;
+	create rule s0 for inbox if (//order) then
+	  do enqueue <checked>{//order/id}</checked> into stage1;
+	create rule poison for inbox errorqueue errs
+	  if (//order/poison) then do enqueue <x>{1 idiv 0}</x> into outbox;
+	create rule s1 for stage1 if (//checked) then
+	  do enqueue <priced>{//checked/id}</priced> into stage2;
+	create rule s2 for stage2 if (//priced) then
+	  do enqueue <done>{//priced/id}</done> into outbox;
+`
+
+// queueFingerprint summarizes a queue's final state order-insensitively:
+// the sorted multiset of (document, processed flag, properties minus
+// wall-clock timestamps). Message IDs and enqueue times differ between
+// runs by construction and are excluded.
+func queueFingerprint(t *testing.T, e *Engine, queue string) []string {
+	t.Helper()
+	msgs, err := e.MessageStore().Messages(queue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, 0, len(msgs))
+	for _, m := range msgs {
+		doc, err := e.MessageStore().Doc(m.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var props []string
+		for k, v := range m.Props {
+			if k == "demaq:created" {
+				continue
+			}
+			props = append(props, k+"="+v.StringValue())
+		}
+		sort.Strings(props)
+		out = append(out, fmt.Sprintf("processed=%v props=[%s] doc=%s",
+			m.Processed, strings.Join(props, ","), xmldom.Serialize(doc)))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func runPipelineDiff(t *testing.T, batchSize, n int) (map[string][]string, Stats) {
+	t.Helper()
+	app := qdl.MustParse(pipelineDiffApp)
+	cfg := Config{Dir: t.TempDir(), Workers: 8, BatchSize: batchSize}
+	cfg.Store = msgstore.DefaultOptions()
+	cfg.Store.Store.SyncCommits = false
+	e, err := New(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Stop()
+	e.Start()
+	for i := 0; i < n; i++ {
+		doc := fmt.Sprintf(`<order><id>%d</id></order>`, i)
+		if i%6 == 5 {
+			doc = fmt.Sprintf(`<order><id>%d</id><poison/></order>`, i)
+		}
+		if _, err := e.EnqueueXML("inbox", doc, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !e.Drain(60 * time.Second) {
+		t.Fatal("drain")
+	}
+	state := map[string][]string{}
+	for _, q := range e.MessageStore().QueueNames() {
+		state[q] = queueFingerprint(t, e, q)
+	}
+	return state, e.Stats()
+}
+
+// TestBatchSingleDifferential runs the same workload tuple-at-a-time
+// (BatchSize 1) and set-oriented (BatchSize 32) and asserts identical
+// final store state, error-queue contents and processed counts. Runs
+// under -race in CI.
+func TestBatchSingleDifferential(t *testing.T) {
+	const n = 240
+	single, singleStats := runPipelineDiff(t, 1, n)
+	batch, batchStats := runPipelineDiff(t, 32, n)
+
+	if len(single) != len(batch) {
+		t.Fatalf("queue sets differ: %d vs %d", len(single), len(batch))
+	}
+	for q, want := range single {
+		got, ok := batch[q]
+		if !ok {
+			t.Fatalf("queue %q missing in batch run", q)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("queue %q: %d messages batched vs %d single", q, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("queue %q message %d differs:\n  single: %s\n  batch:  %s", q, i, want[i], got[i])
+			}
+		}
+	}
+	if singleStats.Processed != batchStats.Processed {
+		t.Errorf("processed: single %d, batch %d", singleStats.Processed, batchStats.Processed)
+	}
+	if singleStats.Errors != batchStats.Errors {
+		t.Errorf("errors: single %d, batch %d", singleStats.Errors, batchStats.Errors)
+	}
+	if singleStats.Enqueued != batchStats.Enqueued {
+		t.Errorf("enqueued: single %d, batch %d", singleStats.Enqueued, batchStats.Enqueued)
+	}
+	if want := uint64(n / 6); singleStats.Errors != want {
+		t.Errorf("poison errors: %d, want %d", singleStats.Errors, want)
+	}
+	if batchStats.BatchesClaimed == 0 || batchStats.AvgBatchSize <= 1 {
+		t.Errorf("batch run did not batch: %d claims, avg %.2f",
+			batchStats.BatchesClaimed, batchStats.AvgBatchSize)
+	}
+}
+
+// TestBatchSharedStateEquivalence replays the slice-join pattern — the
+// worst case for set-oriented execution, where a rule's firing depends on
+// updates of neighboring messages — across batch sizes: exactly one join
+// output per key, however the inputs are grouped into batches.
+func TestBatchSharedStateEquivalence(t *testing.T) {
+	const app = `
+		create queue in kind basic mode persistent;
+		create queue joined kind basic mode persistent;
+		create property key as xs:string fixed queue in value //key;
+		create slicing byKey on key;
+		create rule join for byKey
+		  if (count(qs:slice()[/part]) >= 3) then
+		    do enqueue <both><key>{qs:slicekey()}</key></both> into joined;
+		create rule cleanup for byKey
+		  if (count(qs:slice()[/part]) >= 3) then do reset;
+	`
+	for _, batch := range []int{1, 32} {
+		t.Run(fmt.Sprintf("batch=%d", batch), func(t *testing.T) {
+			e := newEngine(t, app, func(c *Config) {
+				c.Workers = 8
+				c.BatchSize = batch
+				c.Store = msgstore.DefaultOptions()
+				c.Store.Store.SyncCommits = false
+			})
+			const keys, parts = 20, 3
+			for p := 0; p < parts; p++ {
+				for k := 0; k < keys; k++ {
+					if _, err := e.EnqueueXML("in",
+						fmt.Sprintf(`<part><key>k%d</key><n>%d</n></part>`, k, p), nil); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			drain(t, e)
+			joined, _ := e.MessageStore().Messages("joined")
+			if len(joined) != keys {
+				t.Fatalf("joined %d messages, want exactly %d (duplicate or missed joins)", len(joined), keys)
+			}
+		})
+	}
+}
+
+// TestDeadlockExhaustionRequeues drives a workload whose transactions
+// deadlock by construction (coarse queue locks plus symmetric cross-queue
+// reads) with a minimal retry budget. Exhausting the budget must requeue
+// the victim — counted in DeadlockRequeues — never route it to an error
+// queue, and every message must still be processed exactly once.
+func TestDeadlockExhaustionRequeues(t *testing.T) {
+	e := newEngine(t, `
+		create queue a kind basic mode persistent;
+		create queue b kind basic mode persistent;
+		create queue outA kind basic mode persistent;
+		create queue outB kind basic mode persistent;
+		create rule ra for a if (count(qs:queue("b")) >= 0) then do enqueue <x/> into outA;
+		create rule rb for b if (count(qs:queue("a")) >= 0) then do enqueue <y/> into outB;
+	`, func(c *Config) {
+		c.Workers = 8
+		c.Granularity = LockQueue
+		c.MaxRetries = 1
+		c.Store = msgstore.DefaultOptions()
+		c.Store.Store.SyncCommits = false
+	})
+	const n = 120
+	for i := 0; i < n; i++ {
+		if _, err := e.EnqueueXML("a", `<m/>`, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.EnqueueXML("b", `<m/>`, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drain(t, e)
+	st := e.Stats()
+	if st.Errors != 0 {
+		t.Fatalf("deadlock exhaustion reached an error queue: %+v", st)
+	}
+	outA, _ := e.MessageStore().Messages("outA")
+	outB, _ := e.MessageStore().Messages("outB")
+	if len(outA) != n || len(outB) != n {
+		t.Fatalf("outputs %d/%d, want %d/%d", len(outA), len(outB), n, n)
+	}
+	if st.Deadlocks > 0 {
+		t.Logf("deadlocks=%d requeues=%d", st.Deadlocks, st.DeadlockRequeues)
+	}
+}

@@ -3,15 +3,21 @@
 // execution model of Sec. 3.1 — every unprocessed message is processed
 // exactly once, in scheduler order, by evaluating all rules attached to its
 // queue and to the slices it belongs to, collecting a pending update list,
-// and applying it in one transaction. Error handling (Sec. 3.6), echo-queue
-// timers (Sec. 2.1.3), gateway communication (Sec. 4.2) and retention-based
-// garbage collection (Sec. 2.3.3) run as engine services.
+// and applying it in one transaction. Execution is set-oriented
+// (Config.BatchSize): workers claim same-queue batches and commit them as
+// one unit, amortizing transaction, locking and WAL overhead across the
+// batch; messages whose rules touch shared state run alone, failures
+// bisect back to tuple-at-a-time semantics, and higher-priority arrivals
+// preempt a running batch between messages. Error handling (Sec. 3.6),
+// echo-queue timers (Sec. 2.1.3), gateway communication (Sec. 4.2) and
+// retention-based garbage collection (Sec. 2.3.3) run as engine services.
 package engine
 
 import (
 	"fmt"
 	"io/fs"
 	"log/slog"
+	"math/rand/v2"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -62,6 +68,14 @@ type Config struct {
 	Rules rule.Options
 	// Materialized selects the slice index implementation (E1).
 	Materialized *bool
+	// BatchSize caps how many messages a worker claims, evaluates and
+	// commits as one set-oriented unit (default DefaultBatchSize). The
+	// batch shares one transaction ID, one home-queue lock round and one
+	// message-store commit — one WAL cohort instead of one per message.
+	// 1 selects the exact tuple-at-a-time legacy path. On deadlock or
+	// rule error the batch is bisected down to single messages, whose
+	// retry and error-queue semantics are the reference.
+	BatchSize int
 	// GCInterval runs the retention garbage collector periodically;
 	// zero disables the background task (CollectGarbage can be called
 	// manually).
@@ -77,6 +91,9 @@ type Config struct {
 	Transports *gateway.Registry
 }
 
+// DefaultBatchSize is the tuned default for Config.BatchSize.
+const DefaultBatchSize = 32
+
 // Stats are engine counters.
 type Stats struct {
 	Processed      uint64
@@ -88,6 +105,16 @@ type Stats struct {
 	Deadlocks      uint64
 	Collected      uint64
 	Backlog        int
+
+	// BatchesClaimed counts scheduler claim rounds; AvgBatchSize is the
+	// mean number of messages claimed per round (set-oriented execution
+	// amortizes per-message overhead by this factor). DeadlockRequeues
+	// counts messages handed back to the scheduler after exhausting
+	// their deadlock retry budget instead of being routed to an error
+	// queue — nothing is wrong with such a message, only with the timing.
+	BatchesClaimed   uint64
+	AvgBatchSize     float64
+	DeadlockRequeues uint64
 }
 
 // Engine is a running Demaq server instance.
@@ -110,6 +137,7 @@ type Engine struct {
 
 	stats struct {
 		processed, rulesEval, rulesFired, enqueued, resets, errors, deadlocks, collected atomic.Uint64
+		batches, batchMsgs, deadlockRequeues                                             atomic.Uint64
 	}
 
 	schemas map[string]*schema.Schema
@@ -158,6 +186,9 @@ func New(cfg Config, app *qdl.Application) (*Engine, error) {
 	}
 	if cfg.MaxRetries <= 0 {
 		cfg.MaxRetries = 32
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultBatchSize
 	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
@@ -299,7 +330,7 @@ func (e *Engine) Start() {
 	e.started = true
 	for i := 0; i < e.cfg.Workers; i++ {
 		e.wg.Add(1)
-		go e.worker()
+		go e.worker(uint64(i))
 	}
 	e.timers.start()
 	e.gws.start()
@@ -345,17 +376,23 @@ func (e *Engine) Drain(timeout time.Duration) bool {
 
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
-	return Stats{
-		Processed:      e.stats.processed.Load(),
-		RulesEvaluated: e.stats.rulesEval.Load(),
-		RulesFired:     e.stats.rulesFired.Load(),
-		Enqueued:       e.stats.enqueued.Load(),
-		Resets:         e.stats.resets.Load(),
-		Errors:         e.stats.errors.Load(),
-		Deadlocks:      e.stats.deadlocks.Load(),
-		Collected:      e.stats.collected.Load(),
-		Backlog:        e.sched.Backlog(),
+	st := Stats{
+		Processed:        e.stats.processed.Load(),
+		RulesEvaluated:   e.stats.rulesEval.Load(),
+		RulesFired:       e.stats.rulesFired.Load(),
+		Enqueued:         e.stats.enqueued.Load(),
+		Resets:           e.stats.resets.Load(),
+		Errors:           e.stats.errors.Load(),
+		Deadlocks:        e.stats.deadlocks.Load(),
+		Collected:        e.stats.collected.Load(),
+		Backlog:          e.sched.Backlog(),
+		BatchesClaimed:   e.stats.batches.Load(),
+		DeadlockRequeues: e.stats.deadlockRequeues.Load(),
 	}
+	if st.BatchesClaimed > 0 {
+		st.AvgBatchSize = float64(e.stats.batchMsgs.Load()) / float64(st.BatchesClaimed)
+	}
+	return st
 }
 
 // CollectGarbage runs one retention GC pass (Sec. 2.3.3).
@@ -450,19 +487,40 @@ func (e *Engine) queueDecl(name string) *qdl.QueueDecl {
 	return e.decls[name]
 }
 
-// worker is the message-processing loop.
-func (e *Engine) worker() {
+// worker is the message-processing loop. With BatchSize 1 every message is
+// claimed and committed individually (the tuple-at-a-time legacy path);
+// otherwise the worker claims same-queue batches and processes them
+// set-oriented, falling back to single messages on failure.
+func (e *Engine) worker(seq uint64) {
 	defer e.wg.Done()
+	// Per-worker PRNG for backoff jitter: colliding workers must not
+	// retry in lockstep, and the global rand would be a contention point.
+	rng := rand.New(rand.NewPCG(uint64(time.Now().UnixNano()), seq))
+	if e.cfg.BatchSize <= 1 {
+		for {
+			queue, id, ok := e.sched.Claim()
+			if !ok {
+				return
+			}
+			e.stats.batches.Add(1)
+			e.stats.batchMsgs.Add(1)
+			e.processWithRetry(queue, id, rng)
+		}
+	}
+	buf := make([]msgstore.MsgID, 0, e.cfg.BatchSize)
 	for {
-		queue, id, ok := e.sched.Claim()
+		queue, prio, ids, ok := e.sched.ClaimBatch(e.cfg.BatchSize, buf[:0])
 		if !ok {
 			return
 		}
-		e.processWithRetry(queue, id)
+		buf = ids
+		e.stats.batches.Add(1)
+		e.stats.batchMsgs.Add(uint64(len(ids)))
+		e.runBatch(queue, prio, ids, rng)
 	}
 }
 
-func (e *Engine) processWithRetry(queue string, id msgstore.MsgID) {
+func (e *Engine) processWithRetry(queue string, id msgstore.MsgID, rng *rand.Rand) {
 	backoff := time.Microsecond * 50
 	for attempt := 0; ; attempt++ {
 		err := e.processMessage(queue, id)
@@ -470,20 +528,60 @@ func (e *Engine) processWithRetry(queue string, id msgstore.MsgID) {
 			e.sched.Done()
 			return
 		}
-		if err == locks.ErrDeadlock && attempt < e.cfg.MaxRetries {
+		if err == locks.ErrDeadlock {
 			e.stats.deadlocks.Add(1)
-			time.Sleep(backoff)
+			if attempt >= e.cfg.MaxRetries {
+				// Retry budget exhausted: nothing is wrong with the
+				// message itself, only with the timing — hand it back to
+				// the scheduler instead of poisoning an error queue.
+				e.stats.deadlockRequeues.Add(1)
+				e.sched.Requeue(queue, id)
+				return
+			}
+			// Jittered exponential backoff: a deterministic schedule
+			// would march the colliding workers into the same conflict
+			// again.
+			time.Sleep(backoff + time.Duration(rng.Int64N(int64(backoff))))
 			if backoff < 10*time.Millisecond {
 				backoff *= 2
 			}
 			continue
 		}
-		// Non-retryable (or retry budget exhausted): route to the error
-		// queue and consume the message so it is processed exactly once.
+		// Non-retryable: route to the error queue and consume the message
+		// so it is processed exactly once.
 		e.handleRuleError(queue, id, err)
 		e.sched.Done()
 		return
 	}
+}
+
+// runBatch processes a claimed batch, bisecting on failure: a batch that
+// deadlocks or contains a rule error is split in half and retried, so the
+// failure converges onto single-message processing — whose retry and
+// error-queue semantics are the reference — while the healthy majority of
+// the batch still commits set-oriented. Healthy members of a failing
+// batch are re-evaluated once per split level; RulesEvaluated/RulesFired
+// count evaluations performed, so they run higher on such workloads —
+// exactly as the legacy path's deadlock retries already re-count.
+func (e *Engine) runBatch(queue string, prio int, ids []msgstore.MsgID, rng *rand.Rand) {
+	if len(ids) == 0 {
+		return
+	}
+	if len(ids) == 1 {
+		e.processWithRetry(queue, ids[0], rng)
+		return
+	}
+	attempted, err := e.processBatch(queue, prio, ids)
+	if err == nil {
+		e.sched.DoneN(len(attempted))
+		return
+	}
+	if err == locks.ErrDeadlock {
+		e.stats.deadlocks.Add(1)
+	}
+	mid := len(attempted) / 2
+	e.runBatch(queue, prio, attempted[:mid], rng)
+	e.runBatch(queue, prio, attempted[mid:], rng)
 }
 
 // processMessage runs the execution-model cycle for one message: evaluate
@@ -519,78 +617,10 @@ func (e *Engine) processMessage(queue string, id msgstore.MsgID) error {
 		return nil // duplicate schedule after crash recovery
 	}
 	now := time.Now().UTC()
-	// Element names are the dispatch key set: computed lazily, only when
-	// some applicable rule actually has an element trigger.
-	var namesMemo map[string]bool
-	elementNames := func() map[string]bool {
-		if namesMemo == nil {
-			namesMemo = rule.ElementNames(doc)
-		}
-		return namesMemo
-	}
-
-	// Lock the slices of the message (they are read by slice rules and
-	// advanced by resets).
-	memberships := e.slices.SlicesOf(id)
-	if e.cfg.Granularity == LockSlice {
-		for _, mb := range memberships {
-			if err := e.lm.Acquire(txnID, locks.Resource("sl", mb.Slicing, mb.Key), locks.X); err != nil {
-				return err
-			}
-		}
-	}
-
-	rt := &evalRuntime{eng: e, txnID: txnID, msgID: id, doc: doc, queue: queue, props: msg.Props, now: now}
-	combined := &xquery.UpdateList{}
-	type ruleCtx struct {
-		r       *rule.Rule
-		slicing string
-		key     string
-	}
-	var toRun []ruleCtx
-	if plan := e.prog.QueuePlans[queue]; plan != nil {
-		for _, r := range plan.Select(msg.Props, elementNames) {
-			toRun = append(toRun, ruleCtx{r: r})
-		}
-	}
-	for _, mb := range memberships {
-		if plan := e.prog.SlicePlans[mb.Slicing]; plan != nil {
-			for _, r := range plan.Select(msg.Props, elementNames) {
-				toRun = append(toRun, ruleCtx{r: r, slicing: mb.Slicing, key: mb.Key})
-			}
-		}
-	}
-
-	var failed *ruleError
-	for _, rc := range toRun {
-		rt.curSlicing, rt.curKey = rc.slicing, rc.key
-		e.stats.rulesEval.Add(1)
-		seq, updates, err := xquery.Eval(rc.r.Body, rt, xquery.EvalOptions{ContextDoc: doc})
-		_ = seq
-		if err != nil {
-			if err == locks.ErrDeadlock {
-				return err
-			}
-			failed = &ruleError{rule: rc.r, err: err}
-			break
-		}
-		if updates.Len() > 0 {
-			e.stats.rulesFired.Add(1)
-		}
-		for _, up := range updates.Updates {
-			if r, isReset := up.(*xquery.ResetUpdate); isReset && r.Implicit {
-				// Resolve the implicit reset against the rule's slice.
-				if rc.slicing == "" {
-					failed = &ruleError{rule: rc.r, err: fmt.Errorf("bare 'do reset' outside a slicing rule")}
-					break
-				}
-				r.Slicing, r.Key = rc.slicing, xdm.NewString(rc.key)
-			}
-			combined.Append(up)
-		}
-		if failed != nil {
-			break
-		}
+	rt := &evalRuntime{eng: e, txnID: txnID, queue: queue, now: now}
+	combined, ruleName, _, failed, err := e.evalMessage(rt, txnID, queue, id, doc, msg.Props, false, false)
+	if err != nil {
+		return err
 	}
 	if failed != nil {
 		// Error path: the message still counts as processed (Sec. 3.6);
@@ -602,16 +632,230 @@ func (e *Engine) processMessage(queue string, id msgstore.MsgID) error {
 		e.stats.processed.Add(1)
 		return nil
 	}
-
-	ruleName := ""
-	if len(toRun) > 0 {
-		ruleName = toRun[0].r.Name
-	}
 	if err := e.applyUpdates(txnID, id, queue, msg.Props, combined, now, ruleName); err != nil {
 		return err
 	}
 	e.stats.processed.Add(1)
 	return nil
+}
+
+// processBatch runs the execution-model cycle for a whole same-queue batch
+// under one transaction ID: one home-queue lock round, per-message rule
+// evaluation through a single reused evalRuntime into per-message pending
+// update lists, and one combined message-store transaction that marks
+// every message processed and performs every enqueue and reset — one
+// prepare/persist/publish cycle and one WAL commit cohort instead of
+// len(ids). Between messages the worker polls the scheduler: if work of
+// strictly higher priority became runnable, the evaluated prefix commits
+// and the rest of the batch is requeued in order.
+//
+// Any failure — deadlock or rule error — aborts the batch with no effects
+// applied (the transaction never commits, all locks are released) and is
+// reported to the caller, which bisects down to the single-message path.
+// It returns the prefix of ids it was responsible for (the remainder, if
+// any, was requeued after preemption).
+func (e *Engine) processBatch(queue string, prio int, ids []msgstore.MsgID) (attempted []msgstore.MsgID, err error) {
+	txnID := e.txnSeq.Add(1)
+	defer e.lm.ReleaseAll(txnID)
+
+	attempted = ids
+	// Home-queue lock: one round for the whole batch.
+	if e.cfg.Granularity == LockQueue {
+		if err := e.lm.Acquire(txnID, locks.Resource("q", queue), locks.X); err != nil {
+			return attempted, err
+		}
+	} else {
+		if err := e.lm.Acquire(txnID, locks.Resource("q", queue), locks.IX); err != nil {
+			return attempted, err
+		}
+	}
+
+	now := time.Now().UTC()
+	rt := &evalRuntime{eng: e, txnID: txnID, queue: queue, now: now}
+	items := make([]batchItem, 0, len(ids))
+	for i, id := range ids {
+		if i > 0 && e.sched.PreemptFor(prio) {
+			// Higher-priority work arrived: commit what is evaluated and
+			// give the rest back, preserving order.
+			e.sched.RequeueFront(queue, ids[i:])
+			attempted = ids[:i]
+			break
+		}
+		doc, err := e.ms.Doc(id)
+		if err != nil {
+			return attempted, err
+		}
+		msg, ok := e.ms.Get(id)
+		if !ok {
+			return attempted, fmt.Errorf("engine: message %d vanished", id)
+		}
+		if msg.Processed {
+			continue // duplicate schedule after crash recovery
+		}
+		combined, ruleName, shared, failed, err := e.evalMessage(rt, txnID, queue, id, doc, msg.Props, len(items) > 0, true)
+		if err == errNotBatchable {
+			// This message's rules read or mutate shared state and
+			// updates from earlier batch members are already pending:
+			// commit the prefix, give the rest back in order. The message
+			// re-runs later at the head of its own transaction.
+			e.sched.RequeueFront(queue, ids[i:])
+			attempted = ids[:i]
+			break
+		}
+		if err != nil {
+			return attempted, err
+		}
+		if failed != nil {
+			// Per-message error-queue semantics belong to the
+			// single-message path: fail the batch so bisection isolates
+			// the message.
+			return attempted, failed.err
+		}
+		// Re-check the processed flag now that evalMessage holds the
+		// message lock: the pre-lock snapshot above can race a duplicate
+		// schedule of the same ID (the legacy path reads the flag with
+		// the lock already held). False under the lock is final — any
+		// other processor must take this lock to commit the flag.
+		if cur, ok := e.ms.Get(id); !ok || cur.Processed {
+			continue
+		}
+		dup := false
+		for _, it := range items {
+			if it.id == id {
+				dup = true // duplicate schedule landed twice in one batch
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		items = append(items, batchItem{id: id, props: msg.Props, updates: combined, ruleName: ruleName})
+		if shared {
+			// A shared-state message rides alone (it was first, so its
+			// reads were live): close the batch behind it.
+			if i+1 < len(ids) {
+				e.sched.RequeueFront(queue, ids[i+1:])
+				attempted = ids[:i+1]
+			}
+			break
+		}
+	}
+	if len(items) == 0 {
+		return attempted, nil
+	}
+	if err := e.applyBatch(txnID, queue, items, now); err != nil {
+		return attempted, err
+	}
+	e.stats.processed.Add(uint64(len(items)))
+	return attempted, nil
+}
+
+// errNotBatchable signals that a message's applicable rules touch shared
+// state and therefore may not evaluate in the middle of a batch (whose
+// earlier pending updates are not visible yet). The message is requeued
+// and later runs at the head of its own transaction, where reads are live.
+var errNotBatchable = fmt.Errorf("engine: message not batchable mid-batch")
+
+// evalMessage evaluates every applicable rule of one message inside txnID
+// — locking the message's slices first — and accumulates the pending
+// updates. A rule failure comes back in failed (the per-message error
+// path); deadlocks and system errors come back as err and abort the whole
+// processing transaction. rt is reused across the messages of a batch; the
+// per-message fields are reset here.
+//
+// shared reports whether any applicable rule observes or mutates shared
+// state (qs:slice/qs:queue reads, resets): such a message must be the only
+// one in its transaction to keep batch and tuple-at-a-time execution
+// equivalent. With noShared set, a shared message is rejected with
+// errNotBatchable before anything is locked or evaluated, so a requeued
+// message is immediately claimable by another worker. With lockMsg set
+// (the batch path; processMessage locks up front itself) the message's
+// exclusive lock is acquired here, after that rejection point.
+func (e *Engine) evalMessage(rt *evalRuntime, txnID uint64, queue string, id msgstore.MsgID, doc *xmldom.Node, props map[string]xdm.Value, noShared, lockMsg bool) (combined *xquery.UpdateList, ruleName string, shared bool, failed *ruleError, err error) {
+	// Element names are the dispatch key set: computed lazily, only when
+	// some applicable rule actually has an element trigger.
+	var namesMemo map[string]bool
+	elementNames := func() map[string]bool {
+		if namesMemo == nil {
+			namesMemo = rule.ElementNames(doc)
+		}
+		return namesMemo
+	}
+
+	memberships := e.slices.SlicesOf(id)
+	rt.msgID, rt.doc, rt.props = id, doc, props
+	combined = &xquery.UpdateList{}
+	type ruleCtx struct {
+		r       *rule.Rule
+		slicing string
+		key     string
+	}
+	var toRun []ruleCtx
+	if plan := e.prog.QueuePlans[queue]; plan != nil {
+		for _, r := range plan.Select(props, elementNames) {
+			toRun = append(toRun, ruleCtx{r: r})
+		}
+	}
+	for _, mb := range memberships {
+		if plan := e.prog.SlicePlans[mb.Slicing]; plan != nil {
+			for _, r := range plan.Select(props, elementNames) {
+				toRun = append(toRun, ruleCtx{r: r, slicing: mb.Slicing, key: mb.Key})
+			}
+		}
+	}
+	for _, rc := range toRun {
+		if rc.r.Body.SharedState() {
+			shared = true
+			break
+		}
+	}
+	if shared && noShared {
+		return nil, "", true, nil, errNotBatchable
+	}
+	if lockMsg && e.cfg.Granularity == LockSlice {
+		if err := e.lm.Acquire(txnID, locks.Resource("m", fmt.Sprint(id)), locks.X); err != nil {
+			return nil, "", shared, nil, err
+		}
+	}
+
+	// Lock the slices of the message (they are read by slice rules and
+	// advanced by resets).
+	if e.cfg.Granularity == LockSlice {
+		for _, mb := range memberships {
+			if err := e.lm.Acquire(txnID, locks.Resource("sl", mb.Slicing, mb.Key), locks.X); err != nil {
+				return nil, "", shared, nil, err
+			}
+		}
+	}
+
+	for _, rc := range toRun {
+		rt.curSlicing, rt.curKey = rc.slicing, rc.key
+		e.stats.rulesEval.Add(1)
+		_, updates, evalErr := xquery.Eval(rc.r.Body, rt, xquery.EvalOptions{ContextDoc: doc})
+		if evalErr != nil {
+			if evalErr == locks.ErrDeadlock {
+				return nil, "", shared, nil, evalErr
+			}
+			return nil, "", shared, &ruleError{rule: rc.r, err: evalErr}, nil
+		}
+		if updates.Len() > 0 {
+			e.stats.rulesFired.Add(1)
+		}
+		for _, up := range updates.Updates {
+			if r, isReset := up.(*xquery.ResetUpdate); isReset && r.Implicit {
+				// Resolve the implicit reset against the rule's slice.
+				if rc.slicing == "" {
+					return nil, "", shared, &ruleError{rule: rc.r, err: fmt.Errorf("bare 'do reset' outside a slicing rule")}, nil
+				}
+				r.Slicing, r.Key = rc.slicing, xdm.NewString(rc.key)
+			}
+			combined.Append(up)
+		}
+	}
+	if len(toRun) > 0 {
+		ruleName = toRun[0].r.Name
+	}
+	return combined, ruleName, shared, nil, nil
 }
 
 type ruleError struct {

@@ -2,14 +2,17 @@ package engine
 
 import (
 	"container/heap"
+	"math"
 	"sync"
+	"sync/atomic"
 
 	"demaq/internal/msgstore"
 )
 
 // scheduler implements the execution model of Sec. 3.1/4.4.2: it maintains
-// the set of unprocessed messages and hands them to workers one at a time,
-// honoring queue priorities first and temporal order (message ID) second —
+// the set of unprocessed messages and hands them to workers — one at a
+// time (Claim) or as same-queue batches (ClaimBatch) — honoring queue
+// priorities first and temporal order (message ID) second —
 // "a message in a high priority queue may be processed before another one
 // stored in a queue with a lower priority, even if it has been created
 // more recently".
@@ -30,6 +33,13 @@ type scheduler struct {
 	pending  int
 	inflight int
 	closed   bool
+
+	// topPrio mirrors the priority of the best runnable queue (MinInt64
+	// when none), maintained on every heap mutation. Workers poll it with
+	// PreemptFor between the messages of a claimed batch, without taking
+	// the scheduler lock, so a batch of low-priority work yields to
+	// higher-priority arrivals at message granularity.
+	topPrio atomic.Int64
 }
 
 // schedQueue is one queue's dispatch state: a ring-buffer deque of message
@@ -116,7 +126,25 @@ func newScheduler() *scheduler {
 	s := &scheduler{queues: map[string]*schedQueue{}}
 	s.workCond = sync.NewCond(&s.mu)
 	s.idleCond = sync.NewCond(&s.mu)
+	s.topPrio.Store(math.MinInt64)
 	return s
+}
+
+// updateTopLocked refreshes the lock-free best-priority mirror. Caller
+// holds s.mu; must run after every mutation of the active heap.
+func (s *scheduler) updateTopLocked() {
+	if len(s.active) > 0 {
+		s.topPrio.Store(int64(s.active[0].priority))
+	} else {
+		s.topPrio.Store(math.MinInt64)
+	}
+}
+
+// PreemptFor reports whether a queue with a priority strictly above the
+// given one has runnable messages. Batch workers poll it between messages;
+// equal-priority work never preempts a running batch.
+func (s *scheduler) PreemptFor(priority int) bool {
+	return s.topPrio.Load() > int64(priority)
 }
 
 // queueLocked returns (creating if needed) the dispatch state of a queue.
@@ -138,6 +166,7 @@ func (s *scheduler) DeclareQueue(name string, priority int) {
 	if q.heapIdx >= 0 {
 		heap.Fix(&s.active, q.heapIdx)
 	}
+	s.updateTopLocked()
 }
 
 // Add makes a message available for processing.
@@ -151,6 +180,7 @@ func (s *scheduler) Add(queue string, id msgstore.MsgID) {
 	}
 	// A back-push of a non-empty queue leaves its head (the sort key)
 	// unchanged, so no heap fix is needed.
+	s.updateTopLocked()
 	s.pending++
 	s.workCond.Signal()
 }
@@ -167,9 +197,37 @@ func (s *scheduler) Requeue(queue string, id msgstore.MsgID) {
 	} else {
 		heap.Fix(&s.active, q.heapIdx) // head got older
 	}
+	s.updateTopLocked()
 	s.pending++
 	s.inflight--
 	s.workCond.Signal()
+}
+
+// RequeueFront returns the unprocessed suffix of a claimed batch to the
+// front of its queue, preserving order (ids must be in claim order). Used
+// when a batch is preempted by higher-priority work after partial
+// completion.
+func (s *scheduler) RequeueFront(queue string, ids []msgstore.MsgID) {
+	if len(ids) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := s.queueLocked(queue)
+	for i := len(ids) - 1; i >= 0; i-- {
+		q.pushFront(ids[i])
+	}
+	if q.heapIdx < 0 {
+		heap.Push(&s.active, q)
+	} else {
+		heap.Fix(&s.active, q.heapIdx) // head got older
+	}
+	s.updateTopLocked()
+	s.pending += len(ids)
+	s.inflight -= len(ids)
+	for range ids {
+		s.workCond.Signal()
+	}
 }
 
 // Claim blocks until a message is available (or the scheduler closes) and
@@ -190,6 +248,7 @@ func (s *scheduler) Claim() (queue string, id msgstore.MsgID, ok bool) {
 			} else {
 				heap.Fix(&s.active, 0) // head advanced to a newer message
 			}
+			s.updateTopLocked()
 			s.pending--
 			s.inflight++
 			return best.name, id, true
@@ -198,10 +257,63 @@ func (s *scheduler) Claim() (queue string, id msgstore.MsgID, ok bool) {
 	}
 }
 
-// Done reports completion of a claimed message.
-func (s *scheduler) Done() {
+// ClaimBatch blocks like Claim but pops up to max runnable messages from
+// the best queue in one lock round, appending them to buf (callers reuse
+// the buffer across rounds). The batch preserves the dispatch order —
+// priority first, message ID second — and comes from a single queue, so
+// the engine can process it under one home-queue lock. It also returns the
+// queue's priority so the worker can poll PreemptFor between messages.
+//
+// A claim never takes more than half of a queue's runnable backlog
+// (rounded up): a deep backlog still fills batches to the cap, but a
+// shallow one is not drained by a single claimer — the remainder stays
+// claimable by other workers and by the priority dispatch, so a
+// higher-priority arrival overtakes it exactly as it would under
+// tuple-at-a-time claiming. (A batch commits as one unit; once claimed,
+// its messages are beyond preemption, so the claim itself must stay
+// modest when the backlog is.)
+func (s *scheduler) ClaimBatch(max int, buf []msgstore.MsgID) (queue string, priority int, ids []msgstore.MsgID, ok bool) {
+	if max < 1 {
+		max = 1
+	}
 	s.mu.Lock()
-	s.inflight--
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			return "", 0, nil, false
+		}
+		if len(s.active) > 0 {
+			best := s.active[0]
+			n := (best.n + 1) / 2
+			if n > max {
+				n = max
+			}
+			ids = buf
+			for i := 0; i < n; i++ {
+				ids = append(ids, best.popFront())
+			}
+			if best.empty() {
+				heap.Pop(&s.active)
+			} else {
+				heap.Fix(&s.active, 0) // head advanced to a newer message
+			}
+			s.updateTopLocked()
+			s.pending -= n
+			s.inflight += n
+			return best.name, best.priority, ids, true
+		}
+		s.workCond.Wait()
+	}
+}
+
+// Done reports completion of a claimed message.
+func (s *scheduler) Done() { s.DoneN(1) }
+
+// DoneN reports completion of n claimed messages (a batch, possibly a
+// partial one after preemption).
+func (s *scheduler) DoneN(n int) {
+	s.mu.Lock()
+	s.inflight -= n
 	if s.pending == 0 && s.inflight == 0 {
 		s.idleCond.Broadcast()
 	}

@@ -27,6 +27,12 @@ import (
 // fine-grained locking of Sec. 4.3 keeps independent transactions from
 // serializing on the store. Isolation between concurrent transactions is
 // the job of the logical lock manager above (internal/txn).
+//
+// A transaction stages any number of enqueues (Enqueue) and processed
+// flags (MarkProcessed / MarkProcessedAll): the engine's set-oriented
+// batch executor commits a whole batch of messages through one Txn, which
+// then costs one page-store transaction (one WAL commit cohort) and one
+// publish round that takes each ID shard and each queue lock once.
 type Txn struct {
 	ms   *Store
 	done bool
@@ -79,6 +85,17 @@ func (t *Txn) MarkProcessed(id MsgID) error {
 		return fmt.Errorf("msgstore: transaction finished")
 	}
 	t.processed = append(t.processed, id)
+	return nil
+}
+
+// MarkProcessedAll stages the processed flags of a whole batch of messages
+// in one call; together with multi-message Enqueue staging it lets a batch
+// commit flow through a single prepare/persist/publish cycle.
+func (t *Txn) MarkProcessedAll(ids []MsgID) error {
+	if t.done {
+		return fmt.Errorf("msgstore: transaction finished")
+	}
+	t.processed = append(t.processed, ids...)
 	return nil
 }
 
@@ -169,34 +186,105 @@ func (t *Txn) Commit() ([]Message, error) {
 		}
 	}
 
-	// --- publish: in-memory indexes under short striped locks ---
+	// --- publish: in-memory indexes under short striped locks; a batch
+	// takes each shard and queue lock once, not once per message ---
 	var out []Message
-	for _, pe := range t.enqueues {
-		q := pe.q
-		m := &msgMeta{id: pe.id, props: pe.props, enqueued: pe.at, q: q, binary: pe.binary}
-		if q.Mode == Persistent {
-			m.rid = pe.rid
-			ms.cache.put(pe.id, pe.doc)
-		} else {
-			m.doc = pe.doc
+	if n := len(t.enqueues); n > 0 {
+		metas := make([]*msgMeta, n)
+		for i, pe := range t.enqueues {
+			q := pe.q
+			m := &msgMeta{id: pe.id, props: pe.props, enqueued: pe.at, q: q, binary: pe.binary}
+			if q.Mode == Persistent {
+				m.rid = pe.rid
+				ms.cache.put(pe.id, pe.doc)
+			} else {
+				m.doc = pe.doc
+			}
+			metas[i] = m
 		}
-		// Point index first: scans discover messages through the queue
-		// list, so a message must be resolvable by ID before it appears
-		// there.
-		sh := ms.shard(m.id)
-		sh.mu.Lock()
-		sh.byID[m.id] = m
-		sh.mu.Unlock()
-		q.mu.Lock()
-		q.insertSorted(m)
-		q.live++
-		q.mu.Unlock()
-		out = append(out, Message{ID: m.id, Queue: q.Name, Props: m.props, Enqueued: m.enqueued})
+		ms.publishByID(metas)
+		ms.publishToQueues(metas)
+		out = make([]Message, n)
+		for i, m := range metas {
+			out[i] = Message{ID: m.id, Queue: m.q.Name, Props: m.props, Enqueued: m.enqueued}
+		}
 	}
 	for _, m := range toProcess {
 		m.processed.Store(true)
 	}
 	return out, nil
+}
+
+// publishByID inserts a commit's messages into the sharded point index.
+// This runs before the queue lists are touched: scans discover messages
+// through the queue list, so a message must be resolvable by ID before it
+// appears there.
+func (ms *Store) publishByID(metas []*msgMeta) {
+	if len(metas) == 1 {
+		m := metas[0]
+		sh := ms.shard(m.id)
+		sh.mu.Lock()
+		sh.byID[m.id] = m
+		sh.mu.Unlock()
+		return
+	}
+	var byShard [idShardCount][]*msgMeta
+	for _, m := range metas {
+		idx := uint64(m.id) % idShardCount
+		byShard[idx] = append(byShard[idx], m)
+	}
+	for i := range byShard {
+		if len(byShard[i]) == 0 {
+			continue
+		}
+		sh := &ms.shards[i]
+		sh.mu.Lock()
+		for _, m := range byShard[i] {
+			sh.byID[m.id] = m
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// publishToQueues inserts a commit's messages into their queues' ordered
+// lists, grouped so each distinct queue lock is taken once. metas are in
+// staging order — ascending pre-assigned IDs — so per-queue sub-batches
+// stay sorted and usually hit insertSorted's append fast path.
+func (ms *Store) publishToQueues(metas []*msgMeta) {
+	if len(metas) == 1 {
+		m := metas[0]
+		m.q.mu.Lock()
+		m.q.insertSorted(m)
+		m.q.live++
+		m.q.mu.Unlock()
+		return
+	}
+	type qGroup struct {
+		q  *Queue
+		ms []*msgMeta
+	}
+	var groups []qGroup
+	for _, m := range metas {
+		found := false
+		for gi := range groups {
+			if groups[gi].q == m.q {
+				groups[gi].ms = append(groups[gi].ms, m)
+				found = true
+				break
+			}
+		}
+		if !found {
+			groups = append(groups, qGroup{q: m.q, ms: []*msgMeta{m}})
+		}
+	}
+	for _, g := range groups {
+		g.q.mu.Lock()
+		for _, m := range g.ms {
+			g.q.insertSorted(m)
+		}
+		g.q.live += len(g.ms)
+		g.q.mu.Unlock()
+	}
 }
 
 // insertSorted inserts m into the queue's message list keeping ID order.

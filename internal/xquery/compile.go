@@ -18,6 +18,13 @@ type Compiled struct {
 	// usesSlice reports whether qs:slice()/qs:slicekey() occur; such
 	// expressions are only valid for rules attached to slicings (Sec. 3.5.2).
 	usesSlice bool
+	// sharedState reports whether evaluation observes or mutates state
+	// shared across messages — qs:slice()/qs:slicekey()/qs:queue() reads
+	// or do-reset updates. The engine's set-oriented batch executor uses
+	// this: a batch's pending updates are invisible until the combined
+	// commit, so only expressions free of shared state may evaluate in
+	// the middle of a batch.
+	sharedState bool
 }
 
 // AST exposes the underlying expression, e.g. for plan explanation.
@@ -25,6 +32,12 @@ func (c *Compiled) AST() xpath.Expr { return c.ast }
 
 // Updating reports whether the expression contains do-enqueue/do-reset.
 func (c *Compiled) Updating() bool { return c.updating }
+
+// SharedState reports whether the expression reads or mutates state shared
+// across messages (qs:slice/qs:slicekey/qs:queue reads, do-reset updates);
+// false means evaluation depends only on the triggering message and
+// master-data collections.
+func (c *Compiled) SharedState() bool { return c.sharedState }
 
 // UsesSlice reports whether the expression calls qs:slice()/qs:slicekey().
 func (c *Compiled) UsesSlice() bool { return c.usesSlice }
@@ -186,6 +199,10 @@ func (c *Compiled) check(e xpath.Expr, vars map[string]bool, opts CompileOptions
 				return staticErr("%s:%s() is only available in rules on slicings (at %s)", x.Prefix, x.Local, x.Span())
 			}
 			c.usesSlice = true
+			c.sharedState = true
+		}
+		if f.name == "qs:queue" {
+			c.sharedState = true
 		}
 		for _, a := range x.Args {
 			if err := c.check(a, vars, opts); err != nil {
@@ -217,6 +234,7 @@ func (c *Compiled) check(e xpath.Expr, vars map[string]bool, opts CompileOptions
 		}
 	case *xpath.ResetExpr:
 		c.updating = true
+		c.sharedState = true
 		if x.Slicing == "" && !opts.AllowSlice {
 			return staticErr("bare 'do reset' is only available in rules on slicings (at %s)", x.Span())
 		}

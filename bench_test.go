@@ -8,6 +8,7 @@ package demaq
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 	"time"
@@ -787,4 +788,142 @@ func stringsRepeat(s string, n int) string {
 		out = append(out, s...)
 	}
 	return string(out)
+}
+
+// --- E14: fine-grained page-store concurrency (per-page latches) ---
+//
+// Measures raw page-store parallelism on the doc-cache-miss rehydration
+// path: N goroutines issue cold record reads against a buffer pool far
+// smaller than the working set, so every read runs the full miss path
+// (pool probe, disk I/O, eviction write-back). The latched engine is
+// compared against the pre-E14 single store mutex, reachable via
+// store.Options.GlobalLock. The mixed variant adds committing inserters
+// next to the readers.
+//
+// Miss I/O is modeled with store.Options.BenchIODelay (100µs, an
+// NVMe-class random read): benchmark machines serve the working set from
+// the OS page cache, where preads never block, which would measure memcpy
+// speed instead of the thing E14 changed — whether a goroutine waiting on
+// the device blocks every other store operation (global mutex) or only
+// readers of that one page (per-page latches).
+
+const e14IODelay = 100 * time.Microsecond
+
+func setupE14Store(b *testing.B, globalLock bool) (*store.Store, []store.RID) {
+	b.Helper()
+	opts := store.DefaultOptions()
+	opts.BufferPages = 64 // working set ~1000 pages: reads stay cold
+	opts.SyncCommits = false
+	opts.GlobalLock = globalLock
+	opts.BenchIODelay = e14IODelay
+	s, err := store.Open(b.TempDir(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := s.CreateHeap("q")
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := []byte(stringsRepeat("x", 1900)) // ~4 records per page
+	tx := s.Begin()
+	rids := make([]store.RID, 0, 4000)
+	for i := 0; i < 4000; i++ {
+		rid, err := tx.Insert(h, payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	if err := tx.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	return s, rids
+}
+
+func BenchmarkE14StoreScalability(b *testing.B) {
+	for _, mode := range []struct {
+		name       string
+		globalLock bool
+	}{{"latched", false}, {"globalmutex", true}} {
+		for _, workers := range []int{1, 2, 4, 8, 16} {
+			b.Run(fmt.Sprintf("coldread/%s/gr=%d", mode.name, workers), func(b *testing.B) {
+				s, rids := setupE14Store(b, mode.globalLock)
+				defer s.Close()
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					share := b.N / workers
+					if w < b.N%workers {
+						share++
+					}
+					// Disjoint rid partitions per goroutine: every worker
+					// misses on its own pages instead of drafting behind
+					// frames another worker just loaded.
+					chunk := rids[w*len(rids)/workers : (w+1)*len(rids)/workers]
+					wg.Add(1)
+					go func(w, share int, chunk []store.RID) {
+						defer wg.Done()
+						rng := rand.New(rand.NewSource(int64(w)))
+						for i := 0; i < share; i++ {
+							if _, err := s.Read(chunk[rng.Intn(len(chunk))]); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(w, share, chunk)
+				}
+				wg.Wait()
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reads/sec")
+			})
+		}
+	}
+	for _, mode := range []struct {
+		name       string
+		globalLock bool
+	}{{"latched", false}, {"globalmutex", true}} {
+		b.Run(fmt.Sprintf("mixed/%s/gr=8", mode.name), func(b *testing.B) {
+			s, rids := setupE14Store(b, mode.globalLock)
+			defer s.Close()
+			h, _ := s.Heap("q")
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for w := 0; w < 8; w++ {
+				share := b.N / 8
+				if w < b.N%8 {
+					share++
+				}
+				wg.Add(1)
+				go func(w, share int) {
+					defer wg.Done()
+					if w%2 == 0 { // reader
+						chunk := rids[w*len(rids)/8 : (w+1)*len(rids)/8]
+						rng := rand.New(rand.NewSource(int64(w)))
+						for i := 0; i < share; i++ {
+							if _, err := s.Read(chunk[rng.Intn(len(chunk))]); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+						return
+					}
+					payload := []byte(stringsRepeat("y", 400))
+					for i := 0; i < share; i++ { // inserter
+						tx := s.Begin()
+						if _, err := tx.Insert(h, payload); err != nil {
+							b.Error(err)
+							return
+						}
+						if err := tx.Commit(); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(w, share)
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/sec")
+		})
+	}
 }

@@ -5,9 +5,11 @@
 //
 //	demaq-bench            # run everything
 //	demaq-bench -e E1,E3   # selected experiments
+//	demaq-bench -e E14 -json   # also write BENCH_E14.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +22,8 @@ import (
 	"demaq/internal/gateway"
 	"demaq/internal/msgstore"
 	"demaq/internal/property"
+	"demaq/internal/qdl"
+	"demaq/internal/rule"
 	"demaq/internal/slicing"
 	"demaq/internal/store"
 	"demaq/internal/xdm"
@@ -43,12 +47,62 @@ var experiments = []struct {
 	{"E9", "reliable messaging under loss (Sec. 4.2)", runE9},
 	{"A2", "buffer pool size ablation", runA2},
 	{"A3", "commit durability policy ablation", runA3},
+	{"E10", "concurrent commit throughput & fsync coalescing", runE10},
+	{"E11", "compiled rule programs vs AST interpreter (Sec. 4.4.1)", runE11},
 	{"E12", "binary vs text payload rehydration (Sec. 4.1)", runE12},
 	{"E13", "set-oriented batch execution (Sec. 3.1/4.4)", runE13},
+	{"E14", "fine-grained page-store concurrency (per-page latches)", runE14},
+}
+
+// jsonOut and the row collector implement -json: experiments append
+// machine-readable rows via record(), and one BENCH_<id>.json file per
+// recorded experiment is written at exit so the perf trajectory can be
+// tracked in-repo.
+var (
+	jsonOut     bool
+	benchRows   = map[string][]map[string]any{}
+	benchRowIDs []string
+)
+
+func record(id string, row map[string]any) {
+	if !jsonOut {
+		return
+	}
+	if _, ok := benchRows[id]; !ok {
+		benchRowIDs = append(benchRowIDs, id)
+	}
+	benchRows[id] = append(benchRows[id], row)
+}
+
+func writeJSONResults() {
+	descs := map[string]string{}
+	for _, ex := range experiments {
+		descs[ex.id] = ex.desc
+	}
+	for _, id := range benchRowIDs {
+		doc := map[string]any{
+			"experiment":  id,
+			"description": descs[id],
+			"generated":   time.Now().UTC().Format(time.RFC3339),
+			"rows":        benchRows[id],
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json encode %s: %v\n", id, err)
+			continue
+		}
+		name := fmt.Sprintf("BENCH_%s.json", id)
+		if err := os.WriteFile(name, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", name, err)
+			continue
+		}
+		fmt.Printf("wrote %s\n", name)
+	}
 }
 
 func main() {
-	sel := flag.String("e", "all", "comma-separated experiment IDs (E1..E9,E12,E13,A2,A3) or 'all'")
+	sel := flag.String("e", "all", "comma-separated experiment IDs (E1..E14,A2,A3) or 'all'")
+	flag.BoolVar(&jsonOut, "json", false, "write BENCH_<id>.json files with machine-readable results")
 	flag.Parse()
 	want := map[string]bool{}
 	if *sel != "all" {
@@ -62,6 +116,9 @@ func main() {
 		}
 		fmt.Printf("\n=== %s: %s ===\n", ex.id, ex.desc)
 		ex.run()
+	}
+	if jsonOut {
+		writeJSONResults()
 	}
 }
 
@@ -630,10 +687,14 @@ func runE13() {
 		} else if base > 0 {
 			speedup = rate / base
 		}
+		fsyncsPerMsg := float64(after.WALFsyncs-before.WALFsyncs) / float64(processed)
 		fmt.Printf("%-8d %12s %14.0f %14.4f %10.2f %9.2fx\n", batch,
 			elapsed.Round(time.Millisecond), rate,
-			float64(after.WALFsyncs-before.WALFsyncs)/float64(processed),
-			st1.AvgBatchSize, speedup)
+			fsyncsPerMsg, st1.AvgBatchSize, speedup)
+		record("E13", map[string]any{
+			"batch": batch, "msgs_per_sec": rate, "fsyncs_per_msg": fsyncsPerMsg,
+			"avg_batch": st1.AvgBatchSize, "speedup": speedup,
+		})
 	}
 }
 
@@ -688,6 +749,250 @@ func runE12() {
 			fmt.Printf("%-10s %-8s %14s %14.0f %12.1f\n", fmt.Sprintf("%dKB", size>>10), format,
 				(elapsed / reads).Round(time.Microsecond), float64(reads)/elapsed.Seconds(),
 				float64(stored)/nMsgs/1024)
+			record("E12", map[string]any{
+				"payload_kb": size >> 10, "format": format,
+				"docs_per_sec": float64(reads) / elapsed.Seconds(),
+				"stored_kb":    float64(stored) / nMsgs / 1024,
+			})
+		}
+	}
+}
+
+// --- E10 ---
+
+// runE10 measures the three-phase commit pipeline: N workers commit
+// independent one-message transactions with durable commits. Group commit
+// coalesces their fsyncs, so fsyncs/commit drops below 1 as workers grow
+// and throughput scales instead of serializing behind the WAL.
+func runE10() {
+	const msgs = 1200
+	doc := xmldom.MustParse(`<order><id>42</id><total>99.50</total></order>`)
+	fmt.Printf("%-9s %12s %14s %14s %10s\n", "workers", "elapsed", "commits/sec", "fsyncs/commit", "speedup")
+	var base float64
+	for _, workers := range []int{1, 4, 8} {
+		dir := tempDir()
+		ms, err := msgstore.Open(dir, msgstore.DefaultOptions())
+		if err != nil {
+			panic(err)
+		}
+		if _, err := ms.CreateQueue("q", msgstore.Persistent, 0); err != nil {
+			panic(err)
+		}
+		before := ms.PageStore().Stats()
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < msgs/workers; i++ {
+					tx := ms.Begin()
+					if _, err := tx.Enqueue("q", doc, nil, time.Now()); err != nil {
+						panic(err)
+					}
+					if _, err := tx.Commit(); err != nil {
+						panic(err)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		after := ms.PageStore().Stats()
+		ms.Close()
+		cleanup(dir)
+		commits := after.Commits - before.Commits
+		fsyncsPer := float64(after.WALFsyncs-before.WALFsyncs) / float64(commits)
+		rate := float64(commits) / elapsed.Seconds()
+		speedup := 1.0
+		if workers == 1 {
+			base = rate
+		} else if base > 0 {
+			speedup = rate / base
+		}
+		fmt.Printf("%-9d %12s %14.0f %14.4f %9.2fx\n", workers,
+			elapsed.Round(time.Millisecond), rate, fsyncsPer, speedup)
+		record("E10", map[string]any{
+			"workers": workers, "commits_per_sec": rate,
+			"fsyncs_per_commit": fsyncsPer, "speedup": speedup,
+		})
+	}
+}
+
+// --- E11 ---
+
+type evalRuntime struct{ doc *xmldom.Node }
+
+func (r evalRuntime) Message() (*xmldom.Node, error)          { return r.doc, nil }
+func (evalRuntime) Queue(string) ([]*xmldom.Node, error)      { return nil, nil }
+func (evalRuntime) Property(string) (xdm.Value, error)        { return xdm.Value{}, fmt.Errorf("no props") }
+func (evalRuntime) Slice() ([]*xmldom.Node, error)            { return nil, nil }
+func (evalRuntime) SliceKey() (xdm.Value, error)              { return xdm.Value{}, nil }
+func (evalRuntime) Collection(string) ([]*xmldom.Node, error) { return nil, nil }
+func (evalRuntime) Now() time.Time                            { return time.Unix(0, 0).UTC() }
+
+// runE11 measures pure rule-evaluation throughput on the E7 pipeline rules:
+// the flat instruction backend (default) against the reference AST
+// interpreter, store and scheduler out of the loop.
+func runE11() {
+	app, err := qdl.Parse(`
+		create queue inbox kind basic mode persistent;
+		create queue stage1 kind basic mode persistent;
+		create queue stage2 kind basic mode persistent;
+		create queue outbox kind basic mode persistent;
+		create rule s0 for inbox if (//order) then do enqueue <checked>{//order/id}</checked> into stage1;
+		create rule s1 for stage1 if (//checked) then do enqueue <priced>{//checked/id}</priced> into stage2;
+		create rule s2 for stage2 if (//priced) then do enqueue <done>{//priced/id}</done> into outbox;
+	`)
+	if err != nil {
+		panic(err)
+	}
+	pad := strings.Repeat("p", 4096)
+	msgs := map[string]*xmldom.Node{
+		"inbox":  xmldom.MustParse(fmt.Sprintf(`<order><id>7</id><pad>%s</pad></order>`, pad)),
+		"stage1": xmldom.MustParse(fmt.Sprintf(`<checked><id>7</id><pad>%s</pad></checked>`, pad)),
+		"stage2": xmldom.MustParse(fmt.Sprintf(`<priced><id>7</id><pad>%s</pad></priced>`, pad)),
+	}
+	queues := []string{"inbox", "stage1", "stage2"}
+	const rounds = 2000
+	fmt.Printf("%-14s %14s %14s %10s\n", "backend", "ns/3-rule eval", "rules/sec", "speedup")
+	var base float64
+	for _, compiled := range []bool{false, true} {
+		name := "interpreted"
+		opts := rule.Options{Dispatch: true, InlineFixedProps: true}
+		if compiled {
+			name = "compiled"
+			opts = rule.DefaultOptions()
+		}
+		prog, err := rule.Compile(app, opts)
+		if err != nil {
+			panic(err)
+		}
+		evaluated := 0
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			for _, q := range queues {
+				doc := msgs[q]
+				plan := prog.QueuePlans[q]
+				for _, r := range plan.RulesFor(rule.ElementNames(doc)) {
+					if _, _, err := xquery.Eval(r.Body, evalRuntime{doc: doc}, xquery.EvalOptions{ContextDoc: doc}); err != nil {
+						panic(err)
+					}
+					evaluated++
+				}
+			}
+		}
+		elapsed := time.Since(start)
+		perEval := float64(elapsed.Nanoseconds()) / rounds
+		rate := float64(evaluated) / elapsed.Seconds()
+		speedup := 1.0
+		if !compiled {
+			base = rate
+		} else if base > 0 {
+			speedup = rate / base
+		}
+		fmt.Printf("%-14s %14.0f %14.0f %9.2fx\n", name, perEval, rate, speedup)
+		record("E11", map[string]any{
+			"backend": name, "ns_per_eval": perEval, "rules_per_sec": rate, "speedup": speedup,
+		})
+	}
+}
+
+// --- E14 ---
+
+// runE14 sweeps parallel cold reads over the page store: N goroutines read
+// disjoint record partitions through a buffer pool far smaller than the
+// working set, so every read runs the full miss path. Device latency is
+// modeled with store.Options.BenchIODelay (page-cache preads never block,
+// which would measure memcpy speed instead of lock-vs-I/O overlap). The
+// fine-grained latched engine is compared against the pre-E14 global store
+// mutex (store.Options.GlobalLock).
+func runE14() {
+	const (
+		records = 4000
+		reads   = 1200
+		ioDelay = 100 * time.Microsecond
+	)
+	payload := []byte(strings.Repeat("x", 1900)) // ~4 records per page
+
+	build := func() (string, []store.RID) {
+		dir := tempDir()
+		opts := store.DefaultOptions()
+		opts.SyncCommits = false
+		s, err := store.Open(dir, opts)
+		if err != nil {
+			panic(err)
+		}
+		h, _ := s.CreateHeap("q")
+		rids := make([]store.RID, 0, records)
+		tx := s.Begin()
+		for i := 0; i < records; i++ {
+			rid, err := tx.Insert(h, payload)
+			if err != nil {
+				panic(err)
+			}
+			rids = append(rids, rid)
+		}
+		if err := tx.Commit(); err != nil {
+			panic(err)
+		}
+		if err := s.Close(); err != nil {
+			panic(err)
+		}
+		return dir, rids
+	}
+
+	fmt.Printf("%-12s %-12s %12s %14s %10s\n", "goroutines", "locking", "elapsed", "reads/sec", "speedup")
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		var base float64
+		for _, global := range []bool{true, false} {
+			dir, rids := build()
+			opts := store.DefaultOptions()
+			opts.SyncCommits = false
+			opts.BufferPages = 64 // ~1000-page working set: reads stay cold
+			opts.GlobalLock = global
+			opts.BenchIODelay = ioDelay
+			s, err := store.Open(dir, opts)
+			if err != nil {
+				panic(err)
+			}
+			start := time.Now()
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				chunk := rids[w*len(rids)/workers : (w+1)*len(rids)/workers]
+				wg.Add(1)
+				go func(w int, chunk []store.RID) {
+					defer wg.Done()
+					idx := w
+					for i := 0; i < reads/workers; i++ {
+						idx = (idx + 7) % len(chunk) // ~4 records/page: stride skips to a new page
+						if _, err := s.Read(chunk[idx]); err != nil {
+							panic(err)
+						}
+					}
+				}(w, chunk)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			s.Close()
+			cleanup(dir)
+			rate := float64(reads) / elapsed.Seconds()
+			name := "latched"
+			if global {
+				name = "global"
+			}
+			speedup := 1.0
+			if global {
+				base = rate
+			} else if base > 0 {
+				speedup = rate / base
+			}
+			fmt.Printf("%-12d %-12s %12s %14.0f %9.2fx\n", workers, name,
+				elapsed.Round(time.Millisecond), rate, speedup)
+			record("E14", map[string]any{
+				"goroutines": workers, "locking": name,
+				"reads_per_sec": rate, "speedup_vs_global": speedup,
+			})
 		}
 	}
 }

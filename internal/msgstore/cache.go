@@ -7,15 +7,27 @@ import (
 	"demaq/internal/xmldom"
 )
 
-// docCache is an LRU cache of materialized message documents. Store.Doc
-// hands the same *xmldom.Node to every caller — concurrent rule
+// docCache is a lock-striped LRU cache of materialized message documents.
+// Store.Doc hands the same *xmldom.Node to every caller — concurrent rule
 // evaluations of the same message share one tree without copying or
 // locking. That is sound only because sealed xmldom trees are deeply
 // immutable (see the contract on xmldom.Node): readers traverse, and
 // anything that needs an owned tree (do enqueue payloads, constructor
 // content) deep-copies. The contract is enforced under -race by
 // TestDocCacheSharedEvaluationRace.
+//
+// Striping (experiment E14): entries are partitioned by MsgID across up to
+// maxCacheShards independent LRU shards, each behind its own mutex, so the
+// per-Doc cache probe of every worker no longer funnels through one global
+// lock. The configured capacity is split exactly across the shards (small
+// capacities use fewer shards so per-shard capacity stays ≥ 1), which
+// keeps the aggregate size/capacity accounting exact; hit/miss/eviction
+// counters are per-shard and summed on Stats.
 type docCache struct {
+	shards []cacheShard
+}
+
+type cacheShard struct {
 	mu  sync.Mutex
 	cap int
 	lru *list.List
@@ -29,66 +41,100 @@ type cacheEntry struct {
 	doc *xmldom.Node
 }
 
+const maxCacheShards = 16
+
 func newDocCache(capacity int) *docCache {
-	return &docCache{cap: capacity, lru: list.New(), m: map[MsgID]*list.Element{}}
+	if capacity < 1 {
+		capacity = 1
+	}
+	n := maxCacheShards
+	if capacity < n {
+		n = capacity
+	}
+	c := &docCache{shards: make([]cacheShard, n)}
+	base, rem := capacity/n, capacity%n
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.cap = base
+		if i < rem {
+			sh.cap++
+		}
+		sh.lru = list.New()
+		sh.m = map[MsgID]*list.Element{}
+	}
+	return c
+}
+
+func (c *docCache) shard(id MsgID) *cacheShard {
+	return &c.shards[uint64(id)%uint64(len(c.shards))]
 }
 
 func (c *docCache) get(id MsgID) (*xmldom.Node, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.m[id]; ok {
-		c.hits++
-		c.lru.MoveToFront(el)
+	sh := c.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.m[id]; ok {
+		sh.hits++
+		sh.lru.MoveToFront(el)
 		return el.Value.(*cacheEntry).doc, true
 	}
-	c.misses++
+	sh.misses++
 	return nil, false
 }
 
 func (c *docCache) put(id MsgID, doc *xmldom.Node) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.m[id]; ok {
+	sh := c.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.m[id]; ok {
 		el.Value.(*cacheEntry).doc = doc
-		c.lru.MoveToFront(el)
+		sh.lru.MoveToFront(el)
 		return
 	}
-	el := c.lru.PushFront(&cacheEntry{id: id, doc: doc})
-	c.m[id] = el
-	for c.lru.Len() > c.cap {
-		back := c.lru.Back()
-		c.lru.Remove(back)
-		delete(c.m, back.Value.(*cacheEntry).id)
-		c.evictions++
+	el := sh.lru.PushFront(&cacheEntry{id: id, doc: doc})
+	sh.m[id] = el
+	for sh.lru.Len() > sh.cap {
+		back := sh.lru.Back()
+		sh.lru.Remove(back)
+		delete(sh.m, back.Value.(*cacheEntry).id)
+		sh.evictions++
 	}
 }
 
 func (c *docCache) drop(id MsgID) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.m[id]; ok {
-		c.lru.Remove(el)
-		delete(c.m, id)
+	sh := c.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.m[id]; ok {
+		sh.lru.Remove(el)
+		delete(sh.m, id)
 	}
 }
 
 // clear empties the cache without touching the counters.
 func (c *docCache) clear() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.lru.Init()
-	clear(c.m)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.lru.Init()
+		clear(sh.m)
+		sh.mu.Unlock()
+	}
 }
 
-// stats snapshots the cache counters into a Stats value.
+// stats sums the per-shard counters into a Stats value. Each shard is
+// snapshotted under its own mutex; the aggregate is exact per shard.
 func (c *docCache) stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return Stats{
-		DocCacheHits:      c.hits,
-		DocCacheMisses:    c.misses,
-		DocCacheEvictions: c.evictions,
-		DocCacheSize:      c.lru.Len(),
-		DocCacheCap:       c.cap,
+	var st Stats
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		st.DocCacheHits += sh.hits
+		st.DocCacheMisses += sh.misses
+		st.DocCacheEvictions += sh.evictions
+		st.DocCacheSize += sh.lru.Len()
+		st.DocCacheCap += sh.cap
+		sh.mu.Unlock()
 	}
+	return st
 }

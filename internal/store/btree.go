@@ -2,6 +2,8 @@ package store
 
 import (
 	"bytes"
+	"sync"
+	"sync/atomic"
 )
 
 // BTree is an in-memory B+tree over []byte keys, the index structure behind
@@ -11,16 +13,30 @@ import (
 // logged heaps at startup rather than logged themselves, so the tree keeps
 // no page images or WAL hooks.
 //
+// The tree is safe for concurrent use with reader parallelism (experiment
+// E14): a root-level reader/writer lock admits any number of concurrent
+// readers, and leaf-level latches let non-splitting inserts and lazy
+// deletes run under the shared root lock too — writers go exclusive only
+// for structure modifications (splits). Interior nodes and leaf chain
+// pointers change only under the exclusive root lock, so readers holding
+// the shared lock navigate them without latching; leaf key/value slices
+// are read and written under the leaf latch. Scan callbacks run while a
+// leaf latch is held and must not call back into the same tree.
+//
 // Keys are unique; Insert overwrites. Values are opaque bytes. The zero
 // value is not usable; call NewBTree.
 type BTree struct {
+	latch  sync.RWMutex // root lock: shared for navigation, exclusive for splits
 	root   *btNode
 	degree int
-	size   int
+	size   atomic.Int64
 }
 
 // btNode is a B+tree node. Leaves hold vals and are chained via next.
+// The mu latch guards keys/vals of leaves; interior nodes are only
+// modified under the tree's exclusive root lock and need no latch.
 type btNode struct {
+	mu   sync.Mutex
 	leaf bool
 	keys [][]byte
 	// interior: len(children) == len(keys)+1
@@ -43,7 +59,7 @@ func NewBTreeDegree(degree int) *BTree {
 }
 
 // Len returns the number of keys.
-func (t *BTree) Len() int { return t.size }
+func (t *BTree) Len() int { return int(t.size.Load()) }
 
 func (n *btNode) findKey(key []byte) (int, bool) {
 	lo, hi := 0, len(n.keys)
@@ -68,12 +84,23 @@ func (n *btNode) childIndex(key []byte) int {
 	return i
 }
 
-// Get returns the value for key.
-func (t *BTree) Get(key []byte) ([]byte, bool) {
+// descend walks interior nodes to the leaf for key; the caller holds the
+// root lock (shared or exclusive), under which interior nodes are stable.
+func (t *BTree) descend(key []byte) *btNode {
 	n := t.root
 	for !n.leaf {
 		n = n.children[n.childIndex(key)]
 	}
+	return n
+}
+
+// Get returns the value for key.
+func (t *BTree) Get(key []byte) ([]byte, bool) {
+	t.latch.RLock()
+	defer t.latch.RUnlock()
+	n := t.descend(key)
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	i, found := n.findKey(key)
 	if !found {
 		return nil, false
@@ -81,10 +108,38 @@ func (t *BTree) Get(key []byte) ([]byte, bool) {
 	return n.vals[i], true
 }
 
-// Insert sets key to val, returning whether the key was new.
+// Insert sets key to val, returning whether the key was new. The fast path
+// — the leaf has room — runs under the shared root lock with only the leaf
+// latched; a full leaf escalates to the exclusive root lock and splits.
 func (t *BTree) Insert(key, val []byte) bool {
 	key = append([]byte(nil), key...)
 	maxKeys := 2*t.degree - 1
+
+	t.latch.RLock()
+	n := t.descend(key)
+	n.mu.Lock()
+	if len(n.keys) < maxKeys {
+		inserted := n.leafInsert(key, val)
+		n.mu.Unlock()
+		t.latch.RUnlock()
+		if inserted {
+			t.size.Add(1)
+		}
+		return inserted
+	}
+	// Overwrites of existing keys fit without splitting even in a full leaf.
+	if i, found := n.findKey(key); found {
+		n.vals[i] = val
+		n.mu.Unlock()
+		t.latch.RUnlock()
+		return false
+	}
+	n.mu.Unlock()
+	t.latch.RUnlock()
+
+	// Split path: exclusive over the whole structure.
+	t.latch.Lock()
+	defer t.latch.Unlock()
 	if len(t.root.keys) == maxKeys {
 		old := t.root
 		t.root = &btNode{children: []*btNode{old}}
@@ -92,25 +147,32 @@ func (t *BTree) Insert(key, val []byte) bool {
 	}
 	inserted := t.insertNonFull(t.root, key, val)
 	if inserted {
-		t.size++
+		t.size.Add(1)
 	}
 	return inserted
 }
 
+// leafInsert places key/val in a leaf with room; caller holds the leaf
+// latch. Returns whether the key was new.
+func (n *btNode) leafInsert(key, val []byte) bool {
+	i, found := n.findKey(key)
+	if found {
+		n.vals[i] = val
+		return false
+	}
+	n.keys = append(n.keys, nil)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = key
+	n.vals = append(n.vals, nil)
+	copy(n.vals[i+1:], n.vals[i:])
+	n.vals[i] = val
+	return true
+}
+
+// insertNonFull is the exclusive-lock insertion path (splits allowed).
 func (t *BTree) insertNonFull(n *btNode, key, val []byte) bool {
 	if n.leaf {
-		i, found := n.findKey(key)
-		if found {
-			n.vals[i] = val
-			return false
-		}
-		n.keys = append(n.keys, nil)
-		copy(n.keys[i+1:], n.keys[i:])
-		n.keys[i] = key
-		n.vals = append(n.vals, nil)
-		copy(n.vals[i+1:], n.vals[i:])
-		n.vals[i] = val
-		return true
+		return n.leafInsert(key, val)
 	}
 	ci := n.childIndex(key)
 	if len(n.children[ci].keys) == 2*t.degree-1 {
@@ -122,7 +184,8 @@ func (t *BTree) insertNonFull(n *btNode, key, val []byte) bool {
 	return t.insertNonFull(n.children[ci], key, val)
 }
 
-// splitChild splits the full child at index ci of interior node n.
+// splitChild splits the full child at index ci of interior node n; the
+// caller holds the exclusive root lock.
 func (t *BTree) splitChild(n *btNode, ci int) {
 	child := n.children[ci]
 	mid := t.degree - 1
@@ -155,26 +218,31 @@ func (t *BTree) splitChild(n *btNode, ci int) {
 // Delete removes key, reporting whether it existed. Deletion is lazy:
 // leaves may underflow (the classic approach of production B-trees that
 // rely on reinsertion patterns; Demaq slice churn reuses freed cells via
-// subsequent inserts).
+// subsequent inserts), which is why it always fits under the shared root
+// lock plus the leaf latch.
 func (t *BTree) Delete(key []byte) bool {
-	n := t.root
-	for !n.leaf {
-		n = n.children[n.childIndex(key)]
-	}
+	t.latch.RLock()
+	defer t.latch.RUnlock()
+	n := t.descend(key)
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	i, found := n.findKey(key)
 	if !found {
 		return false
 	}
 	n.keys = append(n.keys[:i], n.keys[i+1:]...)
 	n.vals = append(n.vals[:i], n.vals[i+1:]...)
-	t.size--
+	t.size.Add(-1)
 	return true
 }
 
 // Scan visits keys in [lo, hi) in order; nil bounds are open. fn returns
 // false to stop. The leaf chain makes range scans sequential, which is what
-// slice access relies on.
+// slice access relies on. The walk latches one leaf at a time under the
+// shared root lock; fn must not call back into the same tree.
 func (t *BTree) Scan(lo, hi []byte, fn func(key, val []byte) bool) {
+	t.latch.RLock()
+	defer t.latch.RUnlock()
 	n := t.root
 	for !n.leaf {
 		if lo == nil {
@@ -183,21 +251,26 @@ func (t *BTree) Scan(lo, hi []byte, fn func(key, val []byte) bool) {
 			n = n.children[n.childIndex(lo)]
 		}
 	}
-	i := 0
-	if lo != nil {
-		i, _ = n.findKey(lo)
-	}
 	for n != nil {
+		n.mu.Lock()
+		i := 0
+		if lo != nil {
+			i, _ = n.findKey(lo)
+		}
 		for ; i < len(n.keys); i++ {
 			if hi != nil && bytes.Compare(n.keys[i], hi) >= 0 {
+				n.mu.Unlock()
 				return
 			}
 			if !fn(n.keys[i], n.vals[i]) {
+				n.mu.Unlock()
 				return
 			}
 		}
-		n = n.next
-		i = 0
+		next := n.next // stable under the shared root lock
+		n.mu.Unlock()
+		n = next
+		lo = nil
 	}
 }
 

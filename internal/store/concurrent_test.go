@@ -1,8 +1,12 @@
 package store
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -113,5 +117,459 @@ func TestConcurrentCommitAndAbort(t *testing.T) {
 	want := (workers / 2) * perWorker
 	if count != want {
 		t.Fatalf("recovered %d records, want %d (aborts must not survive)", count, want)
+	}
+}
+
+// TestReadWhileInsert drives the fine-grained latching directly: readers
+// hammer committed records while writers keep appending to the same heap
+// (shared tail pages) and to a second heap. Every read must return the
+// exact committed payload — torn reads would mean a missing page latch.
+func TestReadWhileInsert(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	h, _ := s.CreateHeap("hot")
+	h2, _ := s.CreateHeap("cold")
+
+	// Seed committed records, including overflow-sized payloads.
+	type seeded struct {
+		rid  RID
+		data []byte
+	}
+	var seeds []seeded
+	tx := s.Begin()
+	for i := 0; i < 64; i++ {
+		size := 100 + (i%8)*2500 // crosses the overflow threshold
+		data := bytes.Repeat([]byte{byte('a' + i%26)}, size)
+		rid, err := tx.Insert(h, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeds = append(seeds, seeded{rid, data})
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var writers, readers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			heap := h
+			if w%2 == 1 {
+				heap = h2
+			}
+			for i := 0; i < 200; i++ {
+				tx := s.Begin()
+				if _, err := tx.Insert(heap, []byte(fmt.Sprintf("w-%d-%d", w, i))); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(int64(r)))
+			for !stop.Load() {
+				sd := seeds[rng.Intn(len(seeds))]
+				got, err := s.Read(sd.rid)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !bytes.Equal(got, sd.data) {
+					t.Errorf("torn read at %s: got %d bytes, want %d", sd.rid, len(got), len(sd.data))
+					return
+				}
+			}
+		}(r)
+	}
+	writers.Wait()
+	stop.Store(true)
+	readers.Wait()
+
+	// All writer records durable and intact.
+	count := 0
+	if err := s.Scan(h2, func(_ RID, _ []byte) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2*200 {
+		t.Fatalf("cold heap has %d records, want %d", count, 400)
+	}
+}
+
+// TestReadWhileEvict forces constant buffer-pool eviction (pool far smaller
+// than the working set) while parallel readers and an inserter run: cold
+// reads must reload evicted pages correctly, and eviction write-back must
+// respect the WAL rule even with I/O running outside the pool mutexes.
+func TestReadWhileEvict(t *testing.T) {
+	dir := t.TempDir()
+	opts := DefaultOptions()
+	opts.BufferPages = 16 // one frame per pool shard
+	opts.SyncCommits = false
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	h, _ := s.CreateHeap("q")
+	payload := bytes.Repeat([]byte("x"), 3000) // ~2 records per page
+	var rids []RID
+	tx := s.Begin()
+	for i := 0; i < 400; i++ {
+		rid, err := tx.Insert(h, append(payload, byte(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r)))
+			for i := 0; i < 300; i++ {
+				idx := rng.Intn(len(rids))
+				got, err := s.Read(rids[idx])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(got) != len(payload)+1 || got[len(got)-1] != byte(idx) {
+					t.Errorf("wrong payload for record %d", idx)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() { // concurrent inserter keeps dirtying pages during eviction
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			tx := s.Begin()
+			if _, err := tx.Insert(h, []byte(fmt.Sprintf("dirty-%d", i))); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := tx.Commit(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if ev := s.Stats().Evictions; ev == 0 {
+		t.Fatalf("expected evictions with a %d-page pool over a larger working set", opts.BufferPages)
+	}
+}
+
+// TestBTreeConcurrentReadInsert stresses the tree's root-lock/leaf-latch
+// protocol: parallel inserters (forcing splits), deleters, point readers
+// and range scanners run together under -race.
+func TestBTreeConcurrentReadInsert(t *testing.T) {
+	tr := NewBTreeDegree(4) // tiny fanout: splits happen constantly
+	const n = 2000
+	key := func(i int) []byte { return []byte(fmt.Sprintf("k%06d", i)) }
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += 4 {
+				tr.Insert(key(i), []byte(fmt.Sprintf("v%d", i)))
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r)))
+			for i := 0; i < 4000; i++ {
+				k := key(rng.Intn(n))
+				if v, ok := tr.Get(k); ok && len(v) == 0 {
+					t.Error("present key with empty value")
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() { // range scanner
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			prev := []byte(nil)
+			tr.Scan(nil, nil, func(k, _ []byte) bool {
+				if prev != nil && bytes.Compare(prev, k) > 0 {
+					t.Error("scan out of order")
+					return false
+				}
+				prev = append(prev[:0], k...)
+				return true
+			})
+		}
+	}()
+	wg.Wait()
+
+	if tr.Len() != n {
+		t.Fatalf("size %d after concurrent inserts, want %d", tr.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if _, ok := tr.Get(key(i)); !ok {
+			t.Fatalf("key %d lost", i)
+		}
+	}
+
+	// Concurrent deleters against readers.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += 4 {
+				if !tr.Delete(key(i)) {
+					t.Errorf("delete of present key %d failed", i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != 0 {
+		t.Fatalf("size %d after deleting everything", tr.Len())
+	}
+}
+
+// TestReadWhileDeleteOverflow races readers of overflow records against
+// their deletion: a reader that saw the record's live slot must reassemble
+// the full payload even if the delete commits (and frees the chain) while
+// the reader walks it — the record page's read latch, held across the
+// walk, fences commit-time chain frees. A reader that arrives after the
+// slot died gets a clean not-found; "missing overflow chunk" or a spliced
+// payload would mean the fence is gone.
+func TestReadWhileDeleteOverflow(t *testing.T) {
+	dir := t.TempDir()
+	opts := DefaultOptions()
+	opts.SyncCommits = false
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	h, _ := s.CreateHeap("q")
+
+	const rounds = 30
+	for round := 0; round < rounds; round++ {
+		// Two overflow records with distinct fill bytes and equal sizes, so
+		// a chain page recycled from one into the other would splice
+		// silently if the fence were missing.
+		payloadA := bytes.Repeat([]byte{'A'}, 40<<10)
+		payloadB := bytes.Repeat([]byte{'B'}, 40<<10)
+		tx := s.Begin()
+		ridA, err := tx.Insert(h, payloadA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+
+		var wg sync.WaitGroup
+		for r := 0; r < 4; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sawB := false
+				for !sawB {
+					got, err := s.Read(ridA)
+					if err != nil {
+						if errors.Is(err, errRecordNotFound) {
+							return // slot died before we saw it: fine
+						}
+						t.Errorf("round %d: broken chain read: %v", round, err)
+						return
+					}
+					switch {
+					case bytes.Equal(got, payloadA):
+						// pre-delete view, complete
+					case bytes.Equal(got, payloadB):
+						// the dead slot was recycled for B: legitimate RID
+						// reuse, but it must be ALL of B — stop reading, the
+						// RID now names the new record
+						sawB = true
+					default:
+						t.Errorf("round %d: spliced payload (len %d)", round, len(got))
+						return
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() { // delete A (freeing its chain) and reuse the pages for B
+			defer wg.Done()
+			tx := s.Begin()
+			if err := tx.Delete(h, ridA); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := tx.Commit(); err != nil {
+				t.Error(err)
+				return
+			}
+			tx = s.Begin()
+			if _, err := tx.Insert(h, payloadB); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := tx.Commit(); err != nil {
+				t.Error(err)
+			}
+		}()
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+	}
+}
+
+// TestCrashRecoveryAfterConcurrentWorkload runs a mixed concurrent workload
+// — commits, aborts, deletes of earlier records — crashes without
+// checkpoint, and verifies the recovered state: every committed insert
+// survives (minus committed deletes), no aborted insert does.
+func TestCrashRecoveryAfterConcurrentWorkload(t *testing.T) {
+	dir := t.TempDir()
+	opts := DefaultOptions()
+	opts.BufferPages = 32 // force eviction write-back during the workload
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := s.CreateHeap("q")
+
+	var mu sync.Mutex
+	expect := map[string]bool{} // payload → must survive
+	var deletable []RID
+
+	const workers, perWorker = 8, 30
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				payload := fmt.Sprintf("rec-%d-%d", w, i)
+				tx := s.Begin()
+				rid, err := tx.Insert(h, []byte(payload))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				switch {
+				case i%3 == 2: // abort
+					if err := tx.Abort(); err != nil {
+						t.Error(err)
+						return
+					}
+				default:
+					if err := tx.Commit(); err != nil {
+						t.Error(err)
+						return
+					}
+					mu.Lock()
+					expect[payload] = true
+					if i%5 == 0 {
+						deletable = append(deletable, rid)
+					}
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Delete a committed subset concurrently with fresh inserts.
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			tx := s.Begin()
+			payload := fmt.Sprintf("late-%d", i)
+			if _, err := tx.Insert(h, []byte(payload)); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := tx.Commit(); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			expect[payload] = true
+			mu.Unlock()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		mu.Lock()
+		rids := append([]RID(nil), deletable...)
+		mu.Unlock()
+		if err := s.BatchDelete(h, rids); err != nil {
+			t.Error(err)
+		}
+	}()
+	wg.Wait()
+
+	mu.Lock()
+	for w := 0; w < workers; w++ {
+		for i := 0; i < perWorker; i += 5 {
+			if i%3 != 2 {
+				delete(expect, fmt.Sprintf("rec-%d-%d", w, i))
+			}
+		}
+	}
+	want := len(expect)
+	mu.Unlock()
+
+	s.CrashForTest()
+
+	s2, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	h2, ok := s2.Heap("q")
+	if !ok {
+		t.Fatal("heap lost")
+	}
+	got := map[string]bool{}
+	if err := s2.Scan(h2, func(_ RID, payload []byte) bool {
+		got[string(payload)] = true
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != want {
+		t.Fatalf("recovered %d records, want %d", len(got), want)
+	}
+	for payload := range expect {
+		if !got[payload] {
+			t.Fatalf("committed record %q lost in recovery", payload)
+		}
 	}
 }

@@ -2,6 +2,7 @@ package store
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 )
 
@@ -9,6 +10,15 @@ import (
 // larger than a page spill into overflow chains; the inline part keeps a
 // small prefix of the payload so that fixed headers (the message status
 // byte of the message store) remain updatable in place.
+//
+// Concurrency: every page access follows the pin→latch protocol of the
+// buffer pool. Reads latch one page at a time and run fully in parallel.
+// Inserts serialize per heap on the append lock — only the tail page is
+// ever write-latched under it — so inserts into different heaps, and reads
+// anywhere, never contend. The WAL append for a page mutation happens while
+// the page's write latch is held, which keeps the page LSN monotonic in log
+// order per page: a written-back page LSN >= r.lsn implies r's effect is on
+// disk, the invariant redo relies on.
 //
 // Inline record encodings:
 //
@@ -26,18 +36,38 @@ const (
 	ovChunkMax = maxRecordSize
 )
 
+// errRecordNotFound marks reads of dead or vanished slots; scans skip such
+// records instead of failing when retention deletes race them.
+var errRecordNotFound = errors.New("record not found")
+
 // HeapID identifies a record heap.
 type HeapID uint32
 
+// heapByID resolves a heap descriptor.
+func (s *Store) heapByID(id uint32) (*heapInfo, error) {
+	s.heapMu.RLock()
+	h, ok := s.heaps[id]
+	s.heapMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("store: unknown heap %d", id)
+	}
+	return h, nil
+}
+
 // CreateHeap registers a new heap (auto-committed DDL). Creating an
-// existing name returns its existing ID.
+// existing name returns its existing ID. DDL serializes on the catalog
+// write lock; it is rare and never on the message path.
 func (s *Store) CreateHeap(name string) (HeapID, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.ckptMu.RLock()
+	defer s.ckptMu.RUnlock()
+	s.glock()
+	defer s.gunlock()
+	s.heapMu.Lock()
+	defer s.heapMu.Unlock()
 	if id, ok := s.heapNames[name]; ok {
 		return HeapID(id), nil
 	}
-	t := s.beginLocked()
+	t := s.beginTxn()
 	id := s.nextHeap
 	s.nextHeap++
 	first, err := s.allocPage(t, 0, InvalidPage, InvalidPage)
@@ -52,10 +82,10 @@ func (s *Store) CreateHeap(name string) (HeapID, error) {
 	binary.LittleEndian.PutUint32(entry[4:], uint32(firstID))
 	binary.LittleEndian.PutUint16(entry[8:], uint16(len(name)))
 	copy(entry[10:], name)
-	if _, err := s.insertLocked(t, catalogHeapID, entry); err != nil {
+	if _, err := s.insertHeap(t, s.heaps[catalogHeapID], entry); err != nil {
 		return 0, err
 	}
-	if err := s.commitLocked(t); err != nil {
+	if err := s.commitTxn(t); err != nil {
 		return 0, err
 	}
 	s.heaps[id] = &heapInfo{id: id, name: name, first: firstID, last: firstID}
@@ -65,16 +95,16 @@ func (s *Store) CreateHeap(name string) (HeapID, error) {
 
 // Heap returns the ID of an existing heap.
 func (s *Store) Heap(name string) (HeapID, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.heapMu.RLock()
+	defer s.heapMu.RUnlock()
 	id, ok := s.heapNames[name]
 	return HeapID(id), ok
 }
 
 // HeapNames lists all user heaps.
 func (s *Store) HeapNames() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.heapMu.RLock()
+	defer s.heapMu.RUnlock()
 	var out []string
 	for name := range s.heapNames {
 		out = append(out, name)
@@ -82,20 +112,20 @@ func (s *Store) HeapNames() []string {
 	return out
 }
 
-// insertLocked appends a record to a heap; the caller holds s.mu and an
-// open transaction.
-func (s *Store) insertLocked(t *Txn, heap uint32, payload []byte) (RID, error) {
-	h, ok := s.heaps[heap]
-	if !ok {
-		return NilRID, fmt.Errorf("store: unknown heap %d", heap)
-	}
+// insertHeap appends a record to a heap within an open transaction.
+// Overflow chains are built first — outside the append lock, so large
+// payloads don't stall other inserters longer than their tail-page write —
+// then the append lock is taken to place the inline record on the tail.
+func (s *Store) insertHeap(t *Txn, h *heapInfo, payload []byte) (RID, error) {
 	var rec []byte
 	if len(payload)+1 <= inlineMax {
 		rec = make([]byte, 1+len(payload))
 		rec[0] = recKindPlain
 		copy(rec[1:], payload)
 	} else {
-		// Spill: inline prefix + overflow chain for the remainder.
+		// Spill: inline prefix + overflow chain for the remainder. The
+		// chain pages are unreachable by other threads until the inline
+		// record pointing at them is published below.
 		prefix := payload[:overflowPrefix]
 		rest := payload[overflowPrefix:]
 		// Build the chain back to front so each page's next is known when
@@ -113,11 +143,13 @@ func (s *Store) insertLocked(t *Txn, heap uint32, payload []byte) (RID, error) {
 			if err != nil {
 				return NilRID, err
 			}
+			f.latch.Lock()
 			slot := f.pg.insert(rest[lo:hi])
 			lsn := s.log.append(&logRecord{typ: recInsert, txn: t.id, prevLSN: t.lastLSN,
-				heap: heap, page: f.pg.id, slot: slot, after: append([]byte(nil), rest[lo:hi]...)})
+				heap: h.id, page: f.pg.id, slot: slot, after: append([]byte(nil), rest[lo:hi]...)})
 			t.lastLSN = lsn
 			f.pg.setLSN(lsn)
+			f.latch.Unlock()
 			next = f.pg.id
 			first = f.pg.id
 			s.pool.unpin(f, true)
@@ -129,14 +161,19 @@ func (s *Store) insertLocked(t *Txn, heap uint32, payload []byte) (RID, error) {
 		copy(rec[overflowHeader:], prefix)
 	}
 
-	// Find a tail page with room; extend the chain if needed.
+	// Append to the tail page; extend the chain if needed. Only the tail is
+	// latched under the append lock.
+	h.appendMu.Lock()
+	defer h.appendMu.Unlock()
 	tail, err := s.pool.get(h.last)
 	if err != nil {
 		return NilRID, err
 	}
+	tail.latch.Lock()
 	if !tail.pg.canFit(len(rec)) {
 		nf, err := s.allocPage(t, 0, tail.pg.id, InvalidPage)
 		if err != nil {
+			tail.latch.Unlock()
 			s.pool.unpin(tail, false)
 			return NilRID, err
 		}
@@ -144,17 +181,20 @@ func (s *Store) insertLocked(t *Txn, heap uint32, payload []byte) (RID, error) {
 		t.lastLSN = lsn
 		tail.pg.setNext(nf.pg.id)
 		tail.pg.setLSN(lsn)
+		tail.latch.Unlock()
 		s.pool.unpin(tail, true)
 		h.last = nf.pg.id
 		tail = nf
+		tail.latch.Lock()
 	}
 	slot := tail.pg.insert(rec)
 	rid := RID{Page: tail.pg.id, Slot: slot}
 	lr := &logRecord{typ: recInsert, txn: t.id, prevLSN: t.lastLSN,
-		heap: heap, page: rid.Page, slot: slot, after: append([]byte(nil), rec...)}
+		heap: h.id, page: rid.Page, slot: slot, after: append([]byte(nil), rec...)}
 	lsn := s.log.append(lr)
 	t.lastLSN = lsn
 	tail.pg.setLSN(lsn)
+	tail.latch.Unlock()
 	s.pool.unpin(tail, true)
 	t.undoRecs = append(t.undoRecs, lr)
 	return rid, nil
@@ -162,48 +202,70 @@ func (s *Store) insertLocked(t *Txn, heap uint32, payload []byte) (RID, error) {
 
 // Insert appends a record to the heap within the transaction.
 func (t *Txn) Insert(h HeapID, payload []byte) (RID, error) {
-	t.s.mu.Lock()
-	defer t.s.mu.Unlock()
+	t.s.ckptMu.RLock()
+	defer t.s.ckptMu.RUnlock()
+	t.s.glock()
+	defer t.s.gunlock()
 	if err := t.ensureActive(); err != nil {
 		return NilRID, err
 	}
-	return t.s.insertLocked(t, uint32(h), payload)
+	hi, err := t.s.heapByID(uint32(h))
+	if err != nil {
+		return NilRID, err
+	}
+	return t.s.insertHeap(t, hi, payload)
 }
 
-// readLocked reassembles a record, following overflow chains.
-func (s *Store) readLocked(rid RID) ([]byte, error) {
+// readRecord reassembles a record, following overflow chains. Each page is
+// pinned and read-latched individually; no shared lock is held, so reads of
+// distinct records — and of the same record — run fully in parallel.
+//
+// The record page's read latch is held across the entire overflow walk.
+// That is what keeps the chain alive: every path that frees a chain
+// (commit of a Delete, BatchDelete, undo of an overflow insert) first kills
+// the inline record's slot under the record page's WRITE latch, so a
+// reader that saw a live slot under the read latch fences all frees of the
+// chain it is following until it finishes. Chain-page latches are acquired
+// below the record page's latch, which the hierarchy permits: overflow
+// pages are leaves that never wait on record pages.
+func (s *Store) readRecord(rid RID) ([]byte, error) {
 	f, err := s.pool.get(rid.Page)
 	if err != nil {
 		return nil, err
 	}
+	f.latch.RLock()
+	defer func() {
+		f.latch.RUnlock()
+		s.pool.unpin(f, false)
+	}()
 	rec, ok := f.pg.read(rid.Slot)
 	if !ok {
-		s.pool.unpin(f, false)
-		return nil, fmt.Errorf("store: record %s not found", rid)
+		return nil, fmt.Errorf("store: %w: %s", errRecordNotFound, rid)
 	}
 	if rec[0] == recKindPlain {
 		out := make([]byte, len(rec)-1)
 		copy(out, rec[1:])
-		s.pool.unpin(f, false)
 		return out, nil
 	}
 	first := PageID(binary.LittleEndian.Uint32(rec[1:]))
 	total := int(binary.LittleEndian.Uint32(rec[5:]))
 	out := make([]byte, 0, total)
 	out = append(out, rec[overflowHeader:]...)
-	s.pool.unpin(f, false)
 	for pid := first; pid != InvalidPage; {
 		of, err := s.pool.get(pid)
 		if err != nil {
 			return nil, err
 		}
+		of.latch.RLock()
 		chunk, ok := of.pg.read(0)
 		if !ok {
+			of.latch.RUnlock()
 			s.pool.unpin(of, false)
 			return nil, fmt.Errorf("store: missing overflow chunk on page %d", pid)
 		}
 		out = append(out, chunk...)
 		next := of.pg.next()
+		of.latch.RUnlock()
 		s.pool.unpin(of, false)
 		pid = next
 	}
@@ -216,31 +278,37 @@ func (s *Store) readLocked(rid RID) ([]byte, error) {
 // Read returns a record's payload (transactions see committed state plus
 // their own writes; isolation is enforced by the lock layer above).
 func (s *Store) Read(rid RID) ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.readLocked(rid)
+	s.ckptMu.RLock()
+	defer s.ckptMu.RUnlock()
+	s.glock()
+	defer s.gunlock()
+	return s.readRecord(rid)
 }
 
 // Delete removes a record within the transaction. Overflow chains are
 // released at commit (never on abort), so undo can restore the record.
 func (t *Txn) Delete(h HeapID, rid RID) error {
-	t.s.mu.Lock()
-	defer t.s.mu.Unlock()
+	t.s.ckptMu.RLock()
+	defer t.s.ckptMu.RUnlock()
+	t.s.glock()
+	defer t.s.gunlock()
 	if err := t.ensureActive(); err != nil {
 		return err
 	}
-	return t.s.deleteLocked(t, uint32(h), rid)
+	return t.s.deleteRecord(t, uint32(h), rid)
 }
 
-func (s *Store) deleteLocked(t *Txn, heap uint32, rid RID) error {
+func (s *Store) deleteRecord(t *Txn, heap uint32, rid RID) error {
 	f, err := s.pool.get(rid.Page)
 	if err != nil {
 		return err
 	}
+	f.latch.Lock()
 	rec, ok := f.pg.read(rid.Slot)
 	if !ok {
+		f.latch.Unlock()
 		s.pool.unpin(f, false)
-		return fmt.Errorf("store: record %s not found", rid)
+		return fmt.Errorf("store: %w: %s", errRecordNotFound, rid)
 	}
 	before := append([]byte(nil), rec...)
 	if rec[0] == recKindOverflow {
@@ -253,11 +321,15 @@ func (s *Store) deleteLocked(t *Txn, heap uint32, rid RID) error {
 	lsn := s.log.append(lr)
 	t.lastLSN = lsn
 	f.pg.setLSN(lsn)
+	f.latch.Unlock()
 	s.pool.unpin(f, true)
 	t.undoRecs = append(t.undoRecs, lr)
 	return nil
 }
 
+// chainPages collects the page IDs of an overflow chain. It may be called
+// with the owning record's page write-latched; overflow pages are leaves of
+// the latch order and never wait on record pages.
 func (s *Store) chainPages(first PageID) []PageID {
 	var out []PageID
 	for pid := first; pid != InvalidPage; {
@@ -265,8 +337,10 @@ func (s *Store) chainPages(first PageID) []PageID {
 		if err != nil {
 			break
 		}
-		out = append(out, pid)
+		f.latch.RLock()
 		next := f.pg.next()
+		f.latch.RUnlock()
+		out = append(out, pid)
 		s.pool.unpin(f, false)
 		pid = next
 	}
@@ -278,8 +352,10 @@ func (s *Store) chainPages(first PageID) []PageID {
 // byte at offset 0. This is the only in-place mutation of message data —
 // everything else is append-only, as the paper prescribes.
 func (t *Txn) SetByte(rid RID, off int, val byte) error {
-	t.s.mu.Lock()
-	defer t.s.mu.Unlock()
+	t.s.ckptMu.RLock()
+	defer t.s.ckptMu.RUnlock()
+	t.s.glock()
+	defer t.s.gunlock()
 	if err := t.ensureActive(); err != nil {
 		return err
 	}
@@ -288,10 +364,14 @@ func (t *Txn) SetByte(rid RID, off int, val byte) error {
 	if err != nil {
 		return err
 	}
-	defer s.pool.unpin(f, true)
+	f.latch.Lock()
+	defer func() {
+		f.latch.Unlock()
+		s.pool.unpin(f, true)
+	}()
 	rec, ok := f.pg.read(rid.Slot)
 	if !ok {
-		return fmt.Errorf("store: record %s not found", rid)
+		return fmt.Errorf("store: %w: %s", errRecordNotFound, rid)
 	}
 	physOff := 1 + off // skip kind byte
 	if rec[0] == recKindOverflow {
@@ -313,44 +393,48 @@ func (t *Txn) SetByte(rid RID, off int, val byte) error {
 
 // Scan iterates all live records of a heap in storage order (which, for
 // append-only queue heaps, is insertion order). fn returns false to stop.
+// The chain lock is held shared for the walk, so retention reclaim cannot
+// unlink pages out from under the scanner; concurrent inserts and reads
+// proceed normally.
 func (s *Store) Scan(h HeapID, fn func(rid RID, payload []byte) bool) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.scanLocked(uint32(h), fn)
+	s.ckptMu.RLock()
+	defer s.ckptMu.RUnlock()
+	s.glock()
+	defer s.gunlock()
+	hi, err := s.heapByID(uint32(h))
+	if err != nil {
+		return err
+	}
+	return s.scanHeap(hi, fn)
 }
 
-func (s *Store) scanLocked(heap uint32, fn func(rid RID, payload []byte) bool) error {
-	hi, ok := s.heaps[heap]
-	if !ok {
-		return fmt.Errorf("store: unknown heap %d", heap)
-	}
-	for pid := hi.first; pid != InvalidPage; {
+func (s *Store) scanHeap(h *heapInfo, fn func(rid RID, payload []byte) bool) error {
+	h.chainMu.RLock()
+	defer h.chainMu.RUnlock()
+	for pid := h.first; pid != InvalidPage; {
 		f, err := s.pool.get(pid)
 		if err != nil {
 			return err
 		}
+		f.latch.RLock()
 		next := f.pg.next()
 		nslots := f.pg.slotCount()
-		s.pool.unpin(f, false)
+		f.latch.RUnlock()
 		for slot := uint16(0); slot < nslots; slot++ {
-			// Re-fetch under the same lock; readLocked may evict.
-			fr, err := s.pool.get(pid)
+			payload, err := s.readRecord(RID{Page: pid, Slot: slot})
 			if err != nil {
-				return err
-			}
-			_, ok := fr.pg.read(slot)
-			s.pool.unpin(fr, false)
-			if !ok {
-				continue
-			}
-			payload, err := s.readLocked(RID{Page: pid, Slot: slot})
-			if err != nil {
+				if errors.Is(err, errRecordNotFound) {
+					continue // dead slot, or deleted while we scanned
+				}
+				s.pool.unpin(f, false)
 				return err
 			}
 			if !fn(RID{Page: pid, Slot: slot}, payload) {
+				s.pool.unpin(f, false)
 				return nil
 			}
 		}
+		s.pool.unpin(f, false)
 		pid = next
 	}
 	return nil
@@ -363,20 +447,38 @@ func (s *Store) scanLocked(heap uint32, fn func(rid RID, payload []byte) bool) e
 // is deleted with a full before image (experiment E3's baseline).
 // Emptied pages (other than heap head pages) are unlinked and freed.
 func (s *Store) BatchDelete(h HeapID, rids []RID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.ckptMu.RLock()
+	defer s.ckptMu.RUnlock()
+	s.glock()
+	defer s.gunlock()
 	if len(rids) == 0 {
 		return nil
 	}
-	t := s.beginLocked()
-	heap := uint32(h)
+	hi, err := s.heapByID(uint32(h))
+	if err != nil {
+		return err
+	}
+	t := s.beginTxn()
 	var freed []PageID
 	if s.opts.UnloggedDeletes {
-		lr := &logRecord{typ: recBatchDelete, txn: t.id, prevLSN: t.lastLSN, rids: rids}
-		lsn := s.log.append(lr)
-		t.lastLSN = lsn
+		// One redo-only record per page, appended under that page's write
+		// latch. A single out-of-band record for the whole batch would
+		// break the per-page LSN invariant: if a later insert reused a
+		// dead slot and its higher LSN reached disk, recovery would replay
+		// the batch delete over the newer record (the insert's own redo
+		// being LSN-masked) and lose it. Per-page append-under-latch keeps
+		// page LSNs monotonic in log order, so the standard redo guard
+		// applies.
+		var pageOrder []PageID
+		byPage := map[PageID][]RID{}
 		for _, rid := range rids {
-			pgs, err := s.applyPhysicalDelete(rid, lsn)
+			if _, ok := byPage[rid.Page]; !ok {
+				pageOrder = append(pageOrder, rid.Page)
+			}
+			byPage[rid.Page] = append(byPage[rid.Page], rid)
+		}
+		for _, pid := range pageOrder {
+			pgs, err := s.applyUnloggedDeletes(t, pid, byPage[pid])
 			if err != nil {
 				return err
 			}
@@ -384,26 +486,69 @@ func (s *Store) BatchDelete(h HeapID, rids []RID) error {
 		}
 	} else {
 		for _, rid := range rids {
-			if err := s.deleteLocked(t, heap, rid); err != nil {
+			if err := s.deleteRecord(t, hi.id, rid); err != nil {
+				if errors.Is(err, errRecordNotFound) {
+					continue // already gone; idempotent like the unlogged path
+				}
 				return err
 			}
 		}
 	}
-	if err := s.commitLocked(t); err != nil {
+	if err := s.commitTxn(t); err != nil {
 		return err
 	}
 	// Free overflow pages outside the undo path (the batch committed).
 	s.freePages(freed)
-	return s.reclaimEmptyPages(heap)
+	return s.reclaimEmptyPages(hi)
 }
 
-// applyPhysicalDelete marks a slot dead and returns overflow pages to free.
+// applyUnloggedDeletes kills a batch of slots of ONE page: the redo-only
+// record is appended while the page's write latch is held, like every other
+// page mutation, so the page LSN stays monotonic in log order and redo can
+// use the standard LSN guard. Returns overflow pages to free.
+func (s *Store) applyUnloggedDeletes(t *Txn, pid PageID, rids []RID) ([]PageID, error) {
+	f, err := s.pool.get(pid)
+	if err != nil {
+		return nil, err
+	}
+	f.latch.Lock()
+	defer func() {
+		f.latch.Unlock()
+		s.pool.unpin(f, true)
+	}()
+	lr := &logRecord{typ: recBatchDelete, txn: t.id, prevLSN: t.lastLSN, rids: rids}
+	lsn := s.log.append(lr)
+	t.lastLSN = lsn
+	var ov []PageID
+	for _, rid := range rids {
+		rec, ok := f.pg.read(rid.Slot)
+		if !ok {
+			continue // already gone; idempotent
+		}
+		if rec[0] == recKindOverflow {
+			first := PageID(binary.LittleEndian.Uint32(rec[1:]))
+			ov = append(ov, s.chainPages(first)...)
+		}
+		f.pg.del(rid.Slot)
+	}
+	if lsn > f.pg.lsn() {
+		f.pg.setLSN(lsn)
+	}
+	return ov, nil
+}
+
+// applyPhysicalDelete marks a slot dead and returns overflow pages to free;
+// recovery redo uses it to replay recBatchDelete records.
 func (s *Store) applyPhysicalDelete(rid RID, lsn uint64) ([]PageID, error) {
 	f, err := s.pool.get(rid.Page)
 	if err != nil {
 		return nil, err
 	}
-	defer s.pool.unpin(f, true)
+	f.latch.Lock()
+	defer func() {
+		f.latch.Unlock()
+		s.pool.unpin(f, true)
+	}()
 	rec, ok := f.pg.read(rid.Slot)
 	if !ok {
 		return nil, nil // already gone; idempotent
@@ -423,42 +568,59 @@ func (s *Store) applyPhysicalDelete(rid RID, lsn uint64) ([]PageID, error) {
 // freePages marks pages free (redo-only logged) and returns them to the
 // allocator.
 func (s *Store) freePages(pages []PageID) {
+	var freed []PageID
 	for _, pid := range pages {
-		f, err := s.pool.get(pid)
+		// fresh, not get: the content is formatted over immediately, so an
+		// evicted page must not pay a disk read to be freed.
+		f, err := s.pool.fresh(pid)
 		if err != nil {
 			continue
 		}
+		f.latch.Lock()
 		lsn := s.log.append(&logRecord{typ: recSetFlags, page: pid, flags: flagFree})
 		f.pg.format()
 		f.pg.setFlags(flagFree)
 		f.pg.setLSN(lsn)
+		f.latch.Unlock()
 		s.pool.unpin(f, true)
-		s.freeList = append(s.freeList, pid)
+		freed = append(freed, pid)
+	}
+	if len(freed) > 0 {
+		s.allocMu.Lock()
+		s.freeList = append(s.freeList, freed...)
+		s.allocMu.Unlock()
 	}
 }
 
 // reclaimEmptyPages unlinks fully-empty interior pages of a heap chain and
-// frees them; head and tail pages stay to keep insertion cheap.
-func (s *Store) reclaimEmptyPages(heap uint32) error {
-	hi, ok := s.heaps[heap]
-	if !ok {
-		return nil
-	}
-	prev := hi.first
+// frees them; head and tail pages stay to keep insertion cheap. It holds
+// the chain lock exclusively — scanners and reclaim never interleave.
+func (s *Store) reclaimEmptyPages(h *heapInfo) error {
+	h.chainMu.Lock()
+	defer h.chainMu.Unlock()
+	h.appendMu.Lock()
+	last := h.last
+	h.appendMu.Unlock()
+
+	prev := h.first
 	pf, err := s.pool.get(prev)
 	if err != nil {
 		return err
 	}
+	pf.latch.RLock()
 	cur := pf.pg.next()
+	pf.latch.RUnlock()
 	s.pool.unpin(pf, false)
 	var toFree []PageID
-	for cur != InvalidPage && cur != hi.last {
+	for cur != InvalidPage && cur != last {
 		cf, err := s.pool.get(cur)
 		if err != nil {
 			return err
 		}
+		cf.latch.RLock()
 		next := cf.pg.next()
 		empty := cf.pg.liveCount() == 0
+		cf.latch.RUnlock()
 		s.pool.unpin(cf, false)
 		if empty {
 			// Unlink: prev.next = next (redo-only chain record).
@@ -466,9 +628,11 @@ func (s *Store) reclaimEmptyPages(heap uint32) error {
 			if err != nil {
 				return err
 			}
+			pf.latch.Lock()
 			lsn := s.log.append(&logRecord{typ: recChain, page: prev, page2: next})
 			pf.pg.setNext(next)
 			pf.pg.setLSN(lsn)
+			pf.latch.Unlock()
 			s.pool.unpin(pf, true)
 			toFree = append(toFree, cur)
 		} else {

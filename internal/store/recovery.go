@@ -90,8 +90,8 @@ func (s *Store) recover() error {
 		}
 		s.log.append(&logRecord{typ: recAbort, txn: id, prevLSN: t.lastLSN})
 	}
-	if maxTxn >= s.nextTxn {
-		s.nextTxn = maxTxn + 1
+	if maxTxn >= s.nextTxn.Load() {
+		s.nextTxn.Store(maxTxn + 1)
 	}
 	return nil
 }

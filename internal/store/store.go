@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Options configure a store.
@@ -22,6 +23,18 @@ type Options struct {
 	// images (Sec. 4.1). Disabled, deletes are logged with full before
 	// images, which is the comparison baseline of experiment E3.
 	UnloggedDeletes bool
+	// GlobalLock serializes every public store operation under one mutex,
+	// recreating the coarse-grained engine that predates the fine-grained
+	// latching. It exists as the comparison baseline of experiment E14 and
+	// is never enabled in production configurations.
+	GlobalLock bool
+	// BenchIODelay injects a fixed delay into buffer-pool page reads and
+	// eviction write-backs, modeling a storage device's access latency.
+	// Benchmark machines serve the working set from the OS page cache,
+	// where preads never block; the delay restores the I/O wait that the
+	// latched pool overlaps across goroutines — and that a global store
+	// mutex serializes. Benchmarks only; zero in production.
+	BenchIODelay time.Duration
 }
 
 // DefaultOptions returns the production configuration.
@@ -38,12 +51,26 @@ const (
 	catalogFirstPage = 1
 )
 
-// heapInfo is the in-memory descriptor of one record heap.
+// heapInfo is the in-memory descriptor of one record heap. The first page
+// never changes; the mutable tail and the chain structure carry their own
+// locks so that inserts into different heaps — and reads anywhere — never
+// serialize on a store-wide mutex.
 type heapInfo struct {
 	id    uint32
 	name  string
 	first PageID
-	last  PageID
+
+	// appendMu serializes inserts into this heap: it guards last and the
+	// tail page's growth. Only the tail is latched under it, so readers of
+	// other pages of the heap are unaffected.
+	appendMu sync.Mutex
+	last     PageID
+
+	// chainMu guards the page chain's structure against unlinking: Scan
+	// holds it shared for the duration of the walk, reclaimEmptyPages
+	// exclusively. Appending a new tail page does not take it — scanners
+	// tolerate a growing chain, but not a shrinking one.
+	chainMu sync.RWMutex
 }
 
 // Stats reports storage counters.
@@ -68,28 +95,71 @@ type Stats struct {
 }
 
 // Store is the page-based storage engine. All operations are safe for
-// concurrent use; physical access is serialized by a store mutex while
-// expensive work (XML parsing, rule evaluation) happens in the layers above.
+// concurrent use. Synchronization is fine-grained (experiment E14): the
+// buffer pool is lock-striped with per-page latches (see buffer.go for the
+// latch hierarchy), page allocation and the free list sit under allocMu,
+// the heap catalog under heapMu, and each heap serializes only its own
+// inserts via a per-heap append lock. Record reads and B-tree lookups run
+// fully in parallel; disk I/O for misses and eviction write-back happens
+// outside every shared mutex.
 type Store struct {
-	mu   sync.Mutex
 	dir  string
 	opts Options
 
-	file      *os.File
-	log       *wal
-	pool      *bufferPool
+	file *os.File
+	log  *wal
+	pool *bufferPool
+
+	// allocMu guards page allocation: pageCount and the free list.
+	allocMu   sync.Mutex
 	pageCount uint32
 	freeList  []PageID
 
+	// heapMu guards the heap catalog maps. Per-heap mutable state lives on
+	// heapInfo under its own locks.
+	heapMu    sync.RWMutex
 	heaps     map[uint32]*heapInfo
 	heapNames map[string]uint32
 	nextHeap  uint32
 
-	nextTxn uint64
-	commits atomic.Uint64 // incremented after the commit flush, outside mu
-	aborts  uint64
+	nextTxn atomic.Uint64
+	commits atomic.Uint64 // incremented after the commit flush
+	aborts  atomic.Uint64
 
+	// lifeMu serializes lifecycle operations (Close, Checkpoint, crash
+	// simulation) against each other.
+	lifeMu sync.Mutex
 	closed bool
+
+	// ckptMu fences checkpoints against in-flight operations: every public
+	// data operation — log-appending writes AND reads — holds it shared
+	// (an uncontended RLock, not a serialization point); Checkpoint/Close
+	// hold it exclusively. Without it, a commit racing a checkpoint could
+	// append records between the checkpoint's log flush and its truncation
+	// and have them silently discarded, and Close could shut the files
+	// under a read's pending disk I/O. The engine quiesces before
+	// checkpointing, but the store must not lose committed data when a
+	// caller gets that wrong.
+	ckptMu sync.RWMutex
+
+	// globalMu is the Options.GlobalLock baseline: when enabled, public
+	// operations hold it exactly where the pre-E14 engine held its single
+	// store mutex (commit fsyncs stayed outside it even then).
+	globalMu sync.Mutex
+}
+
+// glock/gunlock implement the GlobalLock comparison baseline; they are
+// no-ops in the default configuration.
+func (s *Store) glock() {
+	if s.opts.GlobalLock {
+		s.globalMu.Lock()
+	}
+}
+
+func (s *Store) gunlock() {
+	if s.opts.GlobalLock {
+		s.globalMu.Unlock()
+	}
 }
 
 // Open opens (creating if necessary) a store in dir and runs crash
@@ -102,8 +172,10 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	dataPath := filepath.Join(dir, dataFileName)
-	_, statErr := os.Stat(dataPath)
-	isNew := os.IsNotExist(statErr)
+	st, statErr := os.Stat(dataPath)
+	// A crash between file creation and the first header write can leave an
+	// empty data file; formatting is idempotent, so treat it as new.
+	isNew := os.IsNotExist(statErr) || (statErr == nil && st.Size() == 0)
 
 	file, err := os.OpenFile(dataPath, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
@@ -112,9 +184,14 @@ func Open(dir string, opts Options) (*Store, error) {
 	lsnBase := uint64(0)
 	if !isNew {
 		hdr := make([]byte, 48)
-		if _, err := file.ReadAt(hdr, 0); err == nil {
-			lsnBase = binary.LittleEndian.Uint64(hdr[40:])
+		if _, err := file.ReadAt(hdr, 0); err != nil {
+			// A short or unreadable header must fail the open: silently
+			// resetting lsnBase to zero would let stale page LSNs mask the
+			// redo of newer log records, breaking recovery idempotence.
+			file.Close()
+			return nil, fmt.Errorf("store: read header: %w", err)
 		}
+		lsnBase = binary.LittleEndian.Uint64(hdr[40:])
 	}
 	log, err := openWAL(filepath.Join(dir, walFileName), lsnBase, opts.SyncCommits)
 	if err != nil {
@@ -129,9 +206,10 @@ func Open(dir string, opts Options) (*Store, error) {
 		heaps:     map[uint32]*heapInfo{},
 		heapNames: map[string]uint32{},
 		nextHeap:  1,
-		nextTxn:   1,
 	}
+	s.nextTxn.Store(1)
 	s.pool = newBufferPool(opts.BufferPages, file, log)
+	s.pool.ioDelay = opts.BenchIODelay
 
 	if isNew {
 		if err := s.format(); err != nil {
@@ -174,6 +252,7 @@ func (s *Store) format() error {
 }
 
 // load reads the header, catalog and heap chains, then runs recovery.
+// It runs single-threaded before the store is published.
 func (s *Store) load() error {
 	st, err := s.file.Stat()
 	if err != nil {
@@ -209,13 +288,13 @@ func (s *Store) load() error {
 		return err
 	}
 	// Sharp checkpoint after recovery truncates the log.
-	return s.checkpointLocked()
+	return s.checkpoint()
 }
 
 func (s *Store) loadCatalog() error {
 	s.heapNames = map[string]uint32{}
 	maxID := uint32(0)
-	err := s.scanLocked(catalogHeapID, func(_ RID, data []byte) bool {
+	err := s.scanHeap(s.heaps[catalogHeapID], func(_ RID, data []byte) bool {
 		id := binary.LittleEndian.Uint32(data[0:])
 		first := PageID(binary.LittleEndian.Uint32(data[4:]))
 		nameLen := binary.LittleEndian.Uint16(data[8:])
@@ -297,12 +376,14 @@ func (s *Store) rebuildChainsAndFreeList() error {
 
 // Close checkpoints and closes the store.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
 	if s.closed {
 		return nil
 	}
-	if err := s.checkpointLocked(); err != nil {
+	if err := s.checkpoint(); err != nil {
 		return err
 	}
 	s.closed = true
@@ -311,14 +392,18 @@ func (s *Store) Close() error {
 }
 
 // Checkpoint flushes all dirty pages, syncs the data file and truncates the
-// WAL. No transactions may be active (the engine quiesces first).
+// WAL. No transactions may be active (the engine quiesces first); ckptMu
+// additionally fences stragglers so a racing commit is never truncated
+// away unflushed.
 func (s *Store) Checkpoint() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.checkpointLocked()
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	return s.checkpoint()
 }
 
-func (s *Store) checkpointLocked() error {
+func (s *Store) checkpoint() error {
 	if err := s.log.flush(^uint64(0) >> 1); err != nil {
 		return err
 	}
@@ -347,8 +432,8 @@ func (s *Store) checkpointLocked() error {
 // write-back and the files are closed without checkpointing. Only data made
 // durable by the WAL survives, exactly as after a power failure.
 func (s *Store) CrashForTest() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
 	if s.closed {
 		return
 	}
@@ -360,17 +445,19 @@ func (s *Store) CrashForTest() {
 // Stats returns storage counters.
 func (s *Store) Stats() Stats {
 	fsyncs, flushCalls, coalesced := s.log.syncStats()
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.allocMu.Lock()
+	pageCount := s.pageCount
+	freePages := len(s.freeList)
+	s.allocMu.Unlock()
 	return Stats{
-		PageCount:     s.pageCount,
-		FreePages:     len(s.freeList),
-		BufferHits:    s.pool.hits,
-		BufferMisses:  s.pool.misses,
-		Evictions:     s.pool.evictions,
+		PageCount:     pageCount,
+		FreePages:     freePages,
+		BufferHits:    s.pool.hits.Load(),
+		BufferMisses:  s.pool.misses.Load(),
+		Evictions:     s.pool.evictions.Load(),
 		LogBytes:      s.log.size(),
 		Commits:       s.commits.Load(),
-		Aborts:        s.aborts,
+		Aborts:        s.aborts.Load(),
 		WALFsyncs:     fsyncs,
 		WALFlushCalls: flushCalls,
 		WALCoalesced:  coalesced,
@@ -380,13 +467,17 @@ func (s *Store) Stats() Stats {
 // LogBytes returns the current logical WAL size (experiment E3 metric).
 func (s *Store) LogBytes() uint64 { return s.log.size() }
 
-// --- page allocation (caller holds s.mu) ---
+// --- page allocation ---
 
 const flagFree uint16 = 1 << 15
 
 // allocPage returns a pinned, formatted frame for a new page, preferring
-// the free list. The allocation is logged redo-only.
+// the free list. The allocation is logged redo-only. Page IDs are handed
+// out under allocMu; the formatting (and its log record) happens under the
+// new frame's write latch, though the page is unreachable by other threads
+// until the caller links it into a chain.
 func (s *Store) allocPage(t *Txn, flags uint16, prev, next PageID) (*frame, error) {
+	s.allocMu.Lock()
 	var pid PageID
 	if n := len(s.freeList); n > 0 {
 		pid = s.freeList[n-1]
@@ -395,10 +486,15 @@ func (s *Store) allocPage(t *Txn, flags uint16, prev, next PageID) (*frame, erro
 		pid = PageID(s.pageCount)
 		s.pageCount++
 	}
+	s.allocMu.Unlock()
 	f, err := s.pool.fresh(pid)
 	if err != nil {
+		s.allocMu.Lock()
+		s.freeList = append(s.freeList, pid)
+		s.allocMu.Unlock()
 		return nil, err
 	}
+	f.latch.Lock()
 	f.pg.format()
 	f.pg.setFlags(flags)
 	f.pg.setPrev(prev)
@@ -406,5 +502,6 @@ func (s *Store) allocPage(t *Txn, flags uint16, prev, next PageID) (*frame, erro
 	lsn := s.log.append(&logRecord{typ: recFormatPage, txn: t.id, prevLSN: t.lastLSN, page: pid, flags: flags, page2: prev, page3: next})
 	t.lastLSN = lsn
 	f.pg.setLSN(lsn)
+	f.latch.Unlock()
 	return f, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -481,5 +482,252 @@ func TestMultipleHeapsIsolated(t *testing.T) {
 	h1b, _ := s.CreateHeap("a")
 	if h1b != h1 {
 		t.Fatal("CreateHeap should be idempotent")
+	}
+}
+
+// TestOpenShortHeaderFails checks that a truncated store header fails Open
+// instead of silently resetting the LSN base to zero, which would let stale
+// page LSNs mask the redo of newer log records after a checkpoint.
+func TestOpenShortHeaderFails(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "data.db"), []byte("short"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, DefaultOptions()); err == nil {
+		t.Fatal("Open succeeded on a store with a truncated header")
+	} else if !strings.Contains(err.Error(), "header") {
+		t.Fatalf("want header read error, got: %v", err)
+	}
+}
+
+// TestOpenEmptyDataFile checks that a zero-length data file — the residue
+// of a crash between file creation and the first header write — is treated
+// as a fresh store and reformatted.
+func TestOpenEmptyDataFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "data.db"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, DefaultOptions())
+	if err != nil {
+		t.Fatalf("Open of empty data file: %v", err)
+	}
+	defer s.Close()
+	h, err := s.CreateHeap("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := s.Begin()
+	if _, err := tx.Insert(h, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchDeleteIdempotent re-runs a batch delete over already-deleted
+// records in both logging modes: retention re-runs the same batch after a
+// crash and must not fail (nor abandon a half-applied internal
+// transaction) on rids that are already gone.
+func TestBatchDeleteIdempotent(t *testing.T) {
+	for _, unlogged := range []bool{true, false} {
+		opts := DefaultOptions()
+		opts.UnloggedDeletes = unlogged
+		s := openTemp(t, opts)
+		h, _ := s.CreateHeap("q")
+		tx := s.Begin()
+		var rids []RID
+		for i := 0; i < 10; i++ {
+			rid, err := tx.Insert(h, []byte(fmt.Sprintf("r%d", i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rids = append(rids, rid)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.BatchDelete(h, rids[:7]); err != nil {
+			t.Fatalf("unlogged=%v first delete: %v", unlogged, err)
+		}
+		// Overlapping re-run: 5 already gone, 3 still live.
+		if err := s.BatchDelete(h, rids[2:]); err != nil {
+			t.Fatalf("unlogged=%v re-run over deleted rids: %v", unlogged, err)
+		}
+		count := 0
+		if err := s.Scan(h, func(RID, []byte) bool { count++; return true }); err != nil {
+			t.Fatal(err)
+		}
+		if count != 0 {
+			t.Fatalf("unlogged=%v: %d records survived", unlogged, count)
+		}
+	}
+}
+
+// TestRecoveryBatchDeleteSlotReuse pins the per-page LSN invariant for
+// unlogged batch deletes: delete a record, let a later committed insert
+// reuse its dead slot, force the page to disk (carrying the insert's LSN),
+// crash, recover. The batch-delete redo must be masked by the page LSN —
+// an out-of-band batch LSN would replay the delete over the newer record
+// and lose it.
+func TestRecoveryBatchDeleteSlotReuse(t *testing.T) {
+	dir := t.TempDir()
+	opts := DefaultOptions()
+	opts.BufferPages = 8 // tiny pool: filler traffic evicts the reused page
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := s.CreateHeap("q")
+	tx := s.Begin()
+	ridA, err := tx.Insert(h, []byte("old-record"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BatchDelete(h, []RID{ridA}); err != nil {
+		t.Fatal(err)
+	}
+	tx = s.Begin()
+	ridB, err := tx.Insert(h, []byte("new-record"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if ridB != ridA {
+		t.Fatalf("test premise: insert should reuse the dead slot, got %s vs %s", ridB, ridA)
+	}
+	// Filler traffic forces eviction of the reused page, writing it back
+	// with the insert's LSN.
+	filler := bytes.Repeat([]byte("f"), 3000)
+	tx = s.Begin()
+	for i := 0; i < 100; i++ {
+		if _, err := tx.Insert(h, filler); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Scan(h, func(RID, []byte) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	s.CrashForTest()
+
+	s2, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, err := s2.Read(ridB)
+	if err != nil {
+		t.Fatalf("newer record lost in recovery: %v", err)
+	}
+	if string(got) != "new-record" {
+		t.Fatalf("newer record corrupted in recovery: %q", got)
+	}
+}
+
+// TestRecoveryLargerThanBufferPool recovers a store whose redo working set
+// far exceeds the buffer pool, forcing dirty-page eviction (and its WAL
+// flush) in the middle of the recovery log scan. wal.scan must not hold
+// its mutex across the replay callback, or this self-deadlocks.
+func TestRecoveryLargerThanBufferPool(t *testing.T) {
+	dir := t.TempDir()
+	opts := DefaultOptions()
+	opts.BufferPages = 8
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := s.CreateHeap("q")
+	payload := bytes.Repeat([]byte("r"), 3000)
+	tx := s.Begin()
+	const n = 300 // ~150 pages >> pool
+	for i := 0; i < n; i++ {
+		if _, err := tx.Insert(h, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	s.CrashForTest()
+
+	s2, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	h2, _ := s2.Heap("q")
+	count := 0
+	if err := s2.Scan(h2, func(RID, []byte) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("recovered %d records, want %d", count, n)
+	}
+}
+
+// TestRecoveryLoserOverflowChunkUndo crashes with an uncommitted overflow
+// insert whose payload bytes are all 0x01 — so every logged chunk starts
+// with what looks like the inline overflow-record kind byte. Recovery's
+// loser undo must not parse chunk payloads as chain headers: doing so
+// panicked on short chunks (index out of range on a 3-byte tail chunk)
+// or free-listed garbage page chains.
+func TestRecoveryLoserOverflowChunkUndo(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := s.CreateHeap("q")
+	// Committed record that must survive the loser's undo untouched.
+	tx := s.Begin()
+	keep, err := tx.Insert(h, []byte("survivor"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Loser: spilled insert with a 3-byte tail chunk, all bytes 0x01.
+	payload := bytes.Repeat([]byte{1}, overflowPrefix+ovChunkMax+3)
+	loser := s.Begin()
+	if _, err := loser.Insert(h, payload); err != nil {
+		t.Fatal(err)
+	}
+	// A later commit's group flush makes the loser's buffered records
+	// durable, so recovery will see (and undo) them.
+	tx2 := s.Begin()
+	if _, err := tx2.Insert(h, []byte("flusher")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	s.CrashForTest()
+
+	s2, err := Open(dir, DefaultOptions())
+	if err != nil {
+		t.Fatalf("recovery failed on loser overflow undo: %v", err)
+	}
+	defer s2.Close()
+	got, err := s2.Read(keep)
+	if err != nil || string(got) != "survivor" {
+		t.Fatalf("committed record damaged by loser undo: %q, %v", got, err)
+	}
+	h2, _ := s2.Heap("q")
+	count := 0
+	if err := s2.Scan(h2, func(RID, []byte) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 { // survivor + flusher; the loser's insert undone
+		t.Fatalf("heap has %d records after recovery, want 2", count)
 	}
 }

@@ -10,7 +10,9 @@ var ErrTxnDone = errors.New("store: transaction already committed or aborted")
 // Txn is a storage transaction: atomic (WAL undo), durable (WAL flush at
 // commit). Isolation between transactions is the responsibility of the
 // logical lock manager above (internal/txn), matching the paper's model of
-// message-processing transactions protected by queue/slice locks.
+// message-processing transactions protected by queue/slice locks. A Txn is
+// used by one goroutine at a time; distinct transactions run fully in
+// parallel against the latched page store.
 type Txn struct {
 	s       *Store
 	id      uint64
@@ -24,15 +26,13 @@ type Txn struct {
 
 // Begin starts a transaction.
 func (s *Store) Begin() *Txn {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.beginLocked()
+	s.glock()
+	defer s.gunlock()
+	return s.beginTxn()
 }
 
-func (s *Store) beginLocked() *Txn {
-	t := &Txn{s: s, id: s.nextTxn}
-	s.nextTxn++
-	return t
+func (s *Store) beginTxn() *Txn {
+	return &Txn{s: s, id: s.nextTxn.Add(1) - 1}
 }
 
 func (t *Txn) ensureActive() error {
@@ -47,28 +47,32 @@ func (t *Txn) ensureActive() error {
 	return nil
 }
 
-// Commit makes the transaction durable. The store mutex is only held while
-// the commit record is appended; the WAL flush — the expensive fsync — runs
-// outside it, so concurrent committers overlap in the log and coalesce
-// their fsyncs (group commit). Isolation between the committing
-// transactions is the responsibility of the logical lock layer above.
+// Commit makes the transaction durable. The WAL flush — the expensive
+// fsync — runs after all bookkeeping, so concurrent committers overlap in
+// the log and coalesce their fsyncs (group commit). Isolation between the
+// committing transactions is the responsibility of the logical lock layer
+// above.
 func (t *Txn) Commit() error {
-	t.s.mu.Lock()
-	lsn, err := t.s.prepareCommitLocked(t)
-	t.s.mu.Unlock()
+	t.s.ckptMu.RLock()
+	t.s.glock()
+	lsn, err := t.s.prepareCommit(t)
+	t.s.gunlock()
+	t.s.ckptMu.RUnlock()
+	// The flush itself may run outside the checkpoint fence: a checkpoint
+	// that slipped in after the fence released has already flushed (and
+	// possibly truncated past) this LSN, making the flush a durable no-op.
 	return t.s.finishCommit(lsn, err)
 }
 
-// commitLocked commits an internal auto-committed transaction (DDL, batch
-// deletes) while the caller already holds s.mu.
-func (s *Store) commitLocked(t *Txn) error {
-	lsn, err := s.prepareCommitLocked(t)
+// commitTxn commits an internal auto-committed transaction (DDL, batch
+// deletes) from a caller already inside the store.
+func (s *Store) commitTxn(t *Txn) error {
+	lsn, err := s.prepareCommit(t)
 	return s.finishCommit(lsn, err)
 }
 
 // finishCommit flushes the log up to the commit record and counts the
-// commit. The wal serializes flushes internally, so this is safe both with
-// and without s.mu held.
+// commit. The wal serializes flushes internally.
 func (s *Store) finishCommit(lsn uint64, err error) error {
 	if err != nil || lsn == 0 {
 		return err
@@ -80,10 +84,10 @@ func (s *Store) finishCommit(lsn uint64, err error) error {
 	return nil
 }
 
-// prepareCommitLocked appends the commit record and releases deferred page
-// frees; it returns the LSN the caller must flush to (0 for read-only
-// transactions). Caller holds s.mu.
-func (s *Store) prepareCommitLocked(t *Txn) (uint64, error) {
+// prepareCommit appends the commit record and releases deferred page frees;
+// it returns the LSN the caller must flush to (0 for read-only
+// transactions).
+func (s *Store) prepareCommit(t *Txn) (uint64, error) {
 	if t.done {
 		return 0, ErrTxnDone
 	}
@@ -101,12 +105,14 @@ func (s *Store) prepareCommitLocked(t *Txn) (uint64, error) {
 // order, logging a CLR for each so recovery can resume an interrupted
 // rollback.
 func (t *Txn) Abort() error {
-	t.s.mu.Lock()
-	defer t.s.mu.Unlock()
-	return t.s.abortLocked(t)
+	t.s.ckptMu.RLock()
+	defer t.s.ckptMu.RUnlock()
+	t.s.glock()
+	defer t.s.gunlock()
+	return t.s.abortTxn(t)
 }
 
-func (s *Store) abortLocked(t *Txn) error {
+func (s *Store) abortTxn(t *Txn) error {
 	if t.done {
 		return ErrTxnDone
 	}
@@ -120,22 +126,21 @@ func (s *Store) abortLocked(t *Txn) error {
 		}
 	}
 	s.log.append(&logRecord{typ: recAbort, txn: t.id, prevLSN: t.lastLSN})
-	s.aborts++
+	s.aborts.Add(1)
 	return nil
 }
 
 // undoRecord applies the compensation for one update record and logs it as
-// a CLR whose undoNext points before the undone record.
+// a CLR whose undoNext points before the undone record. The CLR append and
+// its page application happen atomically under the page's write latch:
+// were they separated, a concurrent operation could stamp the page with a
+// higher LSN and write it back before the compensation landed, and redo
+// would then skip the CLR — resurrecting the aborted update.
 func (s *Store) undoRecord(t *Txn, r *logRecord) error {
 	var comp *logRecord
 	switch r.typ {
 	case recInsert:
 		comp = &logRecord{typ: recDelete, heap: r.heap, page: r.page, slot: r.slot}
-		// Undoing the insert of an overflow record releases its chain.
-		if len(r.after) > 0 && r.after[0] == recKindOverflow {
-			first := PageID(leU32(r.after[1:]))
-			defer s.freePages(s.chainPages(first))
-		}
 	case recDelete:
 		comp = &logRecord{typ: recInsert, heap: r.heap, page: r.page, slot: r.slot, after: r.before}
 	case recSetBytes:
@@ -143,76 +148,106 @@ func (s *Store) undoRecord(t *Txn, r *logRecord) error {
 	default:
 		return nil // redo-only record: no compensation
 	}
+	f, err := s.pageForRedo(comp.page)
+	if err != nil {
+		return err
+	}
+	f.latch.Lock()
+	// Undoing the insert of an overflow record releases its chain — but
+	// only inserts into RECORD pages can carry an inline overflow header.
+	// A loser transaction's overflow-chunk inserts target overflow-flagged
+	// pages (already free-flagged once the inline record's undo, which
+	// runs first in reverse log order, released the chain) and hold raw
+	// payload bytes: parsing those as a chain pointer would free-list
+	// whatever pages the garbage pointer reaches.
+	freeChain := InvalidPage
+	if r.typ == recInsert && f.pg.flags()&(flagOverflow|flagFree) == 0 &&
+		len(r.after) >= overflowHeader && r.after[0] == recKindOverflow {
+		freeChain = PageID(leU32(r.after[1:]))
+	}
 	clr := &logRecord{typ: recCLR, txn: t.id, prevLSN: t.lastLSN, undoNext: r.prevLSN, comp: comp}
 	lsn := s.log.append(clr)
 	t.lastLSN = lsn
-	return s.applyRedo(comp, lsn)
+	applyToPage(&f.pg, comp, lsn)
+	f.latch.Unlock()
+	s.pool.unpin(f, true)
+	if freeChain != InvalidPage {
+		s.freePages(s.chainPages(freeChain))
+	}
+	return nil
 }
 
-// applyRedo executes the page effect of a record, stamping the page LSN.
-// It is used both for compensations at runtime and for redo at recovery.
-func (s *Store) applyRedo(r *logRecord, lsn uint64) error {
+// applyToPage executes a single-page record effect on an already latched
+// page, advancing — never regressing — the page LSN.
+func applyToPage(pg *page, r *logRecord, lsn uint64) {
 	switch r.typ {
 	case recInsert:
-		f, err := s.pageForRedo(r.page)
-		if err != nil {
-			return err
-		}
-		f.pg.insertAt(r.slot, r.after)
-		f.pg.setLSN(lsn)
-		s.pool.unpin(f, true)
+		pg.insertAt(r.slot, r.after)
 	case recDelete:
-		f, err := s.pageForRedo(r.page)
-		if err != nil {
-			return err
-		}
-		f.pg.del(r.slot)
-		f.pg.setLSN(lsn)
-		s.pool.unpin(f, true)
+		pg.del(r.slot)
 	case recSetBytes:
-		f, err := s.pageForRedo(r.page)
-		if err != nil {
-			return err
-		}
-		if rec, ok := f.pg.read(r.slot); ok && int(r.off) < len(rec) && len(r.after) == 1 {
+		if rec, ok := pg.read(r.slot); ok && int(r.off) < len(rec) && len(r.after) == 1 {
 			rec[r.off] = r.after[0]
 		}
-		f.pg.setLSN(lsn)
+	case recFormatPage:
+		pg.format()
+		pg.setFlags(r.flags)
+		pg.setPrev(r.page2)
+		pg.setNext(r.page3)
+	case recChain:
+		pg.setNext(r.page2)
+	case recSetFlags:
+		pg.format()
+		pg.setFlags(r.flags)
+	}
+	if lsn > pg.lsn() {
+		pg.setLSN(lsn)
+	}
+}
+
+// applyRedo executes the page effect of a record during recovery, stamping
+// the page LSN. Recovery is single-threaded; latches are taken for
+// uniformity with the runtime protocol.
+func (s *Store) applyRedo(r *logRecord, lsn uint64) error {
+	switch r.typ {
+	case recInsert, recDelete, recSetBytes, recFormatPage, recChain, recSetFlags:
+		f, err := s.pageForRedo(r.page)
+		if err != nil {
+			return err
+		}
+		f.latch.Lock()
+		applyToPage(&f.pg, r, lsn)
+		f.latch.Unlock()
 		s.pool.unpin(f, true)
 	case recBatchDelete:
+		// Batch-delete records are written one per page (grouped and
+		// appended under that page's write latch), so the page LSN guard
+		// is evaluated once per page — and BEFORE any of its slots is
+		// applied, since applying the first slot stamps the page with this
+		// very LSN. A page already carrying this LSN or a later one (e.g.
+		// an insert that reused a dead slot and reached disk) has the
+		// deletes durable and must not be replayed. The per-page grouping
+		// below also recovers legacy whole-batch records whose rids span
+		// multiple pages.
+		skip := map[PageID]bool{}
 		for _, rid := range r.rids {
+			judged, seen := skip[rid.Page]
+			if !seen {
+				f, err := s.pageForRedo(rid.Page)
+				if err != nil {
+					return err
+				}
+				judged = f.pg.lsn() >= lsn
+				s.pool.unpin(f, false)
+				skip[rid.Page] = judged
+			}
+			if judged {
+				continue
+			}
 			if _, err := s.applyPhysicalDelete(rid, lsn); err != nil {
 				return err
 			}
 		}
-	case recFormatPage:
-		f, err := s.pageForRedo(r.page)
-		if err != nil {
-			return err
-		}
-		f.pg.format()
-		f.pg.setFlags(r.flags)
-		f.pg.setPrev(r.page2)
-		f.pg.setNext(r.page3)
-		f.pg.setLSN(lsn)
-		s.pool.unpin(f, true)
-	case recChain:
-		f, err := s.pageForRedo(r.page)
-		if err != nil {
-			return err
-		}
-		f.pg.setNext(r.page2)
-		f.pg.setLSN(lsn)
-		s.pool.unpin(f, true)
-	case recSetFlags:
-		f, err := s.pageForRedo(r.page)
-		if err != nil {
-			return err
-		}
-		f.pg.format()
-		f.pg.setFlags(r.flags)
-		f.pg.setLSN(lsn)
-		s.pool.unpin(f, true)
 	}
 	return nil
 }
@@ -220,8 +255,13 @@ func (s *Store) applyRedo(r *logRecord, lsn uint64) error {
 // pageForRedo fetches a page, growing the file if the page had not been
 // written back before a crash.
 func (s *Store) pageForRedo(pid PageID) (*frame, error) {
-	if uint32(pid) >= s.pageCount {
+	s.allocMu.Lock()
+	grow := uint32(pid) >= s.pageCount
+	if grow {
 		s.pageCount = uint32(pid) + 1
+	}
+	s.allocMu.Unlock()
+	if grow {
 		return s.pool.fresh(pid)
 	}
 	return s.pool.get(pid)

@@ -301,18 +301,25 @@ func (w *wal) truncate() (uint64, error) {
 
 // scan reads all complete records from the start of the log, stopping at
 // the first torn or corrupt record (the tail of an interrupted write).
+// The log is snapshotted under the mutex but iterated with it RELEASED:
+// recovery redo runs inside fn, and evicting a dirty page there ends in
+// wal.flush — holding w.mu across the callback would self-deadlock as soon
+// as the redo working set outgrows the buffer pool.
 func (w *wal) scan(fn func(r *logRecord) error) error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	w.quiesceLocked()
 	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		w.mu.Unlock()
 		return err
 	}
 	data, err := io.ReadAll(w.f)
 	if err != nil {
+		w.mu.Unlock()
 		return err
 	}
 	data = append(data, w.buf...)
+	base := w.base
+	w.mu.Unlock()
 	off := 0
 	for off+8 <= len(data) {
 		n := binary.LittleEndian.Uint32(data[off:])
@@ -328,7 +335,7 @@ func (w *wal) scan(fn func(r *logRecord) error) error {
 		if err != nil {
 			return fmt.Errorf("wal: corrupt record at offset %d: %w", off, err)
 		}
-		r.lsn = w.base + uint64(off) + 1
+		r.lsn = base + uint64(off) + 1
 		if err := fn(r); err != nil {
 			return err
 		}

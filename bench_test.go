@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"demaq/internal/baseline"
+	"demaq/internal/engine"
 	"demaq/internal/gateway"
 	"demaq/internal/msgstore"
 	"demaq/internal/property"
@@ -925,5 +926,77 @@ func BenchmarkE14StoreScalability(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/sec")
 		})
+	}
+}
+
+// --- E16: streaming ingest with per-queue path projection ---
+
+// e16App references only the order id: the projection analysis keeps the
+// <order> spine and its id attribute and prunes the item subtrees into
+// opaque byte spans at ingest.
+const e16App = `
+	create queue in kind basic mode persistent;
+	create queue out kind basic mode persistent;
+	create rule route for in if (exists(/order/@id)) then
+	  do enqueue <routed>{string(/order/@id)}</routed> into out;
+`
+
+// e16AppStreaming uses a // descent, which defeats the static analysis:
+// the queue streams into the full binary encoding (no DOM tree either),
+// but without projection.
+const e16AppStreaming = `
+	create queue in kind basic mode persistent;
+	create queue out kind basic mode persistent;
+	create rule route for in if (//order) then
+	  do enqueue <routed>seen</routed> into out;
+`
+
+// BenchmarkE16Ingest measures pure ingest cost (the engine is never
+// started, so no rules run): wire XML in, committed message out.
+//
+//	legacy-dom: parse into a DOM tree, encode the tree (Config.FullIngest)
+//	streaming:  SAX-style streaming encode, full document kept
+//	projected:  streaming encode, unreferenced subtrees stored as spans
+func BenchmarkE16Ingest(b *testing.B) {
+	for _, size := range []int{4 << 10, 64 << 10} {
+		payload := []byte(e12Payload(size))
+		for _, mode := range []string{"legacy-dom", "streaming", "projected"} {
+			b.Run(fmt.Sprintf("size=%dKB/mode=%s", size>>10, mode), func(b *testing.B) {
+				src := e16App
+				if mode == "streaming" {
+					src = e16AppStreaming
+				}
+				app, err := qdl.Parse(src)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := engine.Config{Dir: b.TempDir(), Workers: 1, FullIngest: mode == "legacy-dom"}
+				cfg.Store = msgstore.DefaultOptions()
+				cfg.Store.Store.SyncCommits = false
+				e, err := engine.New(cfg, app)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer e.Stop()
+				switch mode {
+				case "projected":
+					if e.Projection("in") == nil {
+						b.Fatal("e16App must yield a projection for queue in")
+					}
+				default:
+					if e.Projection("in") != nil {
+						b.Fatalf("mode %s must not project", mode)
+					}
+				}
+				b.SetBytes(int64(len(payload)))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := e.EnqueueWire("in", payload, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }

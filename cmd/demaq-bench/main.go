@@ -19,6 +19,7 @@ import (
 
 	"demaq"
 	"demaq/internal/baseline"
+	"demaq/internal/engine"
 	"demaq/internal/gateway"
 	"demaq/internal/msgstore"
 	"demaq/internal/property"
@@ -52,6 +53,7 @@ var experiments = []struct {
 	{"E12", "binary vs text payload rehydration (Sec. 4.1)", runE12},
 	{"E13", "set-oriented batch execution (Sec. 3.1/4.4)", runE13},
 	{"E14", "fine-grained page-store concurrency (per-page latches)", runE14},
+	{"E16", "streaming ingest with per-queue path projection", runE16},
 }
 
 // jsonOut and the row collector implement -json: experiments append
@@ -101,7 +103,7 @@ func writeJSONResults() {
 }
 
 func main() {
-	sel := flag.String("e", "all", "comma-separated experiment IDs (E1..E14,A2,A3) or 'all'")
+	sel := flag.String("e", "all", "comma-separated experiment IDs (E1..E16,A2,A3) or 'all'")
 	flag.BoolVar(&jsonOut, "json", false, "write BENCH_<id>.json files with machine-readable results")
 	flag.Parse()
 	want := map[string]bool{}
@@ -992,6 +994,90 @@ func runE14() {
 			record("E14", map[string]any{
 				"goroutines": workers, "locking": name,
 				"reads_per_sec": rate, "speedup_vs_global": speedup,
+			})
+		}
+	}
+}
+
+// --- E16 ---
+
+// runE16 measures pure streaming-ingest throughput (wire XML in,
+// committed message out; the engine is never started so no rules run),
+// sweeping payload size and ingest mode: the legacy DOM path
+// (parse-then-encode), the streaming encoder without projection, and the
+// streaming encoder with the per-queue path projection pruning unread
+// subtrees into opaque spans.
+func runE16() {
+	const projApp = `
+		create queue in kind basic mode persistent;
+		create queue out kind basic mode persistent;
+		create rule route for in if (exists(/order/@id)) then
+		  do enqueue <routed>{string(/order/@id)}</routed> into out;
+	`
+	const streamApp = `
+		create queue in kind basic mode persistent;
+		create queue out kind basic mode persistent;
+		create rule route for in if (//order) then
+		  do enqueue <routed>seen</routed> into out;
+	`
+	const item = `<item sku="A-1001" qty="3"><name>article</name><price cur="EUR">19.90</price><note>mixed <b>content</b> tail</note></item>`
+	fmt.Printf("%-10s %-12s %14s %14s %12s\n", "payload", "mode", "elapsed/msg", "msgs/sec", "MB/sec")
+	for _, size := range []int{4 << 10, 64 << 10} {
+		var sb strings.Builder
+		sb.WriteString(`<order id="42" state="open">`)
+		for sb.Len() < size {
+			sb.WriteString(item)
+		}
+		sb.WriteString(`</order>`)
+		payload := []byte(sb.String())
+		msgs := 2000
+		if size > 16<<10 {
+			msgs = 400
+		}
+		for _, mode := range []string{"legacy-dom", "streaming", "projected"} {
+			src := projApp
+			if mode == "streaming" {
+				src = streamApp
+			}
+			app, err := qdl.Parse(src)
+			if err != nil {
+				panic(err)
+			}
+			dir := tempDir()
+			cfg := engine.Config{Dir: dir, Workers: 1, FullIngest: mode == "legacy-dom"}
+			cfg.Store = msgstore.DefaultOptions()
+			cfg.Store.Store.SyncCommits = false
+			e, err := engine.New(cfg, app)
+			if err != nil {
+				panic(err)
+			}
+			if (e.Projection("in") != nil) != (mode == "projected") {
+				panic("projection mode mismatch: " + mode)
+			}
+			// Untimed warmup: page-store growth, doc-cache fill, JIT-warm
+			// allocator paths.
+			for i := 0; i < 50; i++ {
+				if _, err := e.EnqueueWire("in", payload, nil); err != nil {
+					panic(err)
+				}
+			}
+			start := time.Now()
+			for i := 0; i < msgs; i++ {
+				if _, err := e.EnqueueWire("in", payload, nil); err != nil {
+					panic(err)
+				}
+			}
+			elapsed := time.Since(start)
+			e.Stop()
+			cleanup(dir)
+			mbs := float64(len(payload)) * float64(msgs) / elapsed.Seconds() / (1 << 20)
+			fmt.Printf("%-10s %-12s %14s %14.0f %12.1f\n", fmt.Sprintf("%dKB", size>>10), mode,
+				(elapsed / time.Duration(msgs)).Round(time.Microsecond),
+				float64(msgs)/elapsed.Seconds(), mbs)
+			record("E16", map[string]any{
+				"payload_kb": size >> 10, "mode": mode,
+				"msgs_per_sec": float64(msgs) / elapsed.Seconds(),
+				"mb_per_sec":   mbs,
 			})
 		}
 	}

@@ -67,6 +67,11 @@ type Options struct {
 	// and the compiled rule backend (experiment E4/E11 baseline): rule
 	// bodies then run on the reference AST interpreter.
 	NoRuleOptimizations bool
+	// FullIngest disables streaming ingest and per-queue path projection
+	// (the experiment E16 baseline): incoming wire XML is parsed into a
+	// DOM tree and re-encoded instead of being encoded in one streaming
+	// pass.
+	FullIngest bool
 	// GCInterval enables periodic retention garbage collection.
 	GCInterval time.Duration
 	// Resources resolves WSDL, policy and schema files referenced by the
@@ -139,6 +144,7 @@ func OpenApplication(dir string, app *qdl.Application, opts *Options) (*Server, 
 		GCInterval:   opts.GCInterval,
 		Logger:       opts.Logger,
 		Resources:    opts.Resources,
+		FullIngest:   opts.FullIngest,
 	}
 	srv := &Server{}
 	reg := gateway.NewRegistry()
@@ -309,7 +315,7 @@ func (s *Server) OpenPeer(dir, source string, opts *Options) (*Server, error) {
 		Dir: dir, Workers: opts.Workers, BatchSize: opts.BatchSize,
 		Store: storeOpts, Rules: ruleOpts, Materialized: &materialized,
 		GCInterval: opts.GCInterval, Logger: opts.Logger,
-		Resources: opts.Resources, Transports: reg,
+		Resources: opts.Resources, Transports: reg, FullIngest: opts.FullIngest,
 	}
 	eng, err := engine.New(cfg, app)
 	if err != nil {

@@ -89,6 +89,10 @@ type Config struct {
 	Resources fs.FS
 	// Transports carries the gateway transports, keyed by scheme.
 	Transports *gateway.Registry
+	// FullIngest disables the streaming ingest path (experiment E16
+	// baseline): wire XML is always parsed into a DOM tree and re-encoded,
+	// and no per-queue path projection is applied.
+	FullIngest bool
 }
 
 // DefaultBatchSize is the tuned default for Config.BatchSize.
@@ -115,6 +119,11 @@ type Stats struct {
 	BatchesClaimed   uint64
 	AvgBatchSize     float64
 	DeadlockRequeues uint64
+
+	// IngestBytesPooled counts wire bytes read through pooled gateway
+	// receive buffers (the streaming ingest path copies what it keeps, so
+	// the transport can recycle its read buffer immediately).
+	IngestBytesPooled uint64
 }
 
 // Engine is a running Demaq server instance.
@@ -134,6 +143,11 @@ type Engine struct {
 	// decls indexes the application's queue declarations by name; queue
 	// kind and schema lookups sit on the per-message hot path.
 	decls map[string]*qdl.QueueDecl
+
+	// projs holds the static per-queue path projections derived from the
+	// compiled program (nil entry / missing key = full ingest for that
+	// queue). Like prog it is replaced only by Reload on an idle engine.
+	projs map[string]*xmldom.Projection
 
 	stats struct {
 		processed, rulesEval, rulesFired, enqueued, resets, errors, deadlocks, collected atomic.Uint64
@@ -239,6 +253,7 @@ func New(cfg Config, app *qdl.Application) (*Engine, error) {
 	for _, q := range app.Queues {
 		e.decls[q.Name] = q
 	}
+	e.projs = e.computeProjections(prog, app)
 	materialized := true
 	if cfg.Materialized != nil {
 		materialized = *cfg.Materialized
@@ -307,6 +322,47 @@ func New(cfg Config, app *qdl.Application) (*Engine, error) {
 	}
 	return e, nil
 }
+
+// computeProjections derives the per-queue path projections used by the
+// streaming ingest path. Only queues whose payloads take the streaming
+// encoder qualify: basic and incoming-gateway kinds (echo and outgoing
+// queues are consumed by engine services that read whole documents),
+// persistent mode (transient messages live only as their cached tree,
+// which must be complete), and no schema (validation walks the whole
+// document, so projection would force an immediate full decode). A nil
+// projection from the analysis (imprecise rules, `//` descents, or a
+// union that covers the document anyway) simply leaves the queue out.
+func (e *Engine) computeProjections(prog *rule.Program, app *qdl.Application) map[string]*xmldom.Projection {
+	if e.cfg.FullIngest || e.cfg.Store.TextPayloads {
+		return nil
+	}
+	projs := map[string]*xmldom.Projection{}
+	for _, q := range app.Queues {
+		if q.Kind != qdl.KindBasic && q.Kind != qdl.KindIncomingGateway {
+			continue
+		}
+		if !q.Persistent || q.Schema != "" {
+			continue
+		}
+		if p := prog.QueueProjection(q.Name); p != nil {
+			projs[q.Name] = p
+		}
+	}
+	return projs
+}
+
+// projFP returns the projection fingerprint of a queue, or 0 when the
+// queue ingests full documents.
+func (e *Engine) projFP(queue string) uint64 {
+	if p := e.projs[queue]; p != nil {
+		return p.Fingerprint()
+	}
+	return 0
+}
+
+// Projection exposes the active path projection of a queue (nil = full
+// ingest). Introspection and tests.
+func (e *Engine) Projection(queue string) *xmldom.Projection { return e.projs[queue] }
 
 // Program exposes the compiled application.
 func (e *Engine) Program() *rule.Program { return e.prog }
@@ -392,6 +448,7 @@ func (e *Engine) Stats() Stats {
 	if st.BatchesClaimed > 0 {
 		st.AvgBatchSize = float64(e.stats.batchMsgs.Load()) / float64(st.BatchesClaimed)
 	}
+	st.IngestBytesPooled = e.cfg.Transports.IngestBytesPooled()
 	return st
 }
 
@@ -453,13 +510,88 @@ func (e *Engine) Enqueue(queue string, doc *xmldom.Node, explicit map[string]xdm
 	return id, nil
 }
 
-// EnqueueXML parses and enqueues.
-func (e *Engine) EnqueueXML(queue, xml string, explicit map[string]xdm.Value) (msgstore.MsgID, error) {
-	doc, err := xmldom.ParseString(xml)
+// EnqueueWire inserts an external message arriving as wire XML. This is
+// the streaming ingest path (experiment E16): the bytes are encoded
+// straight into the binary payload format by a SAX-style pass — no
+// intermediate DOM tree — and, when the queue has a static path
+// projection, subtrees the queue's rules never read are carried through
+// as opaque byte spans and skipped at decode time. The encoder copies
+// everything it keeps, so the caller may reuse wire after the call.
+//
+// Queues that cannot stream — full-ingest or text-payload configuration,
+// transient mode, a declared schema (validation walks the whole
+// document), echo and outgoing-gateway kinds — transparently fall back to
+// parse-and-enqueue with identical semantics and error surface.
+func (e *Engine) EnqueueWire(queue string, wire []byte, explicit map[string]xdm.Value) (msgstore.MsgID, error) {
+	q, ok := e.ms.Queue(queue)
+	if !ok {
+		return 0, fmt.Errorf("engine: unknown queue %q", queue)
+	}
+	decl := e.queueDecl(queue)
+	kind := e.queueKind(queue)
+	if e.cfg.FullIngest || e.cfg.Store.TextPayloads ||
+		q.Mode != msgstore.Persistent ||
+		(decl != nil && decl.Schema != "") ||
+		(kind != qdl.KindBasic && kind != qdl.KindIncomingGateway) {
+		doc, err := xmldom.Parse(wire)
+		if err != nil {
+			return 0, err
+		}
+		return e.Enqueue(queue, doc, explicit)
+	}
+	proj := e.projs[queue]
+	enc, err := xmldom.StreamEncode(nil, wire, proj)
 	if err != nil {
 		return 0, err
 	}
-	return e.Enqueue(queue, doc, explicit)
+	// Decode the encoding we just produced: the partial (projected) tree
+	// when a projection applied, the complete tree otherwise. It seeds the
+	// doc cache and is sufficient for property evaluation — the projection
+	// includes every path the queue's property expressions read. The
+	// decoded strings alias enc, which is why enc is freshly allocated
+	// here and never pooled.
+	var (
+		doc    *xmldom.Node
+		fp     uint64
+		pruned []string
+	)
+	if proj != nil {
+		doc, fp, pruned, err = xmldom.DecodeProjectedOwned(enc)
+		if err == nil && len(pruned) == 0 {
+			// Nothing was actually pruned: the tree is complete, cache and
+			// read it as such.
+			fp = 0
+		}
+	} else {
+		doc, err = xmldom.DecodeOwned(enc)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("engine: streaming ingest self-decode: %w", err)
+	}
+	now := time.Now().UTC()
+	system := map[string]xdm.Value{}
+	props, err := e.prog.Properties.Evaluate(queue, doc, explicit, nil, system, now)
+	if err != nil {
+		return 0, err
+	}
+	tx := e.ms.Begin()
+	id, err := tx.EnqueueEncoded(queue, enc, doc, fp, pruned, props, now)
+	if err != nil {
+		tx.Abort()
+		return 0, err
+	}
+	if _, err := tx.Commit(); err != nil {
+		return 0, err
+	}
+	e.slices.OnEnqueue(id, queue, props)
+	e.stats.enqueued.Add(1)
+	e.routeNewMessage(q, id)
+	return id, nil
+}
+
+// EnqueueXML enqueues wire XML given as a string.
+func (e *Engine) EnqueueXML(queue, xml string, explicit map[string]xdm.Value) (msgstore.MsgID, error) {
+	return e.EnqueueWire(queue, []byte(xml), explicit)
 }
 
 // routeNewMessage hands a committed message to its consumer: the rule
@@ -605,7 +737,7 @@ func (e *Engine) processMessage(queue string, id msgstore.MsgID) error {
 		}
 	}
 
-	doc, err := e.ms.Doc(id)
+	doc, pruned, err := e.ms.DocProjected(id, e.projFP(queue))
 	if err != nil {
 		return err
 	}
@@ -618,7 +750,7 @@ func (e *Engine) processMessage(queue string, id msgstore.MsgID) error {
 	}
 	now := time.Now().UTC()
 	rt := &evalRuntime{eng: e, txnID: txnID, queue: queue, now: now}
-	combined, ruleName, _, failed, err := e.evalMessage(rt, txnID, queue, id, doc, msg.Props, false, false)
+	combined, ruleName, _, failed, err := e.evalMessage(rt, txnID, queue, id, doc, pruned, msg.Props, false, false)
 	if err != nil {
 		return err
 	}
@@ -628,7 +760,15 @@ func (e *Engine) processMessage(queue string, id msgstore.MsgID) error {
 		if err := e.applyUpdates(txnID, id, queue, msg.Props, &xquery.UpdateList{}, now, ""); err != nil {
 			return err
 		}
-		e.emitError(queue, id, doc, failed.rule, failed.err)
+		// The error message embeds the original document: use the complete
+		// tree, never a projected view of it.
+		errDoc := doc
+		if len(pruned) > 0 {
+			if full, derr := e.ms.Doc(id); derr == nil {
+				errDoc = full
+			}
+		}
+		e.emitError(queue, id, errDoc, failed.rule, failed.err)
 		e.stats.processed.Add(1)
 		return nil
 	}
@@ -681,7 +821,7 @@ func (e *Engine) processBatch(queue string, prio int, ids []msgstore.MsgID) (att
 			attempted = ids[:i]
 			break
 		}
-		doc, err := e.ms.Doc(id)
+		doc, pruned, err := e.ms.DocProjected(id, e.projFP(queue))
 		if err != nil {
 			return attempted, err
 		}
@@ -692,7 +832,7 @@ func (e *Engine) processBatch(queue string, prio int, ids []msgstore.MsgID) (att
 		if msg.Processed {
 			continue // duplicate schedule after crash recovery
 		}
-		combined, ruleName, shared, failed, err := e.evalMessage(rt, txnID, queue, id, doc, msg.Props, len(items) > 0, true)
+		combined, ruleName, shared, failed, err := e.evalMessage(rt, txnID, queue, id, doc, pruned, msg.Props, len(items) > 0, true)
 		if err == errNotBatchable {
 			// This message's rules read or mutate shared state and
 			// updates from earlier batch members are already pending:
@@ -771,13 +911,20 @@ var errNotBatchable = fmt.Errorf("engine: message not batchable mid-batch")
 // message is immediately claimable by another worker. With lockMsg set
 // (the batch path; processMessage locks up front itself) the message's
 // exclusive lock is acquired here, after that rejection point.
-func (e *Engine) evalMessage(rt *evalRuntime, txnID uint64, queue string, id msgstore.MsgID, doc *xmldom.Node, props map[string]xdm.Value, noShared, lockMsg bool) (combined *xquery.UpdateList, ruleName string, shared bool, failed *ruleError, err error) {
+func (e *Engine) evalMessage(rt *evalRuntime, txnID uint64, queue string, id msgstore.MsgID, doc *xmldom.Node, pruned []string, props map[string]xdm.Value, noShared, lockMsg bool) (combined *xquery.UpdateList, ruleName string, shared bool, failed *ruleError, err error) {
 	// Element names are the dispatch key set: computed lazily, only when
-	// some applicable rule actually has an element trigger.
+	// some applicable rule actually has an element trigger. A projected
+	// document is missing the elements inside its pruned spans, so their
+	// recorded names are merged back in — the prefilter must never reject
+	// a rule the full document would have selected (over-approximating is
+	// harmless: the rule body re-checks its condition).
 	var namesMemo map[string]bool
 	elementNames := func() map[string]bool {
 		if namesMemo == nil {
 			namesMemo = rule.ElementNames(doc)
+			for _, n := range pruned {
+				namesMemo[n] = true
+			}
 		}
 		return namesMemo
 	}

@@ -368,12 +368,6 @@ func (e *Engine) emitNetworkError(queue string, doc *xmldom.Node, cause error) {
 // system properties (Sec. 2.2 "System").
 func (g *gatewayService) deliver(queue string, payload []byte, props map[string]string) error {
 	e := g.eng
-	doc, err := xmldom.Parse(payload)
-	if err != nil {
-		// Message-related error (Sec. 3.6): a malformed external document.
-		e.emitError(queue, 0, nil, nil, err)
-		return err
-	}
 	explicit := map[string]xdm.Value{}
 	if s := props["Sender"]; s != "" {
 		explicit[property.SysSender] = xdm.NewString(s)
@@ -382,11 +376,32 @@ func (g *gatewayService) deliver(queue string, payload []byte, props map[string]
 		explicit[property.SysConnection] = xdm.NewString(c)
 	}
 	if decl := e.queueDecl(queue); decl != nil && decl.Schema != "" {
+		// Schema queues take the tree path: validation walks the whole
+		// document and the error message embeds it.
+		doc, err := xmldom.Parse(payload)
+		if err != nil {
+			// Message-related error (Sec. 3.6): a malformed external document.
+			e.emitError(queue, 0, nil, nil, err)
+			return err
+		}
 		if err := e.validateSchema(decl, doc); err != nil {
 			e.emitError(queue, 0, doc, nil, err)
 			return err
 		}
+		_, err = e.Enqueue(queue, doc, explicit)
+		return err
 	}
-	_, err = e.Enqueue(queue, doc, explicit)
+	// Streaming ingest straight from the wire buffer; EnqueueWire copies
+	// what it keeps, so the transport may recycle payload afterwards.
+	_, err := e.EnqueueWire(queue, payload, explicit)
+	if err != nil {
+		// Distinguish a malformed document (an application-visible error
+		// message, Sec. 3.6) from internal enqueue failures. The re-parse
+		// only happens on this cold error path.
+		if _, perr := xmldom.Parse(payload); perr != nil {
+			e.emitError(queue, 0, nil, nil, perr)
+			return perr
+		}
+	}
 	return err
 }

@@ -100,6 +100,11 @@ func (e *Engine) Reload(app *qdl.Application) error {
 		decls[q.Name] = q
 	}
 	e.decls = decls
+	// Recompute the per-queue path projections under the new rules. Records
+	// already stored under an old projection carry its fingerprint; a
+	// mismatch at read time falls back to full materialization, so no
+	// stored message ever loses data to a rule change.
+	e.projs = e.computeProjections(prog, app)
 
 	materialized := true
 	if e.cfg.Materialized != nil {

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -21,6 +22,9 @@ type HTTPTransport struct {
 	client    *http.Client
 	servers   map[string]*httpServer // host:port → server
 	endpoints map[string]Handler     // full address → handler
+
+	bodies      sync.Pool // *[]byte request-body read buffers
+	pooledBytes atomic.Uint64
 }
 
 type httpServer struct {
@@ -103,6 +107,32 @@ func (t *HTTPTransport) Close() {
 	t.servers = map[string]*httpServer{}
 }
 
+// Pooled body buffers are returned to the pool only below this capacity:
+// the occasional huge request must not pin its allocation forever.
+const maxPooledBody = 1 << 20
+
+// IngestBytesPooled reports how many request-body bytes were read through
+// recycled buffers (surfaced as engine Stats.IngestBytesPooled).
+func (t *HTTPTransport) IngestBytesPooled() uint64 { return t.pooledBytes.Load() }
+
+// readBody reads r fully into buf (grown as needed), mirroring
+// io.ReadAll without the fresh allocation per request.
+func readBody(r io.Reader, buf []byte) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
 func (t *HTTPTransport) serve(w http.ResponseWriter, r *http.Request) {
 	addr := "http://" + r.Host + r.URL.Path
 	t.mu.Lock()
@@ -112,8 +142,19 @@ func (t *HTTPTransport) serve(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	// Read the body into a pooled buffer. Handlers receive the buffer for
+	// the duration of the call only: the engine's streaming ingest copies
+	// everything it keeps, so the buffer is recycled as soon as the
+	// handler returns.
+	bp, _ := t.bodies.Get().(*[]byte)
+	if bp == nil {
+		b := make([]byte, 0, 64<<10)
+		bp = &b
+	}
+	body, err := readBody(io.LimitReader(r.Body, 64<<20), (*bp)[:0])
+	*bp = body[:0]
 	if err != nil {
+		t.bodies.Put(bp)
 		http.Error(w, "read error", http.StatusBadRequest)
 		return
 	}
@@ -127,8 +168,13 @@ func (t *HTTPTransport) serve(w http.ResponseWriter, r *http.Request) {
 	if props["Sender"] == "" {
 		props["Sender"] = "http://" + r.RemoteAddr
 	}
-	if err := h(body, props); err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+	herr := h(body, props)
+	t.pooledBytes.Add(uint64(len(body)))
+	if cap(body) <= maxPooledBody {
+		t.bodies.Put(bp)
+	}
+	if herr != nil {
+		http.Error(w, herr.Error(), http.StatusUnprocessableEntity)
 		return
 	}
 	w.WriteHeader(http.StatusAccepted)

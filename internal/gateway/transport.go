@@ -72,3 +72,16 @@ func (r *Registry) For(addr string) (Transport, error) {
 	}
 	return t, nil
 }
+
+// IngestBytesPooled sums the pooled-ingest byte counters of the registered
+// transports that report one (currently the HTTP transport, which reads
+// request bodies into recycled buffers).
+func (r *Registry) IngestBytesPooled() uint64 {
+	var n uint64
+	for _, t := range r.transports {
+		if c, ok := t.(interface{ IngestBytesPooled() uint64 }); ok {
+			n += c.IngestBytesPooled()
+		}
+	}
+	return n
+}

@@ -39,6 +39,11 @@ type cacheShard struct {
 type cacheEntry struct {
 	id  MsgID
 	doc *xmldom.Node
+	// fp != 0: doc is a partial tree decoded under the projection with this
+	// fingerprint (spans skipped); pruned lists the element local names
+	// inside the spans. fp == 0: doc is the complete document.
+	fp     uint64
+	pruned []string
 }
 
 const maxCacheShards = 16
@@ -69,29 +74,69 @@ func (c *docCache) shard(id MsgID) *cacheShard {
 	return &c.shards[uint64(id)%uint64(len(c.shards))]
 }
 
+// get returns a complete cached document. Partial entries (projected
+// decodes) count as misses: the caller needs the full tree and will
+// materialize and re-put it.
 func (c *docCache) get(id MsgID) (*xmldom.Node, bool) {
 	sh := c.shard(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if el, ok := sh.m[id]; ok {
-		sh.hits++
-		sh.lru.MoveToFront(el)
-		return el.Value.(*cacheEntry).doc, true
+		e := el.Value.(*cacheEntry)
+		if e.fp == 0 {
+			sh.hits++
+			sh.lru.MoveToFront(el)
+			return e.doc, true
+		}
 	}
 	sh.misses++
 	return nil, false
 }
 
-func (c *docCache) put(id MsgID, doc *xmldom.Node) {
+// getProjected returns a cached document usable under the given projection
+// fingerprint: either a complete document (always usable) or a partial one
+// decoded under the same fingerprint.
+func (c *docCache) getProjected(id MsgID, fp uint64) (*xmldom.Node, []string, bool) {
 	sh := c.shard(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if el, ok := sh.m[id]; ok {
-		el.Value.(*cacheEntry).doc = doc
+		e := el.Value.(*cacheEntry)
+		if e.fp == 0 || e.fp == fp {
+			sh.hits++
+			sh.lru.MoveToFront(el)
+			return e.doc, e.pruned, true
+		}
+	}
+	sh.misses++
+	return nil, nil, false
+}
+
+func (c *docCache) put(id MsgID, doc *xmldom.Node) {
+	c.putEntry(id, doc, 0, nil)
+}
+
+// putProjected caches a partial document decoded under a projection.
+func (c *docCache) putProjected(id MsgID, doc *xmldom.Node, fp uint64, pruned []string) {
+	c.putEntry(id, doc, fp, pruned)
+}
+
+func (c *docCache) putEntry(id MsgID, doc *xmldom.Node, fp uint64, pruned []string) {
+	sh := c.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.m[id]; ok {
+		e := el.Value.(*cacheEntry)
+		if fp != 0 && e.fp == 0 {
+			// Never replace a complete document with a partial one.
+			sh.lru.MoveToFront(el)
+			return
+		}
+		e.doc, e.fp, e.pruned = doc, fp, pruned
 		sh.lru.MoveToFront(el)
 		return
 	}
-	el := sh.lru.PushFront(&cacheEntry{id: id, doc: doc})
+	el := sh.lru.PushFront(&cacheEntry{id: id, doc: doc, fp: fp, pruned: pruned})
 	sh.m[id] = el
 	for sh.lru.Len() > sh.cap {
 		back := sh.lru.Back()

@@ -411,6 +411,37 @@ func (ms *Store) appendMessageRecord(dst []byte, m *msgMeta, doc *xmldom.Node) [
 	return dst
 }
 
+// appendEncodedRecord appends the full record of m with a payload that is
+// already in the binary document encoding (streaming ingest): the header is
+// identical to appendMessageRecord, the payload bytes are copied verbatim.
+func (ms *Store) appendEncodedRecord(dst []byte, m *msgMeta, enc []byte) []byte {
+	m.binary = true
+	type kv struct {
+		k, v string
+		t    uint8
+	}
+	props := make([]kv, 0, len(m.props))
+	for k, v := range m.props {
+		props = append(props, kv{k: k, v: v.StringValue(), t: uint8(v.T)})
+	}
+	sort.Slice(props, func(i, j int) bool { return props[i].k < props[j].k })
+	dst = append(dst, m.status(m.processed.Load()))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(m.id))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(m.enqueued.UnixNano()))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(props)))
+	for _, p := range props {
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(p.k)))
+		dst = append(dst, p.k...)
+		dst = append(dst, p.t)
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(p.v)))
+		dst = append(dst, p.v...)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(enc)))
+	dst = append(dst, enc...)
+	ms.payloadEncBytes.Add(uint64(len(enc)))
+	return dst
+}
+
 func decodeMessage(data []byte) (*msgMeta, error) {
 	if len(data) < 19 {
 		return nil, fmt.Errorf("msgstore: record too short")

@@ -53,6 +53,13 @@ type pendingEnqueue struct {
 	at    time.Time
 	id    MsgID
 
+	// Streaming ingest (EnqueueEncoded): the payload already rendered in
+	// the binary encoding; doc is then the decoded tree for the doc cache
+	// (partial when fp != 0).
+	enc    []byte
+	fp     uint64
+	pruned []string
+
 	// Filled during Commit.
 	q      *Queue    // prepare
 	rid    store.RID // persist (persistent queues)
@@ -76,6 +83,40 @@ func (t *Txn) Enqueue(queue string, doc *xmldom.Node, props map[string]xdm.Value
 		doc = doc.CloneAsDocument()
 	}
 	t.enqueues = append(t.enqueues, &pendingEnqueue{queue: queue, doc: doc, props: props, at: at.UTC(), id: id})
+	return id, nil
+}
+
+// EnqueueEncoded stages a message whose payload was already rendered into
+// the binary document encoding by the streaming ingest path — the record is
+// written from enc directly, with no tree serialization. doc is the decoded
+// view of enc used to seed the doc cache: the complete tree when fp is 0,
+// or the partial (projected) tree decoded under the projection fingerprint
+// fp, with pruned naming the element local names inside its spans. enc and
+// doc are retained past Commit (the cache aliases enc via the decoded
+// strings); the caller must not reuse the buffer.
+//
+// Projected payloads require a persistent queue (a transient message is
+// held only as its cached tree, which must be complete); stores configured
+// for text payloads cannot accept pre-encoded records at all.
+func (t *Txn) EnqueueEncoded(queue string, enc []byte, doc *xmldom.Node, fp uint64, pruned []string, props map[string]xdm.Value, at time.Time) (MsgID, error) {
+	if t.done {
+		return 0, fmt.Errorf("msgstore: transaction finished")
+	}
+	if t.ms.textPayloads {
+		return 0, fmt.Errorf("msgstore: pre-encoded enqueue on a text-payload store")
+	}
+	q := t.ms.getQueue(queue)
+	if q == nil {
+		return 0, fmt.Errorf("msgstore: unknown queue %q", queue)
+	}
+	if fp != 0 && q.Mode != Persistent {
+		return 0, fmt.Errorf("msgstore: projected payload for transient queue %q", queue)
+	}
+	id := MsgID(t.ms.nextID.Add(1) - 1)
+	t.enqueues = append(t.enqueues, &pendingEnqueue{
+		queue: queue, doc: doc, props: props, at: at.UTC(), id: id,
+		enc: enc, fp: fp, pruned: pruned,
+	})
 	return id, nil
 }
 
@@ -140,9 +181,16 @@ func (t *Txn) Commit() ([]Message, error) {
 			}
 			// The single-parse ingest contract: the sealed tree handed to
 			// Enqueue is rendered straight into the record buffer (binary
-			// encoding by default), with no intermediate string.
+			// encoding by default), with no intermediate string. Streaming
+			// enqueues skip even that: the pre-encoded payload bytes are
+			// spliced into the record as-is.
 			m := &msgMeta{id: pe.id, props: pe.props, enqueued: pe.at}
-			rec := ms.appendMessageRecord((*bufp)[:0], m, pe.doc)
+			var rec []byte
+			if pe.enc != nil {
+				rec = ms.appendEncodedRecord((*bufp)[:0], m, pe.enc)
+			} else {
+				rec = ms.appendMessageRecord((*bufp)[:0], m, pe.doc)
+			}
 			*bufp = rec
 			pe.binary = m.binary
 			rid, err := pt.Insert(pe.q.heap, rec)
@@ -196,7 +244,11 @@ func (t *Txn) Commit() ([]Message, error) {
 			m := &msgMeta{id: pe.id, props: pe.props, enqueued: pe.at, q: q, binary: pe.binary}
 			if q.Mode == Persistent {
 				m.rid = pe.rid
-				ms.cache.put(pe.id, pe.doc)
+				if pe.fp != 0 {
+					ms.cache.putProjected(pe.id, pe.doc, pe.fp, pe.pruned)
+				} else {
+					ms.cache.put(pe.id, pe.doc)
+				}
 			} else {
 				m.doc = pe.doc
 			}
@@ -350,6 +402,61 @@ func (ms *Store) Doc(id MsgID) (*xmldom.Node, error) {
 	}
 	ms.cache.put(id, doc)
 	return doc, nil
+}
+
+// DocProjected returns a document usable for evaluation under the queue's
+// current projection, identified by its fingerprint fp. If the stored
+// record was encoded under the same projection, the cheaper partial tree is
+// returned (spans skipped) together with the local names of the elements
+// pruned into spans — the caller merges those into its element-name
+// dispatch index. In every other case (full record, fingerprint mismatch
+// after a rule change, text payload, fp == 0 meaning "no projection") the
+// complete document is materialized exactly like Doc.
+func (ms *Store) DocProjected(id MsgID, fp uint64) (*xmldom.Node, []string, error) {
+	if fp == 0 {
+		doc, err := ms.Doc(id)
+		return doc, nil, err
+	}
+	m := ms.lookup(id)
+	if m == nil {
+		return nil, nil, fmt.Errorf("msgstore: message %d not found", id)
+	}
+	if m.doc != nil {
+		return m.doc, nil, nil // transient: always a complete tree
+	}
+	if doc, pruned, ok := ms.cache.getProjected(id, fp); ok {
+		return doc, pruned, nil
+	}
+	data, err := ms.ps.Read(m.rid)
+	if err != nil {
+		return nil, nil, err
+	}
+	po := payloadOffset(data)
+	if po < 0 {
+		return nil, nil, fmt.Errorf("msgstore: message %d record corrupt", id)
+	}
+	payload := data[po:]
+	if rfp, ok := xmldom.ProjectedFingerprint(payload); ok && rfp == fp {
+		doc, _, pruned, err := xmldom.DecodeProjectedOwned(payload)
+		if err != nil {
+			return nil, nil, fmt.Errorf("msgstore: message %d payload: %w", id, err)
+		}
+		ms.cache.putProjected(id, doc, fp, pruned)
+		return doc, pruned, nil
+	}
+	// Stored under a different (or no) projection: materialize fully. The
+	// decode expands any spans transparently.
+	var doc *xmldom.Node
+	if data[0]&statusBinaryPayload != 0 {
+		doc, err = xmldom.DecodeOwned(payload)
+	} else {
+		doc, err = xmldom.Parse(payload)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("msgstore: message %d payload: %w", id, err)
+	}
+	ms.cache.put(id, doc)
+	return doc, nil, nil
 }
 
 // Get returns the message descriptor.

@@ -1,0 +1,38 @@
+package rule
+
+import (
+	"demaq/internal/xmldom"
+	"demaq/internal/xquery"
+)
+
+// QueueProjection computes the static path projection of a queue: the union
+// of every element path that any expression evaluated against the queue's
+// messages can reference — the queue's rule bodies, the property value
+// expressions bound to the queue, and the bodies of all slicing rules
+// (slice membership is property-driven and properties can arrive explicitly
+// with an enqueue, so a slicing rule may run against any queue's messages).
+//
+// The result is nil when the analysis is imprecise (for example a `//`
+// descent or an externally bound variable) or when the union covers the
+// whole document anyway; callers then use full ingest for the queue. The
+// returned projection is finalized (fingerprinted) and safe to share
+// read-only across goroutines.
+func (p *Program) QueueProjection(queue string) *xmldom.Projection {
+	plan, ok := p.QueuePlans[queue]
+	if !ok {
+		return nil
+	}
+	b := xquery.NewProjectionBuilder()
+	for _, r := range plan.Rules {
+		b.Add(r.Body)
+	}
+	for _, def := range p.Properties.DefsForQueue(queue) {
+		b.Add(def.PerQueue[queue])
+	}
+	for _, sp := range p.SlicePlans {
+		for _, r := range sp.Rules {
+			b.Add(r.Body)
+		}
+	}
+	return b.Build()
+}

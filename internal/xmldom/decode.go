@@ -37,9 +37,97 @@ func DecodeOwned(data []byte) (*Node, error) {
 	return decode(unsafe.String(unsafe.SliceData(data), len(data)))
 }
 
-func decode(s string) (*Node, error) {
-	d := decoder{s: s, pos: 1}
+// DecodeProjectedOwned decodes a projected (v2) record without expanding
+// its spans: the returned tree contains only the nodes the projection kept.
+// It also returns the projection fingerprint the record was encoded under
+// — the caller must check it against the current projection's fingerprint
+// before trusting the partial tree — and the local names of elements pruned
+// into spans, which the dispatch prefilter merges into the document's
+// element-name set so name-based triggers stay sound. Ownership semantics
+// match DecodeOwned: strings alias data.
+func DecodeProjectedOwned(data []byte) (*Node, uint64, []string, error) {
+	if len(data) == 0 || data[0] != EncVersionProjected {
+		return nil, 0, nil, fmt.Errorf("xmldom: not a projected binary-encoded document")
+	}
+	return decodeProjected(unsafe.String(unsafe.SliceData(data), len(data)), false)
+}
 
+// ProjectedFingerprint returns the projection fingerprint of a projected
+// (v2) record, or false for any other payload format.
+func ProjectedFingerprint(data []byte) (uint64, bool) {
+	if len(data) == 0 || data[0] != EncVersionProjected {
+		return 0, false
+	}
+	fp, n := binary.Uvarint(data[1:])
+	if n <= 0 {
+		return 0, false
+	}
+	return fp, true
+}
+
+func decode(s string) (*Node, error) {
+	if s[0] == EncVersionProjected {
+		root, _, _, err := decodeProjected(s, true)
+		return root, err
+	}
+	d := decoder{s: s, pos: 1}
+	return d.run(0)
+}
+
+// decodeProjected decodes the v2 projected format (stream.go). With expand
+// set, every opaque span is re-parsed and spliced back into its child slot,
+// yielding the complete tree — the lazy-materialization path for documents
+// whose stored projection no longer covers what a reader needs. Without
+// expand, spans are skipped entirely and the partial tree contains only the
+// materialized nodes; the caller also receives the projection fingerprint
+// the record was encoded under and the local names of pruned elements (for
+// the dispatch prefilter's element-name index).
+func decodeProjected(s string, expand bool) (*Node, uint64, []string, error) {
+	d := decoder{s: s, pos: 1, spans: true, expand: expand}
+	fp, err := d.uvarint()
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	prunedCount, err := d.uvarint()
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	// Every pruned-name entry takes at least one length-prefix byte.
+	if prunedCount > uint64(len(d.s)-d.pos) {
+		return nil, 0, nil, d.corrupt("implausible pruned-name count")
+	}
+	var pruned []string
+	if prunedCount > 0 {
+		pruned = make([]string, prunedCount)
+	}
+	for i := range pruned {
+		if pruned[i], err = d.str(); err != nil {
+			return nil, 0, nil, err
+		}
+	}
+	spanCount, err := d.uvarint()
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	// Every span takes at least three bytes (marker, binding count, length).
+	if spanCount > uint64(len(d.s)-d.pos) {
+		return nil, 0, nil, d.corrupt("implausible span count")
+	}
+	root, err := d.run(spanCount)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	if expand && spanCount > 0 {
+		// Re-parsed subtrees are unsealed; restamp the whole document so
+		// order comparisons see one consistent sequence.
+		root.Seal()
+	}
+	return root, fp, pruned, nil
+}
+
+// run decodes the dictionary, node count and node stream (shared between
+// v1 and v2; the decoder is positioned just past the format header).
+func (d *decoder) run(spanCount uint64) (*Node, error) {
 	nameCount, err := d.uvarint()
 	if err != nil {
 		return nil, err
@@ -74,7 +162,7 @@ func decode(s string) (*Node, error) {
 		return nil, d.corrupt("implausible node count")
 	}
 	d.nodes = make([]Node, nodeCount)
-	d.ptrs = make([]*Node, nodeCount-1)
+	d.ptrs = make([]*Node, nodeCount-1+spanCount)
 	d.seq = docSeq.Add(1)
 
 	root, err := d.node(nil)
@@ -86,6 +174,9 @@ func decode(s string) (*Node, error) {
 	}
 	if uint64(d.nused) != nodeCount {
 		return nil, d.corrupt("node count mismatch")
+	}
+	if d.spansSeen != spanCount {
+		return nil, d.corrupt("span count mismatch")
 	}
 	return root, nil
 }
@@ -112,6 +203,10 @@ type decoder struct {
 
 	seq uint64
 	ord uint64
+
+	spans     bool // v2 format: child slots may hold opaque spans
+	expand    bool // re-parse spans (full materialization) vs skip them
+	spansSeen uint64
 }
 
 func (d *decoder) corrupt(msg string) error {
@@ -265,15 +360,79 @@ func (d *decoder) children(n *Node) error {
 	if nc == 0 {
 		return nil
 	}
-	if n.Children, err = d.carve(int(nc)); err != nil {
+	kids, err := d.carve(int(nc))
+	if err != nil {
 		return err
 	}
-	for i := range n.Children {
+	used := 0
+	for i := 0; i < int(nc); i++ {
+		if d.spans && d.pos < len(d.s) && d.s[d.pos] == spanMarker {
+			d.pos++
+			c, err := d.span(n)
+			if err != nil {
+				return err
+			}
+			if c != nil {
+				kids[used] = c
+				used++
+			}
+			continue
+		}
 		c, err := d.node(n)
 		if err != nil {
 			return err
 		}
-		n.Children[i] = c
+		kids[used] = c
+		used++
+	}
+	if used > 0 {
+		n.Children = kids[:used:used]
 	}
 	return nil
+}
+
+// span consumes one opaque span entry. With expand set it re-parses the
+// raw element under the recorded in-scope namespace bindings and returns
+// the subtree (parented but not yet sealed); otherwise it returns nil and
+// the span simply does not appear among the parent's children.
+func (d *decoder) span(parent *Node) (*Node, error) {
+	nb, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Each binding takes at least two bytes (two length prefixes).
+	if nb > uint64(len(d.s)-d.pos)/2 {
+		return nil, d.corrupt("implausible namespace binding count")
+	}
+	var ns []nsBinding
+	if d.expand && nb > 0 {
+		ns = make([]nsBinding, 0, nb)
+	}
+	for i := uint64(0); i < nb; i++ {
+		prefix, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		uri, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		if d.expand {
+			ns = append(ns, nsBinding{prefix: prefix, uri: uri})
+		}
+	}
+	raw, err := d.str()
+	if err != nil {
+		return nil, err
+	}
+	d.spansSeen++
+	if !d.expand {
+		return nil, nil
+	}
+	el, err := parseDetached(raw, ns)
+	if err != nil {
+		return nil, d.corrupt(fmt.Sprintf("span re-parse: %v", err))
+	}
+	el.Parent = parent
+	return el, nil
 }

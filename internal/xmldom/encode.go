@@ -37,8 +37,11 @@ import (
 const EncVersion byte = 0x01
 
 // Encoded reports whether data carries the binary document encoding (as
-// opposed to text XML, which always starts with '<').
-func Encoded(data []byte) bool { return len(data) > 0 && data[0] == EncVersion }
+// opposed to text XML, which always starts with '<'). Both the full v1
+// format and the projected v2 format (stream.go) count as encoded.
+func Encoded(data []byte) bool {
+	return len(data) > 0 && (data[0] == EncVersion || data[0] == EncVersionProjected)
+}
 
 // encoder carries the reusable encoding state: the name dictionary of the
 // current document. Pooled so steady-state encoding does not allocate it.

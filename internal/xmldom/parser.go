@@ -51,6 +51,23 @@ type nsBinding struct {
 	uri    string
 }
 
+// parseDetached parses a single element (not a whole document) with the
+// given namespace bindings already in scope. It is used to re-parse the
+// opaque spans of projected encodings (decode.go), whose surrounding
+// declarations were captured at encode time. The returned subtree is not
+// sealed; the caller splices it into a tree and seals the whole document.
+func parseDetached(src string, ns []nsBinding) (*Node, error) {
+	p := &parser{src: []byte(src), line: 1, col: 1, ns: ns}
+	el, err := p.parseElement()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.src) {
+		return nil, p.errf("trailing bytes after element")
+	}
+	return el, nil
+}
+
 type parser struct {
 	src  []byte
 	pos  int

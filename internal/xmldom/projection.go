@@ -1,0 +1,108 @@
+package xmldom
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Projection describes the set of element paths a consumer of a document
+// can reference: a trie over child local names rooted at the document node.
+// A trie node with All set keeps its entire subtree; an element whose local
+// name has no entry in its parent's trie node is not materialized at all —
+// the streaming encoder stores it as an opaque byte span (stream.go) that
+// is only parsed again if the document is fully materialized later.
+//
+// Keys are local names only: name tests follow the paper's convention that
+// an unprefixed test matches the local name in any namespace, so keying on
+// the local name over-approximates every namespace-qualified test — the
+// projection may keep more than needed, never less.
+//
+// A Projection is built once (internal/xquery's ProjectionBuilder) and then
+// shared read-only across concurrent ingest paths; it must not be mutated
+// after Fingerprint has been called.
+type Projection struct {
+	all  bool
+	kids map[string]*Projection
+	fp   uint64
+}
+
+// NewProjection returns an empty projection that keeps only the document
+// shell (doc-level comments and processing instructions are always kept).
+func NewProjection() *Projection { return &Projection{} }
+
+// Child returns the trie node for the given child local name, creating it
+// if absent.
+func (p *Projection) Child(local string) *Projection {
+	if p.kids == nil {
+		p.kids = map[string]*Projection{}
+	}
+	c := p.kids[local]
+	if c == nil {
+		c = &Projection{}
+		p.kids[local] = c
+	}
+	return c
+}
+
+// MarkAll marks the node's entire subtree as kept.
+func (p *Projection) MarkAll() { p.all = true }
+
+// All reports whether the node keeps its entire subtree.
+func (p *Projection) All() bool { return p.all }
+
+// Lookup returns the trie node governing a child with the given local
+// name, and whether such a child is kept at all. On a node with All set
+// every child is kept (with a nil sub-projection, meaning keep-everything).
+func (p *Projection) Lookup(local string) (sub *Projection, keep bool) {
+	if p.all {
+		return nil, true
+	}
+	c, ok := p.kids[local]
+	if !ok {
+		return nil, false
+	}
+	if c.all {
+		return nil, true
+	}
+	return c, true
+}
+
+// Fingerprint returns a stable hash of the projection shape, identical
+// across processes for structurally equal projections. Every projected
+// record carries the fingerprint it was encoded under, so a reader can tell
+// whether a stored partial document still covers the paths of the current
+// rule set (rules may have changed via reload or restart) and fall back to
+// full materialization otherwise. The result is cached; compute it before
+// sharing the projection across goroutines.
+func (p *Projection) Fingerprint() uint64 {
+	if p.fp != 0 {
+		return p.fp
+	}
+	h := fnv.New64a()
+	var walk func(n *Projection)
+	walk = func(n *Projection) {
+		if n.all {
+			h.Write([]byte{'*'})
+			return
+		}
+		h.Write([]byte{'('})
+		names := make([]string, 0, len(n.kids))
+		for nm := range n.kids {
+			names = append(names, nm)
+		}
+		sort.Strings(names)
+		for _, nm := range names {
+			h.Write([]byte(nm))
+			h.Write([]byte{0})
+			walk(n.kids[nm])
+		}
+		h.Write([]byte{')'})
+	}
+	walk(p)
+	fp := h.Sum64()
+	if fp == 0 {
+		fp = 1
+	}
+	p.fp = fp
+	return fp
+}

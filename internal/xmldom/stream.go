@@ -1,0 +1,647 @@
+package xmldom
+
+import (
+	"encoding/binary"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Streaming ingest: StreamEncode turns wire XML directly into the binary
+// document encoding in a single SAX-style pass — dictionary slots, the
+// pre-order node stream and child counts are produced on the fly, and no
+// intermediate Node tree is ever built. Without a projection the output is
+// byte-identical to EncodeAppend(Parse(wire)) (FuzzStreamParse pins this),
+// so the rest of the system cannot tell the two ingest paths apart.
+//
+// With a projection, subtrees the target queue's rules cannot reference
+// are not encoded at all: the encoder still parses them (a skipped subtree
+// is validated exactly like a kept one — well-formedness, entities,
+// namespace declarations, duplicate attributes), but emits a single opaque
+// span carrying the raw wire bytes and the namespace bindings in scope, to
+// be re-parsed only if the document is ever fully materialized
+// (decode.go). The projected format:
+//
+//	[0]      version byte EncVersionProjected (0x02)
+//	uvarint  projection fingerprint (Projection.Fingerprint)
+//	uvarint  pruned-name count; that many uvarint-prefixed local names of
+//	         elements inside spans, sorted, distinct (the dispatch index
+//	         merges them into the document's element-name key set)
+//	uvarint  span count
+//	...      dictionary, node count and node stream exactly as v1, except
+//	         that a child slot may hold a span entry:
+//	           span marker byte 0x0F
+//	           uvarint binding count; per binding uvarint-prefixed prefix
+//	           and URI (the in-scope declarations outside the span)
+//	           uvarint raw length, raw wire bytes of the whole element
+//
+// The node count covers materialized nodes only; an element's child count
+// includes its span children, so a full decode can splice the re-parsed
+// subtrees back into position.
+
+// EncVersionProjected is the format version byte of projected encodings.
+const EncVersionProjected byte = 0x02
+
+// spanMarker introduces an opaque span in a child slot of the node stream.
+// It must stay disjoint from the NodeKind byte values.
+const spanMarker byte = 0x0F
+
+// StreamEncode parses wire XML and appends its binary encoding to dst in
+// one pass. With proj == nil the output is the v1 encoding, byte-identical
+// to EncodeAppend of the parsed tree. With a projection the output is the
+// v2 projected encoding described above. Parse errors are *ParseError,
+// identical to what Parse reports for the same input.
+func StreamEncode(dst []byte, wire []byte, proj *Projection) ([]byte, error) {
+	p := &parser{src: wire, line: 1, col: 1}
+	e := streamEncPool.Get().(*streamEncoder)
+	e.reset()
+	if err := e.document(p, proj); err != nil {
+		streamEncPool.Put(e)
+		return nil, err
+	}
+	if proj != nil {
+		dst = append(dst, EncVersionProjected)
+		dst = binary.AppendUvarint(dst, proj.Fingerprint())
+		names := e.prunedList[:0]
+		for nm := range e.pruned {
+			names = append(names, nm)
+		}
+		sort.Strings(names)
+		e.prunedList = names
+		dst = binary.AppendUvarint(dst, uint64(len(names)))
+		for _, nm := range names {
+			dst = appendStr(dst, nm)
+		}
+		dst = binary.AppendUvarint(dst, uint64(e.spanCount))
+	} else {
+		dst = append(dst, EncVersion)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(e.names)))
+	for _, nm := range e.names {
+		dst = appendStr(dst, nm.Space)
+		dst = appendStr(dst, nm.Prefix)
+		dst = appendStr(dst, nm.Local)
+	}
+	dst = binary.AppendUvarint(dst, e.count)
+	dst = append(dst, e.stream...)
+	streamEncPool.Put(e)
+	return dst, nil
+}
+
+// seFrame is one open child list: the byte offset of its count slot and
+// the number of children emitted so far.
+type seFrame struct {
+	slot int
+	n    int
+}
+
+type streamEncoder struct {
+	nameIdx map[Name]uint64
+	names   []Name
+	count   uint64 // materialized node count
+	stream  []byte // node stream scratch, assembled after the header
+	frames  []seFrame
+	text    []byte // coalesced text scratch; empty whenever descending
+	attrs   []rawAttr
+	binds   []nsBinding // span binding compression scratch
+
+	spanCount  int
+	pruned     map[string]struct{}
+	prunedList []string
+	skipNames  []string // skip-mode duplicate-attribute scratch
+}
+
+var streamEncPool = sync.Pool{New: func() any {
+	return &streamEncoder{
+		nameIdx: make(map[Name]uint64, 16),
+		pruned:  make(map[string]struct{}, 8),
+	}
+}}
+
+func (e *streamEncoder) reset() {
+	clear(e.nameIdx)
+	e.names = e.names[:0]
+	e.count = 0
+	e.stream = e.stream[:0]
+	e.frames = e.frames[:0]
+	e.text = e.text[:0]
+	e.spanCount = 0
+	clear(e.pruned)
+}
+
+func (e *streamEncoder) nameIndex(nm Name) uint64 {
+	i, ok := e.nameIdx[nm]
+	if !ok {
+		i = uint64(len(e.names))
+		e.nameIdx[nm] = i
+		e.names = append(e.names, nm)
+	}
+	return i
+}
+
+func (e *streamEncoder) str(s string) {
+	e.stream = binary.AppendUvarint(e.stream, uint64(len(s)))
+	e.stream = append(e.stream, s...)
+}
+
+// open reserves a one-byte child-count slot and pushes a frame for it.
+func (e *streamEncoder) open() {
+	e.frames = append(e.frames, seFrame{slot: len(e.stream)})
+	e.stream = append(e.stream, 0)
+}
+
+// close pops the current frame and patches its count slot, splicing in
+// extra varint bytes for counts that need more than one.
+func (e *streamEncoder) close() {
+	f := e.frames[len(e.frames)-1]
+	e.frames = e.frames[:len(e.frames)-1]
+	if f.n < 0x80 {
+		e.stream[f.slot] = byte(f.n)
+		return
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	ln := binary.PutUvarint(tmp[:], uint64(f.n))
+	e.stream = append(e.stream, tmp[1:ln]...)
+	copy(e.stream[f.slot+ln:], e.stream[f.slot+1:])
+	copy(e.stream[f.slot:], tmp[:ln])
+}
+
+// childHere counts one more child in the innermost open list.
+func (e *streamEncoder) childHere() { e.frames[len(e.frames)-1].n++ }
+
+func (e *streamEncoder) flushText() {
+	if len(e.text) == 0 {
+		return
+	}
+	e.childHere()
+	e.count++
+	e.stream = append(e.stream, byte(TextNode))
+	e.stream = binary.AppendUvarint(e.stream, uint64(len(e.text)))
+	e.stream = append(e.stream, e.text...)
+	e.text = e.text[:0]
+}
+
+func (e *streamEncoder) emitComment(data string) {
+	e.childHere()
+	e.count++
+	e.stream = append(e.stream, byte(CommentNode))
+	e.str(data)
+}
+
+func (e *streamEncoder) emitPI(pi *Node) {
+	e.childHere()
+	e.count++
+	e.stream = append(e.stream, byte(ProcessingInstructionNode))
+	e.stream = binary.AppendUvarint(e.stream, e.nameIndex(pi.Name))
+	e.str(pi.Data)
+}
+
+// document mirrors parser.parseDocument, emitting instead of building.
+func (e *streamEncoder) document(p *parser, proj *Projection) error {
+	e.count++
+	e.stream = append(e.stream, byte(DocumentNode))
+	e.open()
+	if p.hasPrefix("<?xml") {
+		if err := p.skipPI(); err != nil {
+			return err
+		}
+	}
+	seenRoot := false
+	for {
+		p.skipSpace()
+		if p.eof() {
+			break
+		}
+		switch {
+		case p.hasPrefix("<!--"):
+			c, err := p.parseComment()
+			if err != nil {
+				return err
+			}
+			e.emitComment(c.Data)
+		case p.hasPrefix("<!DOCTYPE"):
+			if err := p.skipDoctype(); err != nil {
+				return err
+			}
+		case p.hasPrefix("<?"):
+			pi, err := p.parsePI()
+			if err != nil {
+				return err
+			}
+			e.emitPI(pi)
+		case p.peek() == '<':
+			if seenRoot {
+				return p.errf("multiple document elements")
+			}
+			if err := e.child(p, proj); err != nil {
+				return err
+			}
+			seenRoot = true
+		default:
+			return p.errf("content outside document element")
+		}
+	}
+	if !seenRoot {
+		return p.errf("no document element")
+	}
+	e.close()
+	return nil
+}
+
+// child parses one child element at '<', deciding from the parent's trie
+// node whether to materialize it or store it as an opaque span. t == nil
+// means keep everything below.
+func (e *streamEncoder) child(p *parser, t *Projection) error {
+	start := p.pos
+	if err := p.expect("<"); err != nil {
+		return err
+	}
+	rawName, err := p.parseRawName()
+	if err != nil {
+		return err
+	}
+	var sub *Projection
+	if t != nil {
+		// The projection decision needs only the lexical local part; a
+		// malformed QName falls through to the keep path, which reports
+		// the same error the tree parser would.
+		local := rawName
+		if i := strings.IndexByte(rawName, ':'); i >= 0 {
+			local = rawName[i+1:]
+		}
+		s, keep := t.Lookup(local)
+		if !keep {
+			return e.skip(p, start, rawName)
+		}
+		sub = s
+	}
+	return e.element(p, rawName, sub)
+}
+
+// element mirrors parser.parseElement for a kept element, with the leading
+// "<name" already consumed.
+func (e *streamEncoder) element(p *parser, rawName string, t *Projection) error {
+	nsMark := len(p.ns)
+	defer func() { p.ns = p.ns[:nsMark] }()
+
+	attrs := e.attrs[:0]
+	for {
+		p.skipSpace()
+		if p.eof() {
+			return p.errf("unterminated start tag <%s>", rawName)
+		}
+		c := p.peek()
+		if c == '>' || c == '/' {
+			break
+		}
+		aname, err := p.parseRawName()
+		if err != nil {
+			return err
+		}
+		p.skipSpace()
+		if err := p.expect("="); err != nil {
+			return err
+		}
+		p.skipSpace()
+		aval, err := p.parseAttrValue()
+		if err != nil {
+			return err
+		}
+		switch {
+		case aname == "xmlns":
+			p.ns = append(p.ns, nsBinding{prefix: "", uri: aval})
+		case strings.HasPrefix(aname, "xmlns:"):
+			px := aname[len("xmlns:"):]
+			if aval == "" {
+				return p.errf("cannot undeclare prefix %q with empty URI", px)
+			}
+			p.ns = append(p.ns, nsBinding{prefix: px, uri: aval})
+		default:
+			for _, prev := range attrs {
+				if prev.name == aname {
+					return p.errf("duplicate attribute %q", aname)
+				}
+			}
+			attrs = append(attrs, rawAttr{name: aname, value: aval})
+		}
+	}
+	e.attrs = attrs[:0] // keep the grown capacity for reuse
+
+	prefix, local, err := splitQName(rawName)
+	if err != nil {
+		return p.errf("%v", err)
+	}
+	uri, ok := p.lookup(prefix)
+	if !ok {
+		return p.errf("undeclared namespace prefix %q", prefix)
+	}
+	name := Name{Space: uri, Prefix: prefix, Local: local}
+
+	// The whole start tag is emitted before descending, so the attribute
+	// scratch is free again for nested elements.
+	e.childHere()
+	e.count++
+	e.stream = append(e.stream, byte(ElementNode))
+	e.stream = binary.AppendUvarint(e.stream, e.nameIndex(name))
+	e.stream = binary.AppendUvarint(e.stream, uint64(len(attrs)))
+	for _, ra := range attrs {
+		aprefix, alocal, err := splitQName(ra.name)
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		auri := ""
+		if aprefix != "" { // unprefixed attributes are in no namespace
+			auri, ok = p.lookup(aprefix)
+			if !ok {
+				return p.errf("undeclared namespace prefix %q", aprefix)
+			}
+		}
+		e.count++
+		e.stream = binary.AppendUvarint(e.stream, e.nameIndex(Name{Space: auri, Prefix: aprefix, Local: alocal}))
+		e.str(ra.value)
+	}
+	e.open()
+
+	if p.consume("/>") {
+		e.close()
+		return nil
+	}
+	if err := p.expect(">"); err != nil {
+		return err
+	}
+	if err := e.content(p, t, name); err != nil {
+		return err
+	}
+	closeName, err := p.parseRawName()
+	if err != nil {
+		return err
+	}
+	if closeName != rawName {
+		return p.errf("mismatched end tag </%s>, expected </%s>", closeName, rawName)
+	}
+	p.skipSpace()
+	if err := p.expect(">"); err != nil {
+		return err
+	}
+	e.close()
+	return nil
+}
+
+// content mirrors parser.parseContent up to (and consuming) the "</" of
+// the matching end tag. The text scratch is empty whenever descending into
+// a child, so one buffer serves every nesting level.
+func (e *streamEncoder) content(p *parser, t *Projection, name Name) error {
+	for {
+		if p.eof() {
+			return p.errf("unterminated element <%s>", name)
+		}
+		switch {
+		case p.hasPrefix("</"):
+			e.flushText()
+			p.consume("</")
+			return nil
+		case p.hasPrefix("<!--"):
+			e.flushText()
+			c, err := p.parseComment()
+			if err != nil {
+				return err
+			}
+			e.emitComment(c.Data)
+		case p.hasPrefix("<![CDATA["):
+			if err := e.cdata(p); err != nil {
+				return err
+			}
+		case p.hasPrefix("<?"):
+			e.flushText()
+			pi, err := p.parsePI()
+			if err != nil {
+				return err
+			}
+			e.emitPI(pi)
+		case p.peek() == '<':
+			e.flushText()
+			if err := e.child(p, t); err != nil {
+				return err
+			}
+		case p.peek() == '&':
+			r, err := p.parseReference()
+			if err != nil {
+				return err
+			}
+			e.text = append(e.text, r...)
+		default:
+			e.text = append(e.text, p.advance())
+		}
+	}
+}
+
+func (e *streamEncoder) cdata(p *parser) error {
+	if err := p.expect("<![CDATA["); err != nil {
+		return err
+	}
+	start := p.pos
+	for !p.eof() {
+		if p.hasPrefix("]]>") {
+			e.text = append(e.text, p.src[start:p.pos]...)
+			p.consume("]]>")
+			return nil
+		}
+		p.advance()
+	}
+	return p.errf("unterminated CDATA section")
+}
+
+// skip validates the element exactly as the keep path would, then emits a
+// single opaque span carrying its raw bytes and the namespace bindings in
+// scope around it. start is the offset of the element's '<'; the leading
+// "<name" is already consumed.
+func (e *streamEncoder) skip(p *parser, start int, rawName string) error {
+	outer := len(p.ns)
+	if err := e.skipElement(p, rawName); err != nil {
+		return err
+	}
+	raw := p.src[start:p.pos]
+
+	e.childHere()
+	e.spanCount++
+	e.stream = append(e.stream, spanMarker)
+	// Innermost declaration per prefix wins; the compressed list seeds the
+	// namespace stack when the span is re-parsed.
+	binds := e.binds[:0]
+	for i := outer - 1; i >= 0; i-- {
+		b := p.ns[i]
+		dup := false
+		for _, x := range binds {
+			if x.prefix == b.prefix {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			binds = append(binds, b)
+		}
+	}
+	e.binds = binds
+	e.stream = binary.AppendUvarint(e.stream, uint64(len(binds)))
+	for _, b := range binds {
+		e.str(b.prefix)
+		e.str(b.uri)
+	}
+	e.stream = binary.AppendUvarint(e.stream, uint64(len(raw)))
+	e.stream = append(e.stream, raw...)
+	return nil
+}
+
+func (e *streamEncoder) recordPruned(rawName string) {
+	local := rawName
+	if i := strings.IndexByte(rawName, ':'); i >= 0 {
+		local = rawName[i+1:]
+	}
+	e.pruned[local] = struct{}{}
+}
+
+// skipElement validates an element without emitting anything, mirroring
+// parseElement's checks (and their order) exactly: attribute syntax and
+// entities, namespace declarations, duplicate attributes, QName and prefix
+// resolution, tag matching.
+func (e *streamEncoder) skipElement(p *parser, rawName string) error {
+	nsMark := len(p.ns)
+	defer func() { p.ns = p.ns[:nsMark] }()
+	e.recordPruned(rawName)
+
+	names := e.skipNames[:0]
+	for {
+		p.skipSpace()
+		if p.eof() {
+			return p.errf("unterminated start tag <%s>", rawName)
+		}
+		c := p.peek()
+		if c == '>' || c == '/' {
+			break
+		}
+		aname, err := p.parseRawName()
+		if err != nil {
+			return err
+		}
+		p.skipSpace()
+		if err := p.expect("="); err != nil {
+			return err
+		}
+		p.skipSpace()
+		aval, err := p.parseAttrValue()
+		if err != nil {
+			return err
+		}
+		switch {
+		case aname == "xmlns":
+			p.ns = append(p.ns, nsBinding{prefix: "", uri: aval})
+		case strings.HasPrefix(aname, "xmlns:"):
+			px := aname[len("xmlns:"):]
+			if aval == "" {
+				return p.errf("cannot undeclare prefix %q with empty URI", px)
+			}
+			p.ns = append(p.ns, nsBinding{prefix: px, uri: aval})
+		default:
+			for _, prev := range names {
+				if prev == aname {
+					return p.errf("duplicate attribute %q", aname)
+				}
+			}
+			names = append(names, aname)
+		}
+	}
+
+	prefix, _, err := splitQName(rawName)
+	if err != nil {
+		return p.errf("%v", err)
+	}
+	if _, ok := p.lookup(prefix); !ok {
+		return p.errf("undeclared namespace prefix %q", prefix)
+	}
+	for _, an := range names {
+		aprefix, _, err := splitQName(an)
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		if aprefix != "" {
+			if _, ok := p.lookup(aprefix); !ok {
+				return p.errf("undeclared namespace prefix %q", aprefix)
+			}
+		}
+	}
+	e.skipNames = names[:0] // start tag done; scratch free for nested tags
+
+	if p.consume("/>") {
+		return nil
+	}
+	if err := p.expect(">"); err != nil {
+		return err
+	}
+	if err := e.skipContent(p, rawName); err != nil {
+		return err
+	}
+	closeName, err := p.parseRawName()
+	if err != nil {
+		return err
+	}
+	if closeName != rawName {
+		return p.errf("mismatched end tag </%s>, expected </%s>", closeName, rawName)
+	}
+	p.skipSpace()
+	return p.expect(">")
+}
+
+func (e *streamEncoder) skipContent(p *parser, rawName string) error {
+	for {
+		if p.eof() {
+			return p.errf("unterminated element <%s>", rawName)
+		}
+		switch {
+		case p.hasPrefix("</"):
+			p.consume("</")
+			return nil
+		case p.hasPrefix("<!--"):
+			if _, err := p.parseComment(); err != nil {
+				return err
+			}
+		case p.hasPrefix("<![CDATA["):
+			if err := e.skipCDATA(p); err != nil {
+				return err
+			}
+		case p.hasPrefix("<?"):
+			if _, err := p.parsePI(); err != nil {
+				return err
+			}
+		case p.peek() == '<':
+			if err := p.expect("<"); err != nil {
+				return err
+			}
+			childRaw, err := p.parseRawName()
+			if err != nil {
+				return err
+			}
+			if err := e.skipElement(p, childRaw); err != nil {
+				return err
+			}
+		case p.peek() == '&':
+			if _, err := p.parseReference(); err != nil {
+				return err
+			}
+		default:
+			p.advance()
+		}
+	}
+}
+
+func (e *streamEncoder) skipCDATA(p *parser) error {
+	if err := p.expect("<![CDATA["); err != nil {
+		return err
+	}
+	for !p.eof() {
+		if p.consume("]]>") {
+			return nil
+		}
+		p.advance()
+	}
+	return p.errf("unterminated CDATA section")
+}

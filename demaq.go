@@ -72,6 +72,12 @@ type Options struct {
 	// DOM tree and re-encoded instead of being encoded in one streaming
 	// pass.
 	FullIngest bool
+	// ScanDispatch disables the secondary (property, value) → message
+	// index and the index-backed dispatch built on it (the experiment E17
+	// baseline): property prefilters are checked per message against the
+	// property map, merged slice access scans whole queues, and every
+	// claimed message's document is fetched eagerly.
+	ScanDispatch bool
 	// GCInterval enables periodic retention garbage collection.
 	GCInterval time.Duration
 	// Resources resolves WSDL, policy and schema files referenced by the
@@ -124,6 +130,7 @@ func OpenApplication(dir string, app *qdl.Application, opts *Options) (*Server, 
 	}
 	storeOpts := msgstore.DefaultOptions()
 	storeOpts.Store.SyncCommits = !opts.NoSync
+	storeOpts.NoPropertyIndex = opts.ScanDispatch
 	ruleOpts := rule.DefaultOptions()
 	if opts.NoRuleOptimizations {
 		ruleOpts = rule.Options{}
@@ -145,6 +152,7 @@ func OpenApplication(dir string, app *qdl.Application, opts *Options) (*Server, 
 		Logger:       opts.Logger,
 		Resources:    opts.Resources,
 		FullIngest:   opts.FullIngest,
+		ScanDispatch: opts.ScanDispatch,
 	}
 	srv := &Server{}
 	reg := gateway.NewRegistry()
@@ -296,6 +304,7 @@ func (s *Server) OpenPeer(dir, source string, opts *Options) (*Server, error) {
 	}
 	storeOpts := msgstore.DefaultOptions()
 	storeOpts.Store.SyncCommits = !opts.NoSync
+	storeOpts.NoPropertyIndex = opts.ScanDispatch
 	ruleOpts := rule.DefaultOptions()
 	if opts.NoRuleOptimizations {
 		ruleOpts = rule.Options{}
@@ -316,6 +325,7 @@ func (s *Server) OpenPeer(dir, source string, opts *Options) (*Server, error) {
 		Store: storeOpts, Rules: ruleOpts, Materialized: &materialized,
 		GCInterval: opts.GCInterval, Logger: opts.Logger,
 		Resources: opts.Resources, Transports: reg, FullIngest: opts.FullIngest,
+		ScanDispatch: opts.ScanDispatch,
 	}
 	eng, err := engine.New(cfg, app)
 	if err != nil {

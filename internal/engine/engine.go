@@ -93,6 +93,15 @@ type Config struct {
 	// baseline): wire XML is always parsed into a DOM tree and re-encoded,
 	// and no per-queue path projection is applied.
 	FullIngest bool
+	// ScanDispatch restores the per-message dispatch baseline (experiment
+	// E17): every claimed message's document is fetched eagerly and
+	// property prefilters are checked one message at a time against the
+	// property map, never through secondary-index probes. The default
+	// (false) resolves a batch's prefilters with index range scans over
+	// the claimed id window and defers each document fetch until a rule is
+	// actually selected for that message — at deep backlogs most messages
+	// are dispatched away without ever decoding their payloads.
+	ScanDispatch bool
 }
 
 // DefaultBatchSize is the tuned default for Config.BatchSize.
@@ -716,6 +725,89 @@ func (e *Engine) runBatch(queue string, prio int, ids []msgstore.MsgID, rng *ran
 	e.runBatch(queue, prio, attempted[mid:], rng)
 }
 
+// docFetcher returns a memoized projected-document fetch for one message.
+// evalMessage calls it only when dispatch actually selects a rule (or needs
+// element names for a trigger), so a message every rule is dispatched away
+// from never decodes its payload; the first caller pays the decode, later
+// callers in the same transaction get the cached result.
+func (e *Engine) docFetcher(queue string, id msgstore.MsgID) func() (*xmldom.Node, []string, error) {
+	var (
+		doc    *xmldom.Node
+		pruned []string
+		err    error
+		done   bool
+	)
+	return func() (*xmldom.Node, []string, error) {
+		if !done {
+			doc, pruned, err = e.ms.DocProjected(id, e.projFP(queue))
+			done = true
+		}
+		return doc, pruned, err
+	}
+}
+
+// probeMasks resolves the queue plan's property prefilters for a whole
+// claimed batch through the message store's secondary index: one (property,
+// value) range scan over the batch's id window per planner probe, instead
+// of per-message map checks. Bit r of masks[i] set means ids[i] provably
+// satisfies every predicate of plan.Rules[r]; an unset bit falls back to
+// the per-message check inside SelectIndexed (the posting may be absent
+// because the property is absent, which admits the rule — or because the
+// posting raced the commit publish, where propMatch stays authoritative).
+// Returns nil when the plan, the store, or the configuration rules probing
+// out.
+func (e *Engine) probeMasks(queue string, ids []msgstore.MsgID) []uint64 {
+	if e.cfg.ScanDispatch || len(ids) < 2 {
+		return nil
+	}
+	plan := e.prog.QueuePlans[queue]
+	if plan == nil || !plan.IndexDispatchable() || !e.ms.PropertyIndexEnabled() {
+		return nil
+	}
+	lo, hi := ids[0], ids[0]
+	pos := make(map[msgstore.MsgID]int, len(ids))
+	for i, id := range ids {
+		if id < lo {
+			lo = id
+		}
+		if id > hi {
+			hi = id
+		}
+		pos[id] = i
+	}
+	probes := plan.IndexProbes()
+	masks := make([]uint64, len(ids))
+	hits := make([]int, len(ids))
+	var hitBuf []msgstore.MsgID
+	for i := 0; i < len(probes); {
+		// Probes are grouped by rule; a multi-predicate rule needs every
+		// posting list of the group to hit.
+		j := i
+		for j < len(probes) && probes[j].Rule == probes[i].Rule {
+			j++
+		}
+		for k := range hits {
+			hits[k] = 0
+		}
+		for _, pr := range probes[i:j] {
+			hitBuf = e.ms.PropertyIDsRange(pr.Name, pr.Value, lo, hi, hitBuf[:0])
+			for _, id := range hitBuf {
+				if p, ok := pos[id]; ok {
+					hits[p]++
+				}
+			}
+		}
+		bit := uint64(1) << uint(probes[i].Rule)
+		for p, n := range hits {
+			if n == j-i {
+				masks[p] |= bit
+			}
+		}
+		i = j
+	}
+	return masks
+}
+
 // processMessage runs the execution-model cycle for one message: evaluate
 // all applicable rules (queue plan + slice plans), then apply the combined
 // pending update list and the processed flag in a single transaction.
@@ -737,10 +829,6 @@ func (e *Engine) processMessage(queue string, id msgstore.MsgID) error {
 		}
 	}
 
-	doc, pruned, err := e.ms.DocProjected(id, e.projFP(queue))
-	if err != nil {
-		return err
-	}
 	msg, ok := e.ms.Get(id)
 	if !ok {
 		return fmt.Errorf("engine: message %d vanished", id)
@@ -748,9 +836,15 @@ func (e *Engine) processMessage(queue string, id msgstore.MsgID) error {
 	if msg.Processed {
 		return nil // duplicate schedule after crash recovery
 	}
+	fetch := e.docFetcher(queue, id)
+	if e.cfg.ScanDispatch {
+		if _, _, err := fetch(); err != nil {
+			return err
+		}
+	}
 	now := time.Now().UTC()
 	rt := &evalRuntime{eng: e, txnID: txnID, queue: queue, now: now}
-	combined, ruleName, _, failed, err := e.evalMessage(rt, txnID, queue, id, doc, pruned, msg.Props, false, false)
+	combined, ruleName, _, failed, err := e.evalMessage(rt, txnID, queue, id, fetch, msg.Props, 0, false, false)
 	if err != nil {
 		return err
 	}
@@ -761,7 +855,9 @@ func (e *Engine) processMessage(queue string, id msgstore.MsgID) error {
 			return err
 		}
 		// The error message embeds the original document: use the complete
-		// tree, never a projected view of it.
+		// tree, never a projected view of it. fetch is memoized — the
+		// failing rule already evaluated on the document.
+		doc, pruned, _ := fetch()
 		errDoc := doc
 		if len(pruned) > 0 {
 			if full, derr := e.ms.Doc(id); derr == nil {
@@ -812,6 +908,7 @@ func (e *Engine) processBatch(queue string, prio int, ids []msgstore.MsgID) (att
 
 	now := time.Now().UTC()
 	rt := &evalRuntime{eng: e, txnID: txnID, queue: queue, now: now}
+	masks := e.probeMasks(queue, ids)
 	items := make([]batchItem, 0, len(ids))
 	for i, id := range ids {
 		if i > 0 && e.sched.PreemptFor(prio) {
@@ -821,10 +918,6 @@ func (e *Engine) processBatch(queue string, prio int, ids []msgstore.MsgID) (att
 			attempted = ids[:i]
 			break
 		}
-		doc, pruned, err := e.ms.DocProjected(id, e.projFP(queue))
-		if err != nil {
-			return attempted, err
-		}
 		msg, ok := e.ms.Get(id)
 		if !ok {
 			return attempted, fmt.Errorf("engine: message %d vanished", id)
@@ -832,7 +925,17 @@ func (e *Engine) processBatch(queue string, prio int, ids []msgstore.MsgID) (att
 		if msg.Processed {
 			continue // duplicate schedule after crash recovery
 		}
-		combined, ruleName, shared, failed, err := e.evalMessage(rt, txnID, queue, id, doc, pruned, msg.Props, len(items) > 0, true)
+		fetch := e.docFetcher(queue, id)
+		if e.cfg.ScanDispatch {
+			if _, _, err := fetch(); err != nil {
+				return attempted, err
+			}
+		}
+		var mask uint64
+		if masks != nil {
+			mask = masks[i]
+		}
+		combined, ruleName, shared, failed, err := e.evalMessage(rt, txnID, queue, id, fetch, msg.Props, mask, len(items) > 0, true)
 		if err == errNotBatchable {
 			// This message's rules read or mutate shared state and
 			// updates from earlier batch members are already pending:
@@ -911,16 +1014,24 @@ var errNotBatchable = fmt.Errorf("engine: message not batchable mid-batch")
 // message is immediately claimable by another worker. With lockMsg set
 // (the batch path; processMessage locks up front itself) the message's
 // exclusive lock is acquired here, after that rejection point.
-func (e *Engine) evalMessage(rt *evalRuntime, txnID uint64, queue string, id msgstore.MsgID, doc *xmldom.Node, pruned []string, props map[string]xdm.Value, noShared, lockMsg bool) (combined *xquery.UpdateList, ruleName string, shared bool, failed *ruleError, err error) {
+func (e *Engine) evalMessage(rt *evalRuntime, txnID uint64, queue string, id msgstore.MsgID, fetch func() (*xmldom.Node, []string, error), props map[string]xdm.Value, probeMask uint64, noShared, lockMsg bool) (combined *xquery.UpdateList, ruleName string, shared bool, failed *ruleError, err error) {
 	// Element names are the dispatch key set: computed lazily, only when
-	// some applicable rule actually has an element trigger. A projected
+	// some applicable rule actually has an element trigger — that is the
+	// first point the document is needed at all; a message whose rules are
+	// all dispatched away on properties is never fetched. A projected
 	// document is missing the elements inside its pruned spans, so their
 	// recorded names are merged back in — the prefilter must never reject
 	// a rule the full document would have selected (over-approximating is
 	// harmless: the rule body re-checks its condition).
 	var namesMemo map[string]bool
+	var fetchErr error
 	elementNames := func() map[string]bool {
 		if namesMemo == nil {
+			doc, pruned, err := fetch()
+			if err != nil {
+				fetchErr = err
+				return map[string]bool{}
+			}
 			namesMemo = rule.ElementNames(doc)
 			for _, n := range pruned {
 				namesMemo[n] = true
@@ -930,7 +1041,6 @@ func (e *Engine) evalMessage(rt *evalRuntime, txnID uint64, queue string, id msg
 	}
 
 	memberships := e.slices.SlicesOf(id)
-	rt.msgID, rt.doc, rt.props = id, doc, props
 	combined = &xquery.UpdateList{}
 	type ruleCtx struct {
 		r       *rule.Rule
@@ -939,7 +1049,9 @@ func (e *Engine) evalMessage(rt *evalRuntime, txnID uint64, queue string, id msg
 	}
 	var toRun []ruleCtx
 	if plan := e.prog.QueuePlans[queue]; plan != nil {
-		for _, r := range plan.Select(props, elementNames) {
+		// probeMask carries the batch index-probe results; 0 degrades
+		// SelectIndexed to the plain per-message Select.
+		for _, r := range plan.SelectIndexed(props, probeMask, elementNames) {
 			toRun = append(toRun, ruleCtx{r: r})
 		}
 	}
@@ -949,6 +1061,9 @@ func (e *Engine) evalMessage(rt *evalRuntime, txnID uint64, queue string, id msg
 				toRun = append(toRun, ruleCtx{r: r, slicing: mb.Slicing, key: mb.Key})
 			}
 		}
+	}
+	if fetchErr != nil {
+		return nil, "", false, nil, fetchErr
 	}
 	for _, rc := range toRun {
 		if rc.r.Body.SharedState() {
@@ -975,6 +1090,14 @@ func (e *Engine) evalMessage(rt *evalRuntime, txnID uint64, queue string, id msg
 		}
 	}
 
+	if len(toRun) == 0 {
+		return combined, "", shared, nil, nil
+	}
+	doc, _, err := fetch()
+	if err != nil {
+		return nil, "", shared, nil, err
+	}
+	rt.msgID, rt.doc, rt.props = id, doc, props
 	for _, rc := range toRun {
 		rt.curSlicing, rt.curKey = rc.slicing, rc.key
 		e.stats.rulesEval.Add(1)
@@ -999,9 +1122,7 @@ func (e *Engine) evalMessage(rt *evalRuntime, txnID uint64, queue string, id msg
 			combined.Append(up)
 		}
 	}
-	if len(toRun) > 0 {
-		ruleName = toRun[0].r.Name
-	}
+	ruleName = toRun[0].r.Name
 	return combined, ruleName, shared, nil, nil
 }
 

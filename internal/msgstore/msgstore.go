@@ -58,8 +58,13 @@ const (
 // id, rid, doc, props, enqueued and q are immutable once the message is
 // published; processed and dead are the only mutable fields.
 type msgMeta struct {
-	id        MsgID
-	rid       store.RID // persistent queues
+	id  MsgID
+	rid store.RID // persistent queues
+	// statusRID locates the message's 9-byte record in the queue's status
+	// side-heap; the zero RID (page 0 is the store header) means the record
+	// predates the side-heap and processed marking falls back to rewriting
+	// the payload record's status byte in place.
+	statusRID store.RID
 	doc       *xmldom.Node
 	props     map[string]xdm.Value
 	enqueued  time.Time
@@ -72,6 +77,9 @@ type msgMeta struct {
 // status returns the on-disk status byte of the message. The processed
 // write path (Txn.Commit, store.Txn.SetByte) rewrites the whole byte, so
 // it must re-synthesize the payload-format bit alongside the flag.
+// Authoritative in the status side-heap record; the copy in the payload
+// record is written once at insert and only consulted when no side-heap
+// entry exists (legacy stores).
 func (m *msgMeta) status(processed bool) byte {
 	s := byte(0)
 	if processed {
@@ -90,6 +98,13 @@ type Queue struct {
 	Priority int
 
 	heap store.HeapID // persistent queues
+
+	// statusHeap holds one compact [msgID, status] record per persistent
+	// message, so marking a batch processed dirties a handful of dense
+	// status pages instead of every payload page the batch lives on —
+	// payload records stay immutable after insert, which is the paper's
+	// append-only store taken literally (Sec. 2.3.3).
+	statusHeap store.HeapID
 
 	mu   sync.RWMutex
 	msgs []*msgMeta // in id order; GC'd entries flagged dead and compacted
@@ -118,6 +133,16 @@ type idShard struct {
 type Store struct {
 	ps    *store.Store
 	cache *docCache
+
+	// propIndex is the secondary index (property, value) → MsgID over the
+	// string form of every non-system message property, nil when disabled
+	// (Options.NoPropertyIndex). Like the slicing index it is derived data:
+	// maintained at commit publish time and on Remove, rebuilt from the
+	// heaps on Open, never logged. Keys use the length-prefixed codec
+	// (store.IndexKey), so embedded separator bytes cannot leak entries
+	// across (property, value) pairs, and the big-endian id suffix keeps
+	// each pair's postings in ascending id order.
+	propIndex *store.BTree
 
 	// textPayloads selects the on-disk payload format for new writes
 	// (Options.TextPayloads); reads dispatch on the per-record format bit.
@@ -178,6 +203,12 @@ type Options struct {
 	// miss. Reads always dispatch on the stored format, so a store
 	// written in one mode opens fine in the other.
 	TextPayloads bool
+
+	// NoPropertyIndex disables the secondary (property, value) → MsgID
+	// index. This is the scan baseline of experiment E17: index-backed
+	// dispatch and merged slice access then fall back to per-message
+	// property probes and whole-queue scans.
+	NoPropertyIndex bool
 }
 
 // DefaultOptions returns production settings.
@@ -232,6 +263,9 @@ func Open(dir string, opts Options) (*Store, error) {
 		cache:        newDocCache(opts.CacheDocs),
 		textPayloads: opts.TextPayloads,
 	}
+	if !opts.NoPropertyIndex {
+		ms.propIndex = store.NewBTree()
+	}
 	for i := range ms.shards {
 		ms.shards[i].byID = map[MsgID]*msgMeta{}
 	}
@@ -281,6 +315,11 @@ func (ms *Store) CreateQueue(name string, mode QueueMode, priority int) (*Queue,
 			return nil, err
 		}
 		q.heap = h
+		sh, err := ms.ps.CreateHeap("s:" + name)
+		if err != nil {
+			return nil, err
+		}
+		q.statusHeap = sh
 	}
 	ms.queues[name] = q
 	return q, nil
@@ -307,6 +346,35 @@ func (ms *Store) QueueNames() []string {
 func (ms *Store) loadQueue(name string) error {
 	h, _ := ms.ps.Heap("q:" + name)
 	q := &Queue{Name: name, Mode: Persistent, heap: h}
+	// Scan the status side-heap first so the payload scan can join against
+	// it; a side-heap entry is authoritative over the payload record's
+	// status byte (which is only written at insert). Stores written before
+	// the side-heap existed get one created now — their new messages use
+	// it, while pre-existing records keep the in-place fallback.
+	type statusEntry struct {
+		rid    store.RID
+		status byte
+	}
+	var statuses map[MsgID]statusEntry
+	if sh, ok := ms.ps.Heap("s:" + name); ok {
+		q.statusHeap = sh
+		statuses = make(map[MsgID]statusEntry)
+		err := ms.ps.Scan(sh, func(rid store.RID, payload []byte) bool {
+			if len(payload) == statusRecSize {
+				statuses[MsgID(binary.LittleEndian.Uint64(payload))] = statusEntry{rid: rid, status: payload[8]}
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	} else {
+		sh, err := ms.ps.CreateHeap("s:" + name)
+		if err != nil {
+			return err
+		}
+		q.statusHeap = sh
+	}
 	err := ms.ps.Scan(h, func(rid store.RID, payload []byte) bool {
 		m, err := decodeMessage(payload)
 		if err != nil {
@@ -314,12 +382,17 @@ func (ms *Store) loadQueue(name string) error {
 		}
 		m.rid = rid
 		m.q = q
+		if e, ok := statuses[m.id]; ok {
+			m.statusRID = e.rid
+			m.processed.Store(e.status&statusProcessed != 0)
+		}
 		q.msgs = append(q.msgs, m)
 		if !m.dead.Load() {
 			q.live++
 		}
 		sh := ms.shard(m.id)
 		sh.byID[m.id] = m
+		ms.indexMessage(m)
 		if next := uint64(m.id) + 1; next > ms.nextID.Load() {
 			ms.nextID.Store(next)
 		}
@@ -360,13 +433,28 @@ func (ms *Store) loadCollection(name string) error {
 //	u32 payload len, payload (binary tree encoding, or serialized XML text
 //	when bit1 is unset)
 //
-// The status byte is the record's only mutable byte (store.Txn.SetByte);
-// both bits must be re-synthesized whenever it is written.
+// Payload records are immutable after insert. The live status byte of a
+// message lives in the queue's status side-heap ("s:" + name) as a 9-byte
+// record [msgID u64 LE, status byte]: ~600 statuses share one 8KB page, so
+// marking a claimed batch processed dirties one or two dense pages instead
+// of rewriting a payload page per message. The copy of the status byte at
+// payload offset 0 is consulted only for records written before the
+// side-heap existed, which are also the only ones still updated in place
+// (store.Txn.SetByte rewrites the whole byte, so both bits must be
+// re-synthesized whenever it is written).
 
 const (
 	statusProcessed     = byte(1 << 0)
 	statusBinaryPayload = byte(1 << 1)
+
+	statusRecSize = 9 // [0:8] msgID little-endian, [8] status byte
 )
+
+// appendStatusRecord builds the status side-heap record for a message.
+func appendStatusRecord(dst []byte, id MsgID, status byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(id))
+	return append(dst, status)
+}
 
 // recBufPool recycles record build buffers across commits, so a steady
 // enqueue load does not allocate a fresh record buffer per message (the
@@ -492,6 +580,94 @@ func decodeMessage(data []byte) (*msgMeta, error) {
 		return nil, fmt.Errorf("msgstore: truncated payload")
 	}
 	return m, nil
+}
+
+// --- property secondary index ---
+
+// indexableProp excludes the engine's system namespace from the property
+// index: "demaq:" properties (creating rule, wall-clock timestamps) are
+// never dispatch predicates or slice keys, and timestamps are near-unique —
+// indexing them would double the index for rule-created messages without
+// ever serving a probe.
+func indexableProp(name string) bool {
+	return len(name) < 6 || name[:6] != "demaq:"
+}
+
+// indexMessage inserts a published message's property postings. Called with
+// no msgstore lock held (the B-tree has its own latches); loadQueue calls it
+// single-threaded during recovery.
+func (ms *Store) indexMessage(m *msgMeta) {
+	if ms.propIndex == nil {
+		return
+	}
+	for k, v := range m.props {
+		if indexableProp(k) {
+			ms.propIndex.Insert(store.IndexKey(uint64(m.id), k, v.StringValue()), nil)
+		}
+	}
+}
+
+// unindexMessage drops a removed message's postings; the caller must not
+// hold shard or queue locks.
+func (ms *Store) unindexMessage(m *msgMeta) {
+	if ms.propIndex == nil {
+		return
+	}
+	for k, v := range m.props {
+		if indexableProp(k) {
+			ms.propIndex.Delete(store.IndexKey(uint64(m.id), k, v.StringValue()))
+		}
+	}
+}
+
+// PropertyIndexEnabled reports whether the secondary property index is
+// maintained; when false the Property* scans return nothing and callers
+// must use their scan fallbacks.
+func (ms *Store) PropertyIndexEnabled() bool { return ms.propIndex != nil }
+
+// PropertyIDsAfter appends to dst the ids of live messages whose property
+// prop has the string form value and whose id is strictly greater than
+// after, in ascending id order — one contiguous index range scan.
+func (ms *Store) PropertyIDsAfter(prop, value string, after MsgID, dst []MsgID) []MsgID {
+	if ms.propIndex == nil {
+		return dst
+	}
+	prefix := store.IndexKeyPrefix(prop, value)
+	lo := store.AppendIndexKeyID(append([]byte(nil), prefix...), uint64(after)+1)
+	ms.propIndex.ScanPrefixFrom(prefix, lo, func(k, _ []byte) bool {
+		id := MsgID(store.IndexKeyID(k))
+		if ms.lookup(id) != nil {
+			dst = append(dst, id)
+		}
+		return true
+	})
+	return dst
+}
+
+// PropertyIDsRange appends to dst the ids of live messages whose property
+// prop has the string form value, restricted to the window lo <= id <= hi,
+// ascending. Batch dispatch probes use it with the claimed batch's id
+// window.
+func (ms *Store) PropertyIDsRange(prop, value string, lo, hi MsgID, dst []MsgID) []MsgID {
+	if ms.propIndex == nil || hi < lo {
+		return dst
+	}
+	prefix := store.IndexKeyPrefix(prop, value)
+	loKey := store.AppendIndexKeyID(append([]byte(nil), prefix...), uint64(lo))
+	visit := func(k, _ []byte) bool {
+		id := MsgID(store.IndexKeyID(k))
+		if ms.lookup(id) != nil {
+			dst = append(dst, id)
+		}
+		return true
+	}
+	if hi == ^MsgID(0) {
+		ms.propIndex.ScanPrefixFrom(prefix, loKey, visit)
+	} else {
+		hiKey := store.AppendIndexKeyID(prefix, uint64(hi)+1)
+		ms.propIndex.Scan(loKey, hiKey, visit)
+	}
+	return dst
 }
 
 // payloadOffset computes where the payload starts in an encoded record, or

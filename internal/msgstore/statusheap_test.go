@@ -1,0 +1,121 @@
+package msgstore
+
+import (
+	"testing"
+	"time"
+
+	"demaq/internal/store"
+	"demaq/internal/xdm"
+	"demaq/internal/xmldom"
+)
+
+// TestStatusSideHeapKeepsPayloadImmutable pins the side-heap contract:
+// marking a message processed touches only its status record, never the
+// payload record, so payload pages written at enqueue are never dirtied
+// again.
+func TestStatusSideHeapKeepsPayloadImmutable(t *testing.T) {
+	dir := t.TempDir()
+	ms, err := Open(dir, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	ms.CreateQueue("q", Persistent, 0)
+	tx := ms.Begin()
+	id, _ := tx.Enqueue("q", xmldom.MustParse(`<m>x</m>`), map[string]xdm.Value{"k": xdm.NewString("v")}, time.Now())
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	m := ms.lookup(id)
+	if m.statusRID == (store.RID{}) {
+		t.Fatal("new message has no status side-heap record")
+	}
+	before, err := ms.ps.Read(m.rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx = ms.Begin()
+	tx.MarkProcessed(id)
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := ms.ps.Read(m.rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("payload record changed by MarkProcessed; status must live in the side-heap")
+	}
+	srec, err := ms.ps.Read(m.statusRID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srec) != statusRecSize || srec[8]&statusProcessed == 0 {
+		t.Fatalf("status record not updated: % x", srec)
+	}
+}
+
+// TestStatusSideHeapLegacyFallback simulates a store written before the
+// status side-heap existed: payload records with no side record must keep
+// working via the in-place status-byte update, and recovery must read the
+// flag back from the payload record.
+func TestStatusSideHeapLegacyFallback(t *testing.T) {
+	dir := t.TempDir()
+	ms, err := Open(dir, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms.CreateQueue("q", Persistent, 0)
+	var ids []MsgID
+	tx := ms.Begin()
+	for i := 0; i < 3; i++ {
+		id, _ := tx.Enqueue("q", xmldom.MustParse(`<m>x</m>`), nil, time.Now())
+		ids = append(ids, id)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Strip the side-heap records to make the payload records look legacy.
+	q := ms.getQueue("q")
+	var srids []store.RID
+	ms.ps.Scan(q.statusHeap, func(rid store.RID, _ []byte) bool {
+		srids = append(srids, rid)
+		return true
+	})
+	if len(srids) != 3 {
+		t.Fatalf("expected 3 status records, got %d", len(srids))
+	}
+	if err := ms.ps.BatchDelete(q.statusHeap, srids); err != nil {
+		t.Fatal(err)
+	}
+	ms.Crash()
+
+	ms2, err := Open(dir, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ms2.lookup(ids[1]).statusRID; got != (store.RID{}) {
+		t.Fatalf("legacy message should have no statusRID, got %v", got)
+	}
+	tx = ms2.Begin()
+	tx.MarkProcessed(ids[1])
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	ms2.Crash()
+
+	ms3, err := Open(dir, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms3.Close()
+	msgs, _ := ms3.Messages("q")
+	if len(msgs) != 3 {
+		t.Fatalf("recovered %d messages", len(msgs))
+	}
+	for i, m := range msgs {
+		if m.Processed != (i == 1) {
+			t.Fatalf("message %d processed=%v after legacy-fallback recovery", i, m.Processed)
+		}
+	}
+}

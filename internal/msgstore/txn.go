@@ -61,9 +61,10 @@ type pendingEnqueue struct {
 	pruned []string
 
 	// Filled during Commit.
-	q      *Queue    // prepare
-	rid    store.RID // persist (persistent queues)
-	binary bool      // persist: payload format written
+	q         *Queue    // prepare
+	rid       store.RID // persist (persistent queues)
+	statusRID store.RID // persist: status side-heap record
+	binary    bool      // persist: payload format written
 }
 
 // Begin starts a transaction.
@@ -200,6 +201,17 @@ func (t *Txn) Commit() ([]Message, error) {
 				return nil, err
 			}
 			pe.rid = rid
+			// The status side-heap record rides in the same page-store
+			// transaction, so a message and its status slot are atomic:
+			// recovery sees both or neither.
+			var srec [statusRecSize]byte
+			srid, err := pt.Insert(pe.q.statusHeap, appendStatusRecord(srec[:0], pe.id, m.status(false)))
+			if err != nil {
+				pt.Abort()
+				recBufPool.Put(bufp)
+				return nil, err
+			}
+			pe.statusRID = srid
 		}
 		recBufPool.Put(bufp)
 		for _, m := range toProcess {
@@ -210,11 +222,19 @@ func (t *Txn) Commit() ([]Message, error) {
 			if m.q.Mode != Persistent || m.dead.Load() {
 				continue
 			}
-			// Status byte is payload offset 0; SetByte rewrites the whole
-			// byte, so the payload-format bit is re-synthesized alongside
-			// the processed flag. Both concurrent markers compute the same
-			// value, so the write stays idempotent.
-			if err := pt.SetByte(m.rid, 0, m.status(true)); err != nil {
+			// SetByte rewrites the whole status byte, so the payload-format
+			// bit is re-synthesized alongside the processed flag. Both
+			// concurrent markers compute the same value, so the write stays
+			// idempotent. Messages written before the status side-heap
+			// existed have no side record; they keep the in-place update of
+			// the payload record's first byte.
+			var err error
+			if m.statusRID != (store.RID{}) {
+				err = pt.SetByte(m.statusRID, 8, m.status(true))
+			} else {
+				err = pt.SetByte(m.rid, 0, m.status(true))
+			}
+			if err != nil {
 				pt.Abort()
 				return nil, err
 			}
@@ -244,6 +264,7 @@ func (t *Txn) Commit() ([]Message, error) {
 			m := &msgMeta{id: pe.id, props: pe.props, enqueued: pe.at, q: q, binary: pe.binary}
 			if q.Mode == Persistent {
 				m.rid = pe.rid
+				m.statusRID = pe.statusRID
 				if pe.fp != 0 {
 					ms.cache.putProjected(pe.id, pe.doc, pe.fp, pe.pruned)
 				} else {
@@ -256,6 +277,15 @@ func (t *Txn) Commit() ([]Message, error) {
 		}
 		ms.publishByID(metas)
 		ms.publishToQueues(metas)
+		// Index the batch after the queue publish, with no shard or queue
+		// lock held: probe reads nest btree latch → shard lock, never the
+		// reverse. A probe racing this window sees the message via the queue
+		// list before its postings land, which only makes the index miss it —
+		// the scan-side fallbacks (propMatch, queue scan) stay authoritative
+		// for admission, so a late posting is never a correctness hole.
+		for _, m := range metas {
+			ms.indexMessage(m)
+		}
 		out = make([]Message, n)
 		for i, m := range metas {
 			out[i] = Message{ID: m.id, Queue: m.q.Name, Props: m.props, Enqueued: m.enqueued}
@@ -522,7 +552,8 @@ func (ms *Store) Remove(queue string, ids []MsgID) error {
 	if q == nil {
 		return fmt.Errorf("msgstore: unknown queue %q", queue)
 	}
-	var rids []store.RID
+	var rids, statusRids []store.RID
+	var dropped []*msgMeta
 	removed := 0
 	for _, id := range ids {
 		sh := ms.shard(id)
@@ -538,10 +569,21 @@ func (ms *Store) Remove(queue string, ids []MsgID) error {
 			continue
 		}
 		removed++
+		dropped = append(dropped, m)
 		if q.Mode == Persistent {
 			rids = append(rids, m.rid)
+			if m.statusRID != (store.RID{}) {
+				statusRids = append(statusRids, m.statusRID)
+			}
 		}
 		ms.cache.drop(id)
+	}
+	// Postings come out after the shard locks are released (same nesting
+	// discipline as indexing at commit). A probe between the CAS and this
+	// point sees the stale posting but filters it through lookup, which
+	// already misses: the id left the shard map above.
+	for _, m := range dropped {
+		ms.unindexMessage(m)
 	}
 	q.mu.Lock()
 	q.live -= removed
@@ -558,8 +600,16 @@ func (ms *Store) Remove(queue string, ids []MsgID) error {
 	q.mu.Unlock()
 	// Disk deletion runs outside all msgstore locks; recovery re-runs of a
 	// lost batch delete are idempotent (processed messages re-collect).
+	// The status side-heap records go second: a crash between the two
+	// deletes leaves orphaned status entries, which loadQueue's join simply
+	// never matches against a payload record.
 	if len(rids) > 0 {
-		return ms.ps.BatchDelete(q.heap, rids)
+		if err := ms.ps.BatchDelete(q.heap, rids); err != nil {
+			return err
+		}
+		if len(statusRids) > 0 {
+			return ms.ps.BatchDelete(q.statusHeap, statusRids)
+		}
 	}
 	return nil
 }

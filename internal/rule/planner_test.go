@@ -1,0 +1,95 @@
+package rule
+
+import (
+	"testing"
+
+	"demaq/internal/xdm"
+	"demaq/internal/xmldom"
+)
+
+// TestPlanAccessPaths pins the planner's access-path choice: prefiltered
+// rules become index probes (the plan fits the uint64 mask), unfiltered
+// rules stay scans, and the probe list mirrors the predicates.
+func TestPlanAccessPaths(t *testing.T) {
+	prog := MustCompile(propPredApp, DefaultOptions())
+	plan := prog.QueuePlans["orders"]
+	byName := map[string]*Rule{}
+	for _, r := range plan.Rules {
+		byName[r.Name] = r
+	}
+	if got := byName["euOrders"].Access; got != AccessIndexProbe {
+		t.Fatalf("euOrders access %d", got)
+	}
+	if got := byName["usOrders"].Access; got != AccessIndexProbe {
+		t.Fatalf("usOrders access %d", got)
+	}
+	if got := byName["bigOrders"].Access; got != AccessScan {
+		t.Fatalf("bigOrders (no pred) access %d", got)
+	}
+	if !plan.IndexDispatchable() {
+		t.Fatal("plan with probes must be index-dispatchable")
+	}
+	probes := plan.IndexProbes()
+	if len(probes) != 2 {
+		t.Fatalf("probes: %+v", probes)
+	}
+	for _, pr := range probes {
+		r := plan.Rules[pr.Rule]
+		if len(r.PropPreds) != 1 || r.PropPreds[0].Name != pr.Name || r.PropPreds[0].Value != pr.Value {
+			t.Fatalf("probe %+v does not mirror rule %q preds %+v", pr, r.Name, r.PropPreds)
+		}
+	}
+	// A plan without prefilters offers nothing to probe.
+	if prog.QueuePlans["eu"].IndexDispatchable() {
+		t.Fatal("plan without preds must not be index-dispatchable")
+	}
+}
+
+// TestSelectIndexedEquivalence pins that SelectIndexed picks exactly the
+// rules Select picks, for every sound probe mask: a set bit asserts what
+// propMatch would conclude anyway, and an unset bit falls back to the map
+// check.
+func TestSelectIndexedEquivalence(t *testing.T) {
+	prog := MustCompile(propPredApp, DefaultOptions())
+	plan := prog.QueuePlans["orders"]
+	doc := xmldom.MustParse(`<order><region>eu</region><amount>100</amount></order>`)
+	names := func() map[string]bool { return ElementNames(doc) }
+
+	cases := []map[string]xdm.Value{
+		{"region": xdm.NewString("eu")},
+		{"region": xdm.NewString("us")},
+		{"region": xdm.NewString("apac")},
+		{"amount": xdm.NewInteger(3)}, // property absent: admits
+		nil,
+	}
+	for _, props := range cases {
+		want := planNames(plan.Select(props, names))
+		// Sound masks: bit i may be set only when rule i's preds hold.
+		var sound uint64
+		for i, r := range plan.Rules {
+			if r.Access == AccessIndexProbe && len(props) > 0 {
+				ok := true
+				for _, pp := range r.PropPreds {
+					v, present := props[pp.Name]
+					if !present || v.StringValue() != pp.Value {
+						ok = false
+					}
+				}
+				if ok {
+					sound |= 1 << uint(i)
+				}
+			}
+		}
+		for _, mask := range []uint64{0, sound} {
+			got := planNames(plan.SelectIndexed(props, mask, names))
+			if len(got) != len(want) {
+				t.Fatalf("props %v mask %b: indexed %v, scan %v", props, mask, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("props %v mask %b: indexed %v, scan %v", props, mask, got, want)
+				}
+			}
+		}
+	}
+}

@@ -49,6 +49,26 @@ type PropPred struct {
 	Value string
 }
 
+// AccessPath is the planner's choice of how dispatch establishes a rule's
+// property prefilter (E17): probing the message's materialized property map
+// one message at a time, or answering the whole claimed batch with range
+// scans of the message store's (property, value) secondary index.
+type AccessPath uint8
+
+const (
+	// AccessScan: no property prefilter; the rule is evaluated for every
+	// message (element triggers still apply).
+	AccessScan AccessPath = iota
+	// AccessPropFilter: check PropPreds against the property map per
+	// message.
+	AccessPropFilter
+	// AccessIndexProbe: the batch executor may resolve PropPreds for all
+	// claimed messages at once by probing the secondary index over the
+	// batch's id window; per-message propMatch remains the fallback for
+	// messages the probe did not cover.
+	AccessIndexProbe
+)
+
 // Rule is one compiled rule.
 type Rule struct {
 	Name       string
@@ -62,6 +82,8 @@ type Rule struct {
 	Trigger string
 	// PropPreds are cheap property equality prefilters (see PropPred).
 	PropPreds []PropPred
+	// Access is the planner-chosen prefilter strategy (see AccessPath).
+	Access AccessPath
 	// Order is the declaration position, preserved when combining plans.
 	Order int
 }
@@ -89,6 +111,47 @@ type Plan struct {
 	// trigger / a property prefilter, enabling the no-dispatch fast path.
 	hasTriggers  bool
 	hasPropPreds bool
+	// probes are the posting lists backing AccessIndexProbe rules.
+	probes []IndexProbe
+}
+
+// IndexProbe names the (property, value) posting list whose range scan
+// answers the prefilter of one rule (Plan.Rules[Rule]) during batch
+// dispatch. A rule with several predicates contributes several probes; its
+// mask bit is set only when all of them hit.
+type IndexProbe struct {
+	Rule        int
+	Name, Value string
+}
+
+// IndexProbes returns the plan's posting-list probes, in rule order.
+func (p *Plan) IndexProbes() []IndexProbe { return p.probes }
+
+// IndexDispatchable reports whether batch dispatch may resolve this plan's
+// property prefilters through index probes: at least one rule chose
+// AccessIndexProbe and the rule count fits the uint64 probe mask.
+func (p *Plan) IndexDispatchable() bool {
+	return len(p.probes) > 0 && len(p.Rules) <= 64
+}
+
+// planAccess assigns each rule its access path. Index probes are chosen for
+// every prefiltered rule when the plan fits the probe mask; past 64 rules
+// the per-message map check stays in place.
+func (p *Plan) planAccess() {
+	wide := len(p.Rules) > 64
+	for i, r := range p.Rules {
+		switch {
+		case len(r.PropPreds) == 0:
+			r.Access = AccessScan
+		case wide:
+			r.Access = AccessPropFilter
+		default:
+			r.Access = AccessIndexProbe
+			for _, pp := range r.PropPreds {
+				p.probes = append(p.probes, IndexProbe{Rule: i, Name: pp.Name, Value: pp.Value})
+			}
+		}
+	}
 }
 
 // Program is a fully compiled application.
@@ -226,7 +289,9 @@ func Compile(app *qdl.Application, opts Options) (*Program, error) {
 		}
 	}
 
-	// Cache dispatch capabilities per plan.
+	// Cache dispatch capabilities per plan, then let the planner pick each
+	// rule's access path (only queue plans dispatch on properties; slice
+	// plans never carry PropPreds).
 	for _, plans := range []map[string]*Plan{prog.QueuePlans, prog.SlicePlans} {
 		for _, plan := range plans {
 			for _, r := range plan.Rules {
@@ -237,6 +302,7 @@ func Compile(app *qdl.Application, opts Options) (*Program, error) {
 					plan.hasPropPreds = true
 				}
 			}
+			plan.planAccess()
 		}
 	}
 	return prog, nil
@@ -277,6 +343,37 @@ func (p *Plan) Select(props map[string]xdm.Value, names func() map[string]bool) 
 	sel := make([]*Rule, 0, len(p.Rules))
 	for _, r := range p.Rules {
 		if len(props) > 0 && !r.propMatch(props) {
+			continue
+		}
+		if r.Trigger != "" {
+			if nm == nil {
+				nm = names()
+			}
+			if !nm[r.Trigger] {
+				continue
+			}
+		}
+		sel = append(sel, r)
+	}
+	return sel
+}
+
+// SelectIndexed is Select with precomputed probe results: bit i of matched
+// set means the batch index probe proved message membership in every
+// posting list of Rules[i]'s predicates — propMatch is then true by
+// construction and is skipped. An unset bit is ambiguous (the property may
+// be absent, which admits the rule), so it falls back to the per-message
+// map check; the two paths therefore select exactly the same rules, which
+// the differential tests pin.
+func (p *Plan) SelectIndexed(props map[string]xdm.Value, matched uint64, names func() map[string]bool) []*Rule {
+	if !p.hasTriggers && (!p.hasPropPreds || len(props) == 0) {
+		return p.Rules
+	}
+	var nm map[string]bool
+	sel := make([]*Rule, 0, len(p.Rules))
+	for i, r := range p.Rules {
+		probed := r.Access == AccessIndexProbe && matched&(1<<uint(i)) != 0
+		if !probed && len(props) > 0 && !r.propMatch(props) {
 			continue
 		}
 		if r.Trigger != "" {

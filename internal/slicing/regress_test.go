@@ -1,0 +1,252 @@
+package slicing
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"demaq/internal/msgstore"
+	"demaq/internal/property"
+	"demaq/internal/xdm"
+	"demaq/internal/xmldom"
+	"demaq/internal/xquery"
+)
+
+// putProps enqueues with a hand-built property map (bypassing Evaluate) and
+// feeds OnEnqueue of every given manager, so materialized and merged
+// managers observe the identical commit.
+func putProps(t *testing.T, ms *msgstore.Store, queue string, props map[string]xdm.Value, sms ...*Manager) msgstore.MsgID {
+	t.Helper()
+	tx := ms.Begin()
+	id, err := tx.Enqueue(queue, xmldom.MustParse(`<m/>`), props, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for _, sm := range sms {
+		sm.OnEnqueue(id, queue, props)
+	}
+	return id
+}
+
+// TestUndeclaredPropertyFormsNoSlice pins the materialized/merged divergence:
+// OnEnqueue used to record membership when props.Def returned !ok, while the
+// merged path (which derives the slice from def.Queues()) returned nil for
+// the same slice — the E1 ablation paths disagreed, and retention held such
+// messages forever on the materialized side.
+func TestUndeclaredPropertyFormsNoSlice(t *testing.T) {
+	ms, _, _ := setup(t, true)
+	props := property.NewManager() // "ghost" never declared
+	mat := NewManager(ms, props, true)
+	mat.Define("ghosts", "ghost")
+	mer := NewManager(ms, props, false)
+	mer.Define("ghosts", "ghost")
+
+	id := putProps(t, ms, "crm", map[string]xdm.Value{"ghost": xdm.NewString("g1")}, mat, mer)
+
+	matGot := mat.SliceMembers("ghosts", "g1")
+	merGot := mer.SliceMembers("ghosts", "g1")
+	if len(matGot) != 0 || len(merGot) != 0 {
+		t.Fatalf("undeclared property formed a slice: materialized=%v merged=%v", matGot, merGot)
+	}
+	tx := ms.Begin()
+	tx.MarkProcessed(id)
+	tx.Commit()
+	if !mat.Removable(id) {
+		t.Fatal("phantom membership blocks retention")
+	}
+}
+
+// TestMaterializedMergedDifferential drives the same workload — several
+// keys, several queues, an off-queue property, a reset — through a
+// materialized manager, a merged manager using the store's property index,
+// and a merged manager on a scan-only store, and demands identical slice
+// views from all three.
+func TestMaterializedMergedDifferential(t *testing.T) {
+	scanOpts := msgstore.DefaultOptions()
+	scanOpts.NoPropertyIndex = true
+	stores := map[string]*msgstore.Store{}
+	for name, opts := range map[string]msgstore.Options{"indexed": msgstore.DefaultOptions(), "scan": scanOpts} {
+		ms, err := msgstore.Open(t.TempDir(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ms.Close() })
+		ms.CreateQueue("crm", msgstore.Persistent, 0)
+		ms.CreateQueue("customer", msgstore.Persistent, 0)
+		ms.CreateQueue("other", msgstore.Persistent, 0)
+		stores[name] = ms
+	}
+	props := property.NewManager()
+	props.Define(&property.Def{
+		Name: "requestID", Type: xdm.TypeString,
+		PerQueue: map[string]*xquery.Compiled{
+			"crm":      xquery.MustCompile(`//requestID`, xquery.CompileOptions{}),
+			"customer": xquery.MustCompile(`//requestID`, xquery.CompileOptions{}),
+			// "other" deliberately absent: the property is not defined there.
+		},
+	})
+	managers := map[string]*Manager{}
+	perStore := map[string][]*Manager{"indexed": nil, "scan": nil}
+	for _, mode := range []string{"materialized", "merged-indexed", "merged-scan"} {
+		storeName := "indexed"
+		if mode == "merged-scan" {
+			storeName = "scan"
+		}
+		sm := NewManager(stores[storeName], props, mode == "materialized")
+		sm.Define("requestMsgs", "requestID")
+		managers[mode] = sm
+		perStore[storeName] = append(perStore[storeName], sm)
+	}
+	if !stores["indexed"].PropertyIndexEnabled() || stores["scan"].PropertyIndexEnabled() {
+		t.Fatal("store index setup wrong")
+	}
+
+	keys := []string{"r1", "r2", "r\x00odd", ""}
+	for i := 0; i < 20; i++ {
+		key := keys[i%len(keys)]
+		queue := []string{"crm", "customer", "other"}[i%3]
+		pv := map[string]xdm.Value{"requestID": xdm.NewString(key)}
+		for storeName, ms := range stores {
+			putProps(t, ms, queue, pv, perStore[storeName]...)
+		}
+	}
+	check := func(stage string) {
+		t.Helper()
+		for _, key := range keys {
+			want := fmt.Sprint(managers["materialized"].SliceMembers("requestMsgs", key))
+			for _, mode := range []string{"merged-indexed", "merged-scan"} {
+				if got := fmt.Sprint(managers[mode].SliceMembers("requestMsgs", key)); got != want {
+					t.Fatalf("%s: key %q: %s=%s, materialized=%s", stage, key, mode, got, want)
+				}
+			}
+		}
+	}
+	check("initial")
+	for _, sm := range managers {
+		sm.Reset("requestMsgs", "r1", 10)
+	}
+	check("after reset")
+}
+
+// TestSliceKeySeparatorIsolation pins the indexKey codec fix: under the old
+// "\x00"-separated keys the pairs (slicing "s", key "k\x00x") and (slicing
+// "s\x00k", key "x") encoded to the same scan prefix, so each slice leaked
+// the other's members.
+func TestSliceKeySeparatorIsolation(t *testing.T) {
+	ms, err := msgstore.Open(t.TempDir(), msgstore.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	ms.CreateQueue("q", msgstore.Persistent, 0)
+	props := property.NewManager()
+	for _, p := range []string{"p1", "p2"} {
+		props.Define(&property.Def{Name: p, Type: xdm.TypeString, PerQueue: map[string]*xquery.Compiled{
+			"q": xquery.MustCompile(`//x`, xquery.CompileOptions{}),
+		}})
+	}
+	sm := NewManager(ms, props, true)
+	sm.Define("s", "p1")
+	sm.Define("s\x00k", "p2")
+
+	a := putProps(t, ms, "q", map[string]xdm.Value{"p1": xdm.NewString("k\x00x")}, sm)
+	b := putProps(t, ms, "q", map[string]xdm.Value{"p2": xdm.NewString("x")}, sm)
+
+	if got := sm.SliceMembers("s", "k\x00x"); len(got) != 1 || got[0] != a {
+		t.Fatalf("slice s/k\\0x: %v (leak from sibling pair)", got)
+	}
+	if got := sm.SliceMembers("s\x00k", "x"); len(got) != 1 || got[0] != b {
+		t.Fatalf("slice s\\0k/x: %v (leak from sibling pair)", got)
+	}
+}
+
+// TestSliceMembersWatermarkRace pins the single-lock watermark read: a
+// writer interleaves Reset with sentinel memberships while readers assert
+// that any view containing sentinel n holds no member at or below the
+// watermark that preceded n. With the watermark read under one RLock and
+// the index scanned under a second, a Reset landing between them produces
+// exactly such a stale view. Run under -race in CI.
+func TestSliceMembersWatermarkRace(t *testing.T) {
+	_, _, sm := setup(t, true)
+	pv := map[string]xdm.Value{"requestID": xdm.NewString("r1")}
+
+	var mu sync.Mutex
+	wmOf := map[msgstore.MsgID]msgstore.MsgID{}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var last msgstore.MsgID
+		for n := msgstore.MsgID(1); ; n++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sm.Reset("requestMsgs", "r1", last)
+			mu.Lock()
+			wmOf[n] = last
+			mu.Unlock()
+			sm.OnEnqueue(n, "crm", pv)
+			last = n
+		}
+	}()
+	for i := 0; i < 5000; i++ {
+		got := sm.SliceMembers("requestMsgs", "r1")
+		if len(got) == 0 {
+			continue
+		}
+		mu.Lock()
+		var maxWM msgstore.MsgID
+		for _, id := range got {
+			if wm := wmOf[id]; wm > maxWM {
+				maxWM = wm
+			}
+		}
+		mu.Unlock()
+		for _, id := range got {
+			if id <= maxWM {
+				t.Fatalf("member %d visible alongside a sentinel whose reset watermark is %d", id, maxWM)
+			}
+		}
+	}
+	close(stop)
+	<-done
+}
+
+// TestSortIDs pins enqueue-order output for the merged queue-scan path,
+// which interleaves queues and relies on the sort.
+func TestSortIDs(t *testing.T) {
+	ids := []msgstore.MsgID{9, 3, 7, 1, 8, 2, 2, 5}
+	sortIDs(ids)
+	for i := 1; i < len(ids); i++ {
+		if ids[i] < ids[i-1] {
+			t.Fatalf("unsorted: %v", ids)
+		}
+	}
+}
+
+// TestRemovableSetMatchesRemovable pins the batched GC candidate pass
+// against the per-ID predicate it replaced.
+func TestRemovableSetMatchesRemovable(t *testing.T) {
+	ms, _, sm := setup(t, true)
+	var all []msgstore.MsgID
+	for i := 0; i < 12; i++ {
+		key := fmt.Sprintf("r%d", i%3)
+		all = append(all, putProps(t, ms, "crm", map[string]xdm.Value{"requestID": xdm.NewString(key)}, sm))
+	}
+	sm.Reset("requestMsgs", "r1", all[len(all)-1])
+	got := map[msgstore.MsgID]bool{}
+	for _, id := range sm.removableSet(all) {
+		got[id] = true
+	}
+	for _, id := range all {
+		if want := sm.Removable(id); got[id] != want {
+			t.Fatalf("id %d: removableSet=%v Removable=%v", id, got[id], want)
+		}
+	}
+}

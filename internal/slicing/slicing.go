@@ -21,7 +21,7 @@
 package slicing
 
 import (
-	"encoding/binary"
+	"sort"
 	"sync"
 
 	"demaq/internal/msgstore"
@@ -49,7 +49,7 @@ type Manager struct {
 	props     *property.Manager
 	slicings  map[string]*Slicing
 	byProp    map[string][]*Slicing
-	index     *store.BTree // (slicing \x00 key \x00 msgID) → nil
+	index     *store.BTree // IndexKey(msgID, slicing, key) → nil
 	memberOf  map[msgstore.MsgID][]membership
 	watermark map[string]msgstore.MsgID // slicing \x00 key → last reset watermark
 
@@ -111,15 +111,14 @@ func (m *Manager) Names() []string {
 
 func sliceID(slicing, key string) string { return slicing + "\x00" + key }
 
+// indexKey builds the B-tree key of one membership row using the shared
+// length-prefixed codec. The previous "\x00"-separated layout was ambiguous:
+// a slice key embedding NUL made one slice's prefix cover another's rows
+// (slicing "s", key "k\x00x" collided with slicing "s\x00k", key "x"), so
+// ScanPrefix leaked entries across (slicing, key) pairs. Length prefixes are
+// prefix-free for any byte content.
 func indexKey(slicing, key string, id msgstore.MsgID) []byte {
-	out := make([]byte, 0, len(slicing)+len(key)+10)
-	out = append(out, slicing...)
-	out = append(out, 0)
-	out = append(out, key...)
-	out = append(out, 0)
-	var idb [8]byte
-	binary.BigEndian.PutUint64(idb[:], uint64(id))
-	return append(out, idb[:]...)
+	return store.IndexKey(uint64(id), slicing, key)
 }
 
 // OnEnqueue records slice memberships for a newly committed message, based
@@ -133,11 +132,17 @@ func (m *Manager) OnEnqueue(id msgstore.MsgID, queue string, props map[string]xd
 		if len(slicings) == 0 {
 			continue
 		}
-		// Membership requires the property to be defined on the queue.
-		if def, ok := m.props.Def(propName); ok {
-			if _, onQueue := def.PerQueue[queue]; !onQueue {
-				continue
-			}
+		// Membership requires a declared property defined on this queue.
+		// An undeclared property must not form a slice: the merged path
+		// re-derives membership by scanning def.Queues(), so anything it
+		// cannot see must not be materialized either, or the two E1
+		// implementations diverge.
+		def, ok := m.props.Def(propName)
+		if !ok {
+			continue
+		}
+		if _, onQueue := def.PerQueue[queue]; !onQueue {
+			continue
 		}
 		key := v.StringValue()
 		for _, s := range slicings {
@@ -166,18 +171,20 @@ func (m *Manager) OnRemove(ids []msgstore.MsgID) {
 func (m *Manager) SliceMembers(slicing, key string) []msgstore.MsgID {
 	m.mu.RLock()
 	s, ok := m.slicings[slicing]
-	wm := m.watermark[sliceID(slicing, key)]
-	materialized := m.materialized
-	m.mu.RUnlock()
 	if !ok {
+		m.mu.RUnlock()
 		return nil
 	}
-	if materialized {
+	if m.materialized {
+		// Watermark read and index scan happen under the same lock
+		// acquisition. Reading the watermark under one RLock and scanning
+		// under a second let a concurrent Reset land in the gap, returning
+		// members of the new lifetime filtered by the old lifetime's
+		// watermark.
+		wm := m.watermark[sliceID(slicing, key)]
 		var out []msgstore.MsgID
-		m.mu.RLock()
-		m.index.ScanPrefix(indexKey(slicing, key, 0)[:len(slicing)+len(key)+2], func(k, _ []byte) bool {
-			id := msgstore.MsgID(binary.BigEndian.Uint64(k[len(k)-8:]))
-			if id > wm {
+		m.index.ScanPrefix(store.IndexKeyPrefix(slicing, key), func(k, _ []byte) bool {
+			if id := msgstore.MsgID(store.IndexKeyID(k)); id > wm {
 				out = append(out, id)
 			}
 			return true
@@ -185,11 +192,30 @@ func (m *Manager) SliceMembers(slicing, key string) []msgstore.MsgID {
 		m.mu.RUnlock()
 		return out
 	}
-	// Merged evaluation: scan every queue the slicing property is defined
-	// on and compare property values — the unindexed baseline.
-	def, ok := m.props.Def(s.Property)
+	wm := m.watermark[sliceID(slicing, key)]
+	prop := s.Property
+	m.mu.RUnlock()
+
+	// Merged evaluation: re-derive the slice from the message store. With
+	// the store's property index this is one contiguous (property, value)
+	// range scan already bounded below by the watermark, filtered to the
+	// queues the property is defined on; without it, the unindexed E1
+	// baseline scans every such queue.
+	def, ok := m.props.Def(prop)
 	if !ok {
 		return nil
+	}
+	if m.ms.PropertyIndexEnabled() {
+		ids := m.ms.PropertyIDsAfter(prop, key, wm, nil)
+		out := ids[:0]
+		for _, id := range ids {
+			if msg, live := m.ms.Get(id); live {
+				if _, onQueue := def.PerQueue[msg.Queue]; onQueue {
+					out = append(out, id)
+				}
+			}
+		}
+		return out // index scans ascend by id, so enqueue order is free
 	}
 	var out []msgstore.MsgID
 	for _, queue := range def.Queues() {
@@ -198,7 +224,7 @@ func (m *Manager) SliceMembers(slicing, key string) []msgstore.MsgID {
 			continue
 		}
 		for _, msg := range msgs {
-			if v, ok := msg.Props[s.Property]; ok && v.StringValue() == key && msg.ID > wm {
+			if v, ok := msg.Props[prop]; ok && v.StringValue() == key && msg.ID > wm {
 				out = append(out, msg.ID)
 			}
 		}
@@ -208,11 +234,7 @@ func (m *Manager) SliceMembers(slicing, key string) []msgstore.MsgID {
 }
 
 func sortIDs(ids []msgstore.MsgID) {
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 }
 
 // SlicesOf returns the (slicing, key) pairs the message belongs to,
@@ -270,13 +292,7 @@ func (m *Manager) Removable(id msgstore.MsgID) bool {
 func (m *Manager) CollectGarbage() (int, error) {
 	total := 0
 	for _, queue := range m.ms.QueueNames() {
-		ids := m.ms.ProcessedIDs(queue)
-		var removable []msgstore.MsgID
-		for _, id := range ids {
-			if m.Removable(id) {
-				removable = append(removable, id)
-			}
-		}
+		removable := m.removableSet(m.ms.ProcessedIDs(queue))
 		if len(removable) == 0 {
 			continue
 		}
@@ -287,6 +303,28 @@ func (m *Manager) CollectGarbage() (int, error) {
 		total += len(removable)
 	}
 	return total, nil
+}
+
+// removableSet filters ids down to those no longer held by any live slice
+// under one lock acquisition — the GC candidate pass over a whole queue used
+// to pay an RLock round-trip per message via Removable.
+func (m *Manager) removableSet(ids []msgstore.MsgID) []msgstore.MsgID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []msgstore.MsgID
+	for _, id := range ids {
+		held := false
+		for _, mb := range m.memberOf[id] {
+			if id > m.watermark[sliceID(mb.slicing, mb.key)] {
+				held = true
+				break
+			}
+		}
+		if !held {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // Rebuild reconstructs memberships and the index from the message store

@@ -280,6 +280,13 @@ func (t *BTree) ScanPrefix(prefix []byte, fn func(key, val []byte) bool) {
 	t.Scan(prefix, hi, fn)
 }
 
+// ScanPrefixFrom visits the keys with the given prefix starting at lo
+// (inclusive; lo must itself carry the prefix). It bounds an id-suffixed
+// index scan from below without giving up the exact prefix upper bound.
+func (t *BTree) ScanPrefixFrom(prefix, lo []byte, fn func(key, val []byte) bool) {
+	t.Scan(lo, prefixEnd(prefix), fn)
+}
+
 // prefixEnd returns the smallest key greater than every key with the
 // prefix, or nil if no such key exists.
 func prefixEnd(prefix []byte) []byte {

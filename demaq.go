@@ -374,8 +374,12 @@ func Validate(source string) error {
 
 // FormatStats renders stats for human consumption.
 func FormatStats(st Stats) string {
-	return fmt.Sprintf("processed=%d rules=%d fired=%d enqueued=%d resets=%d errors=%d deadlocks=%d dlrequeues=%d collected=%d backlog=%d batches=%d avgbatch=%.1f",
+	s := fmt.Sprintf("processed=%d rules=%d fired=%d enqueued=%d resets=%d errors=%d deadlocks=%d dlrequeues=%d collected=%d backlog=%d batches=%d avgbatch=%.1f",
 		st.Processed, st.RulesEvaluated, st.RulesFired, st.Enqueued, st.Resets,
 		st.Errors, st.Deadlocks, st.DeadlockRequeues, st.Collected, st.Backlog,
 		st.BatchesClaimed, st.AvgBatchSize)
+	if st.Degraded {
+		s += fmt.Sprintf(" DEGRADED(read-only: %s)", st.StorageError)
+	}
+	return s
 }

@@ -154,3 +154,16 @@ func TestExplicitProps(t *testing.T) {
 		t.Fatalf("props: %+v", msgs)
 	}
 }
+
+func TestFormatStatsDegraded(t *testing.T) {
+	st := Stats{Processed: 3}
+	if s := FormatStats(st); strings.Contains(s, "DEGRADED") {
+		t.Fatalf("healthy stats flagged degraded: %s", s)
+	}
+	st.Degraded = true
+	st.StorageError = "store: disk failure"
+	s := FormatStats(st)
+	if !strings.Contains(s, "DEGRADED") || !strings.Contains(s, "disk failure") {
+		t.Fatalf("degraded stats not surfaced: %s", s)
+	}
+}

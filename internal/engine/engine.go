@@ -119,6 +119,13 @@ type Stats struct {
 	Collected      uint64
 	Backlog        int
 
+	// Degraded is set after a permanent storage failure: the engine keeps
+	// serving reads but refuses ingest (gateways shed with 503) and
+	// workers park their claims instead of routing them to error queues.
+	// StorageError carries the failure that tripped it.
+	Degraded     bool
+	StorageError string
+
 	// BatchesClaimed counts scheduler claim rounds; AvgBatchSize is the
 	// mean number of messages claimed per round (set-oriented execution
 	// amortizes per-message overhead by this factor). DeadlockRequeues
@@ -162,6 +169,11 @@ type Engine struct {
 		processed, rulesEval, rulesFired, enqueued, resets, errors, deadlocks, collected atomic.Uint64
 		batches, batchMsgs, deadlockRequeues                                             atomic.Uint64
 	}
+
+	// degraded flips (one-way, until restart) when the store reports a
+	// permanent I/O failure; storageErr holds the error that tripped it.
+	degraded   atomic.Bool
+	storageErr atomic.Value // error
 
 	schemas map[string]*schema.Schema
 
@@ -439,6 +451,39 @@ func (e *Engine) Drain(timeout time.Duration) bool {
 	return e.sched.Idle() && e.gws.idle()
 }
 
+// ErrDegraded is returned by the ingest APIs while the engine is in
+// degraded read-only mode after a permanent storage failure. It wraps
+// gateway.ErrUnavailable, so transports shed the load (HTTP: 503 with
+// Retry-After) instead of surfacing it as a message fault.
+var ErrDegraded = fmt.Errorf("engine: degraded read-only mode after storage failure: %w", gateway.ErrUnavailable)
+
+// noteStorageError inspects an error from the storage layer and flips the
+// engine into degraded read-only mode when it is permanent — a dead or
+// full device, or a sticky WAL failure the store already latched.
+// Transient errors were retried below and never reach this point as
+// failures; everything else is message-level, not device-level.
+func (e *Engine) noteStorageError(err error) {
+	if err == nil {
+		return
+	}
+	if !store.IsPermanent(err) && e.ms.DiskError() == nil {
+		return
+	}
+	if e.degraded.CompareAndSwap(false, true) {
+		e.storageErr.Store(err)
+		e.log.Error("permanent storage failure: entering degraded read-only mode", "err", err)
+	}
+}
+
+// Degraded reports whether the engine is in degraded read-only mode.
+func (e *Engine) Degraded() bool { return e.degraded.Load() }
+
+// StorageError returns the failure that tripped degraded mode, if any.
+func (e *Engine) StorageError() error {
+	err, _ := e.storageErr.Load().(error)
+	return err
+}
+
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
 	st := Stats{
@@ -458,13 +503,21 @@ func (e *Engine) Stats() Stats {
 		st.AvgBatchSize = float64(e.stats.batchMsgs.Load()) / float64(st.BatchesClaimed)
 	}
 	st.IngestBytesPooled = e.cfg.Transports.IngestBytesPooled()
+	st.Degraded = e.degraded.Load()
+	if err := e.StorageError(); err != nil {
+		st.StorageError = err.Error()
+	}
 	return st
 }
 
 // CollectGarbage runs one retention GC pass (Sec. 2.3.3).
 func (e *Engine) CollectGarbage() (int, error) {
+	if e.degraded.Load() {
+		return 0, ErrDegraded
+	}
 	n, err := e.slices.CollectGarbage()
 	e.stats.collected.Add(uint64(n))
+	e.noteStorageError(err)
 	return n, err
 }
 
@@ -489,6 +542,9 @@ func (e *Engine) gcLoop() {
 // are evaluated; explicit props (e.g. the Sender system property) may be
 // supplied.
 func (e *Engine) Enqueue(queue string, doc *xmldom.Node, explicit map[string]xdm.Value) (msgstore.MsgID, error) {
+	if e.degraded.Load() {
+		return 0, ErrDegraded
+	}
 	q, ok := e.ms.Queue(queue)
 	if !ok {
 		return 0, fmt.Errorf("engine: unknown queue %q", queue)
@@ -508,9 +564,11 @@ func (e *Engine) Enqueue(queue string, doc *xmldom.Node, explicit map[string]xdm
 	id, err := tx.Enqueue(queue, doc, props, now)
 	if err != nil {
 		tx.Abort()
+		e.noteStorageError(err)
 		return 0, err
 	}
 	if _, err := tx.Commit(); err != nil {
+		e.noteStorageError(err)
 		return 0, err
 	}
 	e.slices.OnEnqueue(id, queue, props)
@@ -532,6 +590,9 @@ func (e *Engine) Enqueue(queue string, doc *xmldom.Node, explicit map[string]xdm
 // document), echo and outgoing-gateway kinds — transparently fall back to
 // parse-and-enqueue with identical semantics and error surface.
 func (e *Engine) EnqueueWire(queue string, wire []byte, explicit map[string]xdm.Value) (msgstore.MsgID, error) {
+	if e.degraded.Load() {
+		return 0, ErrDegraded
+	}
 	q, ok := e.ms.Queue(queue)
 	if !ok {
 		return 0, fmt.Errorf("engine: unknown queue %q", queue)
@@ -587,9 +648,11 @@ func (e *Engine) EnqueueWire(queue string, wire []byte, explicit map[string]xdm.
 	id, err := tx.EnqueueEncoded(queue, enc, doc, fp, pruned, props, now)
 	if err != nil {
 		tx.Abort()
+		e.noteStorageError(err)
 		return 0, err
 	}
 	if _, err := tx.Commit(); err != nil {
+		e.noteStorageError(err)
 		return 0, err
 	}
 	e.slices.OnEnqueue(id, queue, props)
@@ -687,6 +750,18 @@ func (e *Engine) processWithRetry(queue string, id msgstore.MsgID, rng *rand.Ran
 				backoff *= 2
 			}
 			continue
+		}
+		// A permanent storage failure is a device fault, not a message
+		// fault: park the message back on the scheduler (it stays
+		// unprocessed and will be retried after a restart on a healthy
+		// disk) and flip to degraded mode. Routing to the error queue
+		// would both misattribute the failure and need the same dead
+		// disk to commit.
+		if store.IsPermanent(err) || e.degraded.Load() {
+			e.noteStorageError(err)
+			e.sched.Requeue(queue, id)
+			time.Sleep(10 * time.Millisecond) // don't spin against a dead device
+			return
 		}
 		// Non-retryable: route to the error queue and consume the message
 		// so it is processed exactly once.

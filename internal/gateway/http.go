@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -20,6 +21,7 @@ import (
 type HTTPTransport struct {
 	mu        sync.Mutex
 	client    *http.Client
+	opts      HTTPOptions
 	servers   map[string]*httpServer // host:port → server
 	endpoints map[string]Handler     // full address → handler
 
@@ -32,10 +34,60 @@ type httpServer struct {
 	srv *http.Server
 }
 
-// NewHTTPTransport creates an HTTP transport.
+// HTTPOptions bounds the transport's exposure to slow or oversized peers.
+// Zero values take the defaults below.
+type HTTPOptions struct {
+	// ReadTimeout / WriteTimeout / IdleTimeout are applied to every
+	// listener the transport starts; a peer that trickles a request body
+	// or never drains a response cannot pin a connection forever.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	IdleTimeout  time.Duration
+	// MaxHeaderBytes caps request header size (http.Server semantics).
+	MaxHeaderBytes int
+	// MaxBodyBytes caps the request body; larger ingests are rejected
+	// with 413 Request Entity Too Large before the handler runs.
+	MaxBodyBytes int64
+}
+
+// Defaults for HTTPOptions zero values.
+const (
+	DefaultHTTPReadTimeout    = 30 * time.Second
+	DefaultHTTPWriteTimeout   = 30 * time.Second
+	DefaultHTTPIdleTimeout    = 2 * time.Minute
+	DefaultHTTPMaxHeaderBytes = 1 << 20
+	DefaultHTTPMaxBodyBytes   = 64 << 20
+)
+
+func (o HTTPOptions) withDefaults() HTTPOptions {
+	if o.ReadTimeout <= 0 {
+		o.ReadTimeout = DefaultHTTPReadTimeout
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = DefaultHTTPWriteTimeout
+	}
+	if o.IdleTimeout <= 0 {
+		o.IdleTimeout = DefaultHTTPIdleTimeout
+	}
+	if o.MaxHeaderBytes <= 0 {
+		o.MaxHeaderBytes = DefaultHTTPMaxHeaderBytes
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = DefaultHTTPMaxBodyBytes
+	}
+	return o
+}
+
+// NewHTTPTransport creates an HTTP transport with default limits.
 func NewHTTPTransport() *HTTPTransport {
+	return NewHTTPTransportOptions(HTTPOptions{})
+}
+
+// NewHTTPTransportOptions creates an HTTP transport with explicit limits.
+func NewHTTPTransportOptions(opts HTTPOptions) *HTTPTransport {
 	return &HTTPTransport{
 		client:    &http.Client{Timeout: 30 * time.Second},
+		opts:      opts.withDefaults(),
 		servers:   map[string]*httpServer{},
 		endpoints: map[string]Handler{},
 	}
@@ -85,7 +137,13 @@ func (t *HTTPTransport) Subscribe(addr string, h Handler) (func(), error) {
 		if err != nil {
 			return nil, err
 		}
-		srv := &http.Server{Handler: http.HandlerFunc(t.serve)}
+		srv := &http.Server{
+			Handler:        http.HandlerFunc(t.serve),
+			ReadTimeout:    t.opts.ReadTimeout,
+			WriteTimeout:   t.opts.WriteTimeout,
+			IdleTimeout:    t.opts.IdleTimeout,
+			MaxHeaderBytes: t.opts.MaxHeaderBytes,
+		}
 		t.servers[hostPort] = &httpServer{ln: ln, srv: srv}
 		go srv.Serve(ln)
 	}
@@ -151,11 +209,18 @@ func (t *HTTPTransport) serve(w http.ResponseWriter, r *http.Request) {
 		b := make([]byte, 0, 64<<10)
 		bp = &b
 	}
-	body, err := readBody(io.LimitReader(r.Body, 64<<20), (*bp)[:0])
+	// Read one byte past the limit so an at-limit body is distinguishable
+	// from an oversized one.
+	body, err := readBody(io.LimitReader(r.Body, t.opts.MaxBodyBytes+1), (*bp)[:0])
 	*bp = body[:0]
 	if err != nil {
 		t.bodies.Put(bp)
 		http.Error(w, "read error", http.StatusBadRequest)
+		return
+	}
+	if int64(len(body)) > t.opts.MaxBodyBytes {
+		t.bodies.Put(bp)
+		http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
 		return
 	}
 	props := map[string]string{}
@@ -172,6 +237,12 @@ func (t *HTTPTransport) serve(w http.ResponseWriter, r *http.Request) {
 	t.pooledBytes.Add(uint64(len(body)))
 	if cap(body) <= maxPooledBody {
 		t.bodies.Put(bp)
+	}
+	if errors.Is(herr, ErrUnavailable) {
+		// Degraded node: shed ingest and tell the sender when to retry.
+		w.Header().Set("Retry-After", "5")
+		http.Error(w, herr.Error(), http.StatusServiceUnavailable)
+		return
 	}
 	if herr != nil {
 		http.Error(w, herr.Error(), http.StatusUnprocessableEntity)

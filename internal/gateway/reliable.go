@@ -2,6 +2,8 @@ package gateway
 
 import (
 	"fmt"
+	"hash/fnv"
+	"math/rand/v2"
 	"strconv"
 	"sync"
 	"time"
@@ -27,6 +29,8 @@ type Reliable struct {
 	pending  map[uint64]*pendingSend
 	seen     map[string]map[uint64]bool // dedup per remote source
 	interval time.Duration
+	maxWait  time.Duration
+	rng      *rand.Rand // per-sender jitter source (guarded by mu)
 	retries  int
 	closed   bool
 	unsub    func()
@@ -60,14 +64,36 @@ func NewReliable(tr Transport, source string, retryInterval time.Duration, maxRe
 	if maxRetries <= 0 {
 		maxRetries = 20
 	}
+	// Each sender jitters its retransmit schedule independently — after a
+	// receiver outage, senders seeded alike would otherwise retransmit in
+	// lockstep and slam it in synchronized waves.
+	h := fnv.New64a()
+	h.Write([]byte(source))
 	r := &Reliable{
 		tr: tr, source: source,
 		pending:  map[uint64]*pendingSend{},
 		seen:     map[string]map[uint64]bool{},
 		interval: retryInterval,
+		maxWait:  16 * retryInterval,
+		rng:      rand.New(rand.NewPCG(h.Sum64(), uint64(time.Now().UnixNano()))),
 		retries:  maxRetries,
 	}
 	return r, nil
+}
+
+// backoff returns the jittered delay before retransmission number tries:
+// capped exponential growth from the base interval, with the second half
+// of each step randomized per sender. Called with r.mu held (the rng is
+// not concurrency-safe).
+func (r *Reliable) backoff(tries int) time.Duration {
+	d := r.interval
+	for i := 1; i < tries && d < r.maxWait; i++ {
+		d *= 2
+	}
+	if d > r.maxWait {
+		d = r.maxWait
+	}
+	return d/2 + time.Duration(r.rng.Int64N(int64(d/2)+1))
 }
 
 // Stats returns (acked sends, retransmissions, duplicate receives).
@@ -124,7 +150,17 @@ func (r *Reliable) SendAsync(dest string, payload []byte, props map[string]strin
 }
 
 func (r *Reliable) transmit(seq uint64, ps *pendingSend) {
+	// Check cancellation before touching the transport: once Close has
+	// failed the completion, nothing may reach the wire on its behalf.
+	r.mu.Lock()
+	if _, stillPending := r.pending[seq]; !stillPending || r.closed {
+		r.mu.Unlock()
+		return
+	}
 	ps.tries++
+	tries := ps.tries
+	r.mu.Unlock()
+
 	err := r.tr.Send(ps.dest, ps.payload, ps.props)
 	if err == ErrDisconnected {
 		// Immediate, permanent failure: report without retrying; the
@@ -137,16 +173,18 @@ func (r *Reliable) transmit(seq uint64, ps *pendingSend) {
 		r.mu.Unlock()
 		return
 	}
-	if ps.tries > r.retries {
+	if tries > r.retries {
 		r.mu.Unlock()
-		r.finish(seq, fmt.Errorf("gateway: no acknowledgement after %d attempts", ps.tries-1))
+		r.finish(seq, fmt.Errorf("gateway: no acknowledgement after %d attempts", tries-1))
 		return
 	}
-	ps.timer = time.AfterFunc(r.interval, func() {
+	ps.timer = time.AfterFunc(r.backoff(tries), func() {
 		r.mu.Lock()
 		_, stillPending := r.pending[seq]
-		if stillPending {
+		if stillPending && !r.closed {
 			r.retransmits++
+		} else {
+			stillPending = false
 		}
 		r.mu.Unlock()
 		if stillPending {

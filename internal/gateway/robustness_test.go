@@ -1,0 +1,161 @@
+package gateway
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHTTPBodyLimitRejected(t *testing.T) {
+	tr := NewHTTPTransportOptions(HTTPOptions{MaxBodyBytes: 1024})
+	defer tr.Close()
+	addr := "http://127.0.0.1:39411/queues/in"
+	unsub, err := tr.Subscribe(addr, func([]byte, map[string]string) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer unsub()
+
+	resp, err := http.Post(addr, "application/xml", bytes.NewReader(make([]byte, 4096)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: got %s, want 413", resp.Status)
+	}
+
+	// A body exactly at the limit still goes through.
+	resp, err = http.Post(addr, "application/xml", bytes.NewReader(make([]byte, 1024)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("at-limit body: got %s, want 202", resp.Status)
+	}
+}
+
+func TestHTTPUnavailableShedsWith503(t *testing.T) {
+	tr := NewHTTPTransport()
+	defer tr.Close()
+	addr := "http://127.0.0.1:39412/queues/in"
+	unsub, err := tr.Subscribe(addr, func([]byte, map[string]string) error {
+		return fmt.Errorf("engine: degraded read-only mode: %w", ErrUnavailable)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer unsub()
+
+	resp, err := http.Post(addr, "application/xml", strings.NewReader("<m/>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded handler: got %s, want 503", resp.Status)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 response carries no Retry-After")
+	}
+}
+
+func TestHTTPServerLimitsApplied(t *testing.T) {
+	tr := NewHTTPTransportOptions(HTTPOptions{ReadTimeout: 7 * time.Second})
+	defer tr.Close()
+	addr := "http://127.0.0.1:39413/queues/in"
+	unsub, err := tr.Subscribe(addr, func([]byte, map[string]string) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer unsub()
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	for _, s := range tr.servers {
+		if s.srv.ReadTimeout != 7*time.Second {
+			t.Fatalf("ReadTimeout %v not applied to listener", s.srv.ReadTimeout)
+		}
+		if s.srv.WriteTimeout != DefaultHTTPWriteTimeout || s.srv.MaxHeaderBytes != DefaultHTTPMaxHeaderBytes {
+			t.Fatal("defaulted limits not applied to listener")
+		}
+	}
+}
+
+// countingTransport drops every send and counts them.
+type countingTransport struct{ sends atomic.Int64 }
+
+func (c *countingTransport) Scheme() string { return "cnt" }
+func (c *countingTransport) Send(string, []byte, map[string]string) error {
+	c.sends.Add(1)
+	return nil // accepted by the wire, but no ack will ever arrive
+}
+func (c *countingTransport) Subscribe(string, Handler) (func(), error) {
+	return func() {}, nil
+}
+
+func TestReliableCloseCancelsInFlightRetries(t *testing.T) {
+	ct := &countingTransport{}
+	send, err := NewReliable(ct, "cnt://a/out", time.Millisecond, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	send.SendAsync("cnt://b/in", []byte("x"), nil, func(err error) { done <- err })
+
+	// Let a few retransmissions happen, then close mid-flight.
+	time.Sleep(10 * time.Millisecond)
+	send.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("completion should carry the close error")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Close did not fail the pending send")
+	}
+	// No transmission may happen on behalf of a cancelled send: the count
+	// must stop moving once the already-armed timer has drained.
+	time.Sleep(5 * time.Millisecond)
+	before := ct.sends.Load()
+	time.Sleep(50 * time.Millisecond)
+	if after := ct.sends.Load(); after != before {
+		t.Fatalf("%d transmissions after Close", after-before)
+	}
+}
+
+func TestReliableBackoffGrowsAndCaps(t *testing.T) {
+	r, err := NewReliable(&countingTransport{}, "cnt://a/out", 10*time.Millisecond, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	prevMax := time.Duration(0)
+	for tries := 1; tries <= 8; tries++ {
+		// The jitter range for retransmission n is [base/2, base] with
+		// base = min(interval * 2^(n-1), maxWait).
+		base := 10 * time.Millisecond << (tries - 1)
+		if base > r.maxWait {
+			base = r.maxWait
+		}
+		for i := 0; i < 50; i++ {
+			d := r.backoff(tries)
+			if d < base/2 || d > base {
+				t.Fatalf("backoff(%d) = %v outside [%v, %v]", tries, d, base/2, base)
+			}
+		}
+		if base < prevMax {
+			t.Fatalf("backoff ceiling shrank at try %d", tries)
+		}
+		prevMax = base
+	}
+	if prevMax != r.maxWait {
+		t.Fatalf("backoff never reached the cap: %v vs %v", prevMax, r.maxWait)
+	}
+}

@@ -25,6 +25,12 @@ type Handler func(payload []byte, props map[string]string) error
 // converts it into a <disconnectedTransport/> error message (Fig. 10).
 var ErrDisconnected = errors.New("gateway: transport endpoint disconnected")
 
+// ErrUnavailable reports that the receiving node cannot accept ingest
+// right now — the engine wraps it into the error its degraded read-only
+// mode returns, and the HTTP transport maps it to 503 with a Retry-After
+// so well-behaved senders back off instead of hammering a dying node.
+var ErrUnavailable = errors.New("gateway: service unavailable")
+
 // Transport moves messages between endpoint addresses.
 type Transport interface {
 	// Scheme returns the address scheme this transport serves ("sim",

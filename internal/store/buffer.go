@@ -2,7 +2,6 @@ package store
 
 import (
 	"fmt"
-	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -74,18 +73,24 @@ type poolShard struct {
 type bufferPool struct {
 	shards  [poolShardCount]poolShard
 	clock   atomic.Uint64
-	file    *os.File
+	file    File
 	log     *wal
 	ioDelay time.Duration // Options.BenchIODelay: modeled device latency
+
+	// imaged tracks pages whose full image has been logged since the last
+	// checkpoint (torn-write protection, see writeBack). Cleared by the
+	// checkpoint once the data file is synced.
+	imagedMu sync.Mutex
+	imaged   map[PageID]bool
 
 	hits, misses, evictions atomic.Uint64
 }
 
-func newBufferPool(capacity int, file *os.File, log *wal) *bufferPool {
+func newBufferPool(capacity int, file File, log *wal) *bufferPool {
 	if capacity < poolShardCount {
 		capacity = poolShardCount // at least one frame per shard
 	}
-	bp := &bufferPool{file: file, log: log}
+	bp := &bufferPool{file: file, log: log, imaged: map[PageID]bool{}}
 	// Split the capacity exactly: the first capacity%N shards take one
 	// extra frame, so the aggregate equals Options.BufferPages.
 	base, rem := capacity/poolShardCount, capacity%poolShardCount
@@ -264,11 +269,32 @@ func (bp *bufferPool) evictExcess(sh *poolShard) error {
 // The read latch keeps the bytes stable against concurrent writers: it is
 // free for eviction victims (pin count zero ⇒ no latch holders) and guards
 // the checkpoint path, which may run next to late writers.
+//
+// The first write-back of a page since the last checkpoint logs a full
+// image of the page first (redo-only, like PostgreSQL's full-page writes):
+// should the 8K write below tear — persist only a byte prefix — the
+// on-disk page mixes two states and its LSN field cannot be trusted, so
+// physiological redo alone cannot repair it. Recovery restores the image
+// unconditionally and replays later records on top. Subsequent write-backs
+// of the same page need no new image: the one in the log already anchors
+// replay for the whole checkpoint interval.
 func (bp *bufferPool) writeBack(f *frame) error {
 	f.latch.RLock()
 	defer f.latch.RUnlock()
+	lsn := f.pg.lsn()
+	bp.imagedMu.Lock()
+	imaged := bp.imaged[f.pg.id]
+	if !imaged {
+		bp.imaged[f.pg.id] = true
+	}
+	bp.imagedMu.Unlock()
+	if !imaged {
+		img := &logRecord{typ: recFullPage, page: f.pg.id,
+			after: append([]byte(nil), f.pg.buf...)}
+		lsn = bp.log.append(img)
+	}
 	// WAL rule: log first.
-	if err := bp.log.flush(f.pg.lsn()); err != nil {
+	if err := bp.log.flush(lsn); err != nil {
 		return err
 	}
 	if bp.ioDelay > 0 {
@@ -331,6 +357,15 @@ func (bp *bufferPool) flushAll() error {
 		}
 	}
 	return nil
+}
+
+// clearImaged resets the full-page-image bookkeeping. Called by the
+// checkpoint after the data-file sync, under the exclusive checkpoint
+// fence, so no write-back races the reset.
+func (bp *bufferPool) clearImaged() {
+	bp.imagedMu.Lock()
+	bp.imaged = map[PageID]bool{}
+	bp.imagedMu.Unlock()
 }
 
 // dropAll discards every frame without write-back; used by crash simulation.

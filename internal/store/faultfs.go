@@ -1,0 +1,353 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// FaultFS is a deterministic in-memory VFS for crash and I/O fault
+// injection. Every mutation (WriteAt, Sync, Truncate) across all files is a
+// numbered operation; the numbering, together with a seed, makes every
+// failure replayable: the k-th operation of an identical workload is always
+// the same byte range of the same file.
+//
+// Durability model: each file keeps a durable image (what survives a crash)
+// and a current image (what the OS page cache would show). Writes land in
+// the current image immediately and are queued as pending; Sync promotes the
+// current image to durable and clears the queue. A crash resolves each
+// pending operation with the seeded RNG — dropped, kept whole, or kept as a
+// torn byte-granularity prefix — modeling lost un-fsynced writes and torn
+// sectors. After the crash every call fails with ErrCrashed until
+// ClearFault, which re-arms the FS for "reboot": the durable images become
+// the visible content, exactly like reopening real files after power loss.
+//
+// Fault schedules:
+//
+//	CrashAt(k)          — crash when mutation op k executes
+//	TransientEvery(k)   — every k-th mutation fails once with ErrTransientIO
+//	FailWritesAfter(k)  — from op k on, all mutations fail with ErrDiskFailure
+//	SetWriteBudget(n)   — after n more written bytes, writes fail ErrDiskFull
+type FaultFS struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	files map[string]*faultData
+
+	nOps  int
+	trace []FaultPoint
+
+	crashAt   int // crash when op counter reaches this value; 0 = disarmed
+	crashed   bool
+	transient int   // every n-th op fails transiently; 0 = disarmed
+	permAt    int   // ops >= permAt fail permanently; 0 = disarmed
+	permanent bool  // a permanent failure has triggered
+	budget    int64 // remaining write bytes; < 0 = unlimited
+}
+
+// FaultPoint records one mutation operation: its global number, the file,
+// the kind of operation, and the byte range it covered.
+type FaultPoint struct {
+	N    int
+	Path string
+	Op   string // "write", "sync", "truncate"
+	Off  int64
+	Len  int
+}
+
+func (p FaultPoint) String() string {
+	return fmt.Sprintf("#%d %s %s off=%d len=%d", p.N, p.Op, p.Path, p.Off, p.Len)
+}
+
+type faultData struct {
+	durable []byte
+	current []byte
+	pending []pendingOp
+}
+
+type pendingOp struct {
+	isTrunc bool
+	off     int64
+	data    []byte
+	size    int64
+}
+
+// NewFaultFS returns a fault-injecting VFS whose crash resolution is driven
+// by the given seed.
+func NewFaultFS(seed int64) *FaultFS {
+	return &FaultFS{
+		rng:    rand.New(rand.NewSource(seed)),
+		files:  map[string]*faultData{},
+		budget: -1,
+	}
+}
+
+// OpenFile opens (creating if needed) an in-memory file. File contents
+// persist across Open/Close cycles, like a real filesystem.
+func (fs *FaultFS) OpenFile(path string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return nil, ErrCrashed
+	}
+	d, ok := fs.files[path]
+	if !ok {
+		d = &faultData{}
+		fs.files[path] = d
+	}
+	return &faultHandle{fs: fs, path: path, d: d}, nil
+}
+
+// CrashAt arms a crash at mutation operation n (1-based). Passing 0
+// disarms.
+func (fs *FaultFS) CrashAt(n int) {
+	fs.mu.Lock()
+	fs.crashAt = n
+	fs.mu.Unlock()
+}
+
+// TransientEvery makes every n-th mutation fail once with ErrTransientIO
+// (the retried attempt gets a new op number and succeeds). 0 disarms.
+func (fs *FaultFS) TransientEvery(n int) {
+	fs.mu.Lock()
+	fs.transient = n
+	fs.mu.Unlock()
+}
+
+// FailWritesAfter makes every mutation from op n onward fail with
+// ErrDiskFailure — a dead device. Reads keep working. 0 disarms.
+func (fs *FaultFS) FailWritesAfter(n int) {
+	fs.mu.Lock()
+	fs.permAt = n
+	fs.mu.Unlock()
+}
+
+// SetWriteBudget allows n more bytes of writes before ErrDiskFull; -1 is
+// unlimited.
+func (fs *FaultFS) SetWriteBudget(n int64) {
+	fs.mu.Lock()
+	fs.budget = n
+	fs.mu.Unlock()
+}
+
+// ClearFault disarms all fault schedules and, after a crash, makes the
+// durable images visible again — the "reboot" step before reopening.
+func (fs *FaultFS) ClearFault() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.crashAt = 0
+	fs.transient = 0
+	fs.permAt = 0
+	fs.permanent = false
+	fs.budget = -1
+	if fs.crashed {
+		fs.crashed = false
+		for _, d := range fs.files {
+			d.current = append([]byte(nil), d.durable...)
+			d.pending = nil
+		}
+	}
+}
+
+// Crashed reports whether the simulated crash has fired.
+func (fs *FaultFS) Crashed() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.crashed
+}
+
+// Ops returns the number of mutation operations performed so far.
+func (fs *FaultFS) Ops() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.nOps
+}
+
+// Trace returns a copy of the recorded mutation operations.
+func (fs *FaultFS) Trace() []FaultPoint {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return append([]FaultPoint(nil), fs.trace...)
+}
+
+// checkFaults numbers one mutation op and applies the armed schedules.
+// Called with fs.mu held. Returns a non-nil error when the op must fail;
+// crash=true when the caller's own operation is the crash victim (the
+// caller then invokes crashNow with its pending op).
+func (fs *FaultFS) checkFaults(path, op string, off int64, n int) (fail error, crash bool) {
+	if fs.crashed {
+		return ErrCrashed, false
+	}
+	if fs.permanent {
+		return ErrDiskFailure, false
+	}
+	fs.nOps++
+	fs.trace = append(fs.trace, FaultPoint{N: fs.nOps, Path: path, Op: op, Off: off, Len: n})
+	if fs.permAt > 0 && fs.nOps >= fs.permAt {
+		fs.permanent = true
+		return ErrDiskFailure, false
+	}
+	if fs.transient > 0 && fs.nOps%fs.transient == 0 {
+		return ErrTransientIO, false
+	}
+	if op == "write" && fs.budget >= 0 {
+		if int64(n) > fs.budget {
+			return ErrDiskFull, false
+		}
+		fs.budget -= int64(n)
+	}
+	if fs.crashAt > 0 && fs.nOps >= fs.crashAt {
+		return ErrCrashed, true
+	}
+	return nil, false
+}
+
+// crashNow resolves every pending (un-fsynced) operation with the seeded
+// RNG: dropped, kept whole, or kept as a torn prefix. extra, when non-nil,
+// is the in-flight operation that triggered the crash; it may likewise
+// persist partially. Files are visited in sorted path order so the RNG
+// stream — and therefore the post-crash disk state — is a pure function of
+// (seed, op schedule).
+func (fs *FaultFS) crashNow(extraPath string, extra *pendingOp) {
+	fs.crashed = true
+	paths := make([]string, 0, len(fs.files))
+	for p := range fs.files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		d := fs.files[p]
+		ops := d.pending
+		if extra != nil && p == extraPath {
+			ops = append(append([]pendingOp(nil), ops...), *extra)
+		}
+		for _, op := range ops {
+			fs.resolveOp(d, op)
+		}
+		d.pending = nil
+		d.current = append([]byte(nil), d.durable...)
+	}
+}
+
+func (fs *FaultFS) resolveOp(d *faultData, op pendingOp) {
+	if op.isTrunc {
+		// Metadata operations either reached the journal or did not.
+		if fs.rng.Intn(2) == 0 {
+			d.durable = applyTrunc(d.durable, op.size)
+		}
+		return
+	}
+	switch fs.rng.Intn(3) {
+	case 0: // lost
+	case 1: // fully persisted
+		d.durable = applyWrite(d.durable, op.off, op.data)
+	case 2: // torn: a byte-granularity prefix reached the platter
+		k := fs.rng.Intn(len(op.data) + 1)
+		d.durable = applyWrite(d.durable, op.off, op.data[:k])
+	}
+}
+
+func applyWrite(buf []byte, off int64, data []byte) []byte {
+	if len(data) == 0 {
+		return buf
+	}
+	end := off + int64(len(data))
+	for int64(len(buf)) < end {
+		buf = append(buf, 0)
+	}
+	copy(buf[off:end], data)
+	return buf
+}
+
+func applyTrunc(buf []byte, size int64) []byte {
+	for int64(len(buf)) < size {
+		buf = append(buf, 0)
+	}
+	return buf[:size]
+}
+
+// faultHandle is one open handle; all state lives on the shared FaultFS so
+// reopening a path sees prior content.
+type faultHandle struct {
+	fs   *FaultFS
+	path string
+	d    *faultData
+}
+
+func (h *faultHandle) ReadAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed {
+		return 0, ErrCrashed
+	}
+	if off >= int64(len(h.d.current)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.d.current[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (h *faultHandle) WriteAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	fail, crash := h.fs.checkFaults(h.path, "write", off, len(p))
+	if crash {
+		h.fs.crashNow(h.path, &pendingOp{off: off, data: append([]byte(nil), p...)})
+		return 0, ErrCrashed
+	}
+	if fail != nil {
+		return 0, fail
+	}
+	h.d.current = applyWrite(h.d.current, off, p)
+	h.d.pending = append(h.d.pending, pendingOp{off: off, data: append([]byte(nil), p...)})
+	return len(p), nil
+}
+
+func (h *faultHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	fail, crash := h.fs.checkFaults(h.path, "sync", 0, 0)
+	if crash {
+		// The crash interrupts the fsync: pending writes resolve randomly,
+		// they are NOT promoted to durable.
+		h.fs.crashNow("", nil)
+		return ErrCrashed
+	}
+	if fail != nil {
+		return fail
+	}
+	h.d.durable = append([]byte(nil), h.d.current...)
+	h.d.pending = nil
+	return nil
+}
+
+func (h *faultHandle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	fail, crash := h.fs.checkFaults(h.path, "truncate", size, 0)
+	if crash {
+		h.fs.crashNow(h.path, &pendingOp{isTrunc: true, size: size})
+		return ErrCrashed
+	}
+	if fail != nil {
+		return fail
+	}
+	h.d.current = applyTrunc(h.d.current, size)
+	h.d.pending = append(h.d.pending, pendingOp{isTrunc: true, size: size})
+	return nil
+}
+
+func (h *faultHandle) Size() (int64, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed {
+		return 0, ErrCrashed
+	}
+	return int64(len(h.d.current)), nil
+}
+
+func (h *faultHandle) Close() error { return nil }

@@ -1,5 +1,7 @@
 package store
 
+import "fmt"
+
 // Crash recovery, ARIES style reduced to the needs of an append-only
 // message store:
 //
@@ -44,6 +46,14 @@ func (s *Store) recover() error {
 		case recCheckpoint:
 			// Sharp checkpoints truncate the log, so nothing precedes one;
 			// kept for format compatibility.
+		case recFullPage:
+			// Restore the image unconditionally: the on-disk page may be a
+			// torn mix of two states whose LSN field cannot be trusted.
+			// The image carries the correct page LSN; records after it in
+			// the log replay on top under the normal LSN guard.
+			if err := s.applyFullPage(r); err != nil {
+				return err
+			}
 		case recCLR:
 			st := get(r.txn)
 			st.lastLSN = r.lsn
@@ -93,6 +103,24 @@ func (s *Store) recover() error {
 	if maxTxn >= s.nextTxn.Load() {
 		s.nextTxn.Store(maxTxn + 1)
 	}
+	return nil
+}
+
+// applyFullPage overwrites a page with its logged image (redo-only). The
+// image bytes include the page's LSN as of the snapshot, so the LSN guard
+// of subsequent records keeps working after the restore.
+func (s *Store) applyFullPage(r *logRecord) error {
+	if len(r.after) != PageSize {
+		return fmt.Errorf("store: full-page image for page %d has %d bytes", r.page, len(r.after))
+	}
+	f, err := s.pageForRedo(r.page)
+	if err != nil {
+		return err
+	}
+	f.latch.Lock()
+	copy(f.pg.buf, r.after)
+	f.latch.Unlock()
+	s.pool.unpin(f, true)
 	return nil
 }
 

@@ -3,6 +3,7 @@ package store
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
@@ -12,6 +13,10 @@ import (
 
 // Options configure a store.
 type Options struct {
+	// VFS supplies the file implementation; nil means the real filesystem.
+	// Tests inject FaultFS here to replay crashes and I/O errors
+	// deterministically.
+	VFS VFS
 	// BufferPages is the buffer pool capacity in pages (default 1024).
 	BufferPages int
 	// SyncCommits fsyncs the WAL on every commit (default). Disabling
@@ -49,7 +54,42 @@ const (
 
 	catalogHeapID    = 0
 	catalogFirstPage = 1
+
+	// The header page carries the LSN base in two CRC-protected ping-pong
+	// slots. Checkpoints alternate between them, so a torn or lost slot
+	// write leaves the previous slot — which pairs with the still-intact
+	// previous on-disk state — valid. Offset 40 holds the legacy
+	// (pre-slot) base for stores formatted by older versions.
+	hdrLegacyBase = 40
+	hdrSlotA      = 64
+	hdrSlotB      = 96
+	hdrSlotSize   = 20 // seq u64 | lsnBase u64 | crc32 u32
+	headerBytes   = hdrSlotB + hdrSlotSize
 )
+
+// writeHeaderSlot encodes one header slot into b.
+func writeHeaderSlot(b []byte, seq, base uint64) {
+	binary.LittleEndian.PutUint64(b[0:], seq)
+	binary.LittleEndian.PutUint64(b[8:], base)
+	binary.LittleEndian.PutUint32(b[16:], crc32.ChecksumIEEE(b[:16]))
+}
+
+// parseHeaderSlots returns the newest valid (base, seq) pair, falling back
+// to the legacy field (seq 0) when neither slot validates.
+func parseHeaderSlots(hdr []byte) (base, seq uint64) {
+	base = binary.LittleEndian.Uint64(hdr[hdrLegacyBase:])
+	for _, off := range []int{hdrSlotA, hdrSlotB} {
+		s := hdr[off : off+hdrSlotSize]
+		if crc32.ChecksumIEEE(s[:16]) != binary.LittleEndian.Uint32(s[16:]) {
+			continue
+		}
+		if sq := binary.LittleEndian.Uint64(s[0:]); sq > seq {
+			seq = sq
+			base = binary.LittleEndian.Uint64(s[8:])
+		}
+	}
+	return base, seq
+}
 
 // heapInfo is the in-memory descriptor of one record heap. The first page
 // never changes; the mutable tail and the chain structure carry their own
@@ -106,9 +146,14 @@ type Store struct {
 	dir  string
 	opts Options
 
-	file *os.File
+	file File
 	log  *wal
 	pool *bufferPool
+
+	// hdrSeq is the sequence number of the active header slot; checkpoints
+	// increment it and write the slot the new parity selects. Guarded by
+	// ckptMu (exclusive in every writer).
+	hdrSeq uint64
 
 	// allocMu guards page allocation: pageCount and the free list.
 	allocMu   sync.Mutex
@@ -168,34 +213,73 @@ func Open(dir string, opts Options) (*Store, error) {
 	if opts.BufferPages == 0 {
 		opts.BufferPages = 1024
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, err
+	vfs := opts.VFS
+	if vfs == nil {
+		vfs = OSFileSystem()
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
 	}
-	dataPath := filepath.Join(dir, dataFileName)
-	st, statErr := os.Stat(dataPath)
-	// A crash between file creation and the first header write can leave an
-	// empty data file; formatting is idempotent, so treat it as new.
-	isNew := os.IsNotExist(statErr) || (statErr == nil && st.Size() == 0)
-
-	file, err := os.OpenFile(dataPath, os.O_RDWR|os.O_CREATE, 0o644)
+	file, err := vfs.OpenFile(filepath.Join(dir, dataFileName))
 	if err != nil {
 		return nil, err
 	}
-	lsnBase := uint64(0)
-	if !isNew {
-		hdr := make([]byte, 48)
-		if _, err := file.ReadAt(hdr, 0); err != nil {
-			// A short or unreadable header must fail the open: silently
-			// resetting lsnBase to zero would let stale page LSNs mask the
-			// redo of newer log records, breaking recovery idempotence.
-			file.Close()
-			return nil, fmt.Errorf("store: read header: %w", err)
-		}
-		lsnBase = binary.LittleEndian.Uint64(hdr[40:])
-	}
-	log, err := openWAL(filepath.Join(dir, walFileName), lsnBase, opts.SyncCommits)
+	file = &retryFile{f: file}
+	walFile, err := vfs.OpenFile(filepath.Join(dir, walFileName))
 	if err != nil {
 		file.Close()
+		return nil, err
+	}
+	walFile = &retryFile{f: walFile}
+
+	size, err := file.Size()
+	if err != nil {
+		file.Close()
+		walFile.Close()
+		return nil, err
+	}
+	walSize, err := walFile.Size()
+	if err != nil {
+		file.Close()
+		walFile.Close()
+		return nil, err
+	}
+	fail := func(err error) (*Store, error) {
+		file.Close()
+		walFile.Close()
+		return nil, err
+	}
+	// A crash during the initial format can leave a missing, empty, or torn
+	// data file. Formatting syncs before any WAL record can exist, so a
+	// short or bad-magic header alongside an EMPTY WAL means nothing was
+	// ever committed and reformatting is safe. With a non-empty WAL the
+	// header is load-bearing — silently resetting the LSN base to zero
+	// would let stale page LSNs mask the redo of newer log records — so
+	// the open must fail instead.
+	isNew := size < 2*PageSize
+	lsnBase, hdrSeq := uint64(0), uint64(0)
+	if isNew {
+		if walSize != 0 {
+			return fail(fmt.Errorf("store: truncated header (data file %d bytes) with non-empty WAL", size))
+		}
+	} else {
+		hdr := make([]byte, headerBytes)
+		if _, err := file.ReadAt(hdr, 0); err != nil {
+			return fail(fmt.Errorf("store: read header: %w", err))
+		}
+		if string(hdr[24:24+len(storeMagic)]) != storeMagic {
+			if walSize != 0 {
+				return fail(fmt.Errorf("store: bad magic, not a demaq store"))
+			}
+			isNew = true // torn format, never committed anything
+		} else {
+			lsnBase, hdrSeq = parseHeaderSlots(hdr)
+		}
+	}
+	log, err := openWAL(walFile, lsnBase, opts.SyncCommits)
+	if err != nil {
+		file.Close()
+		walFile.Close()
 		return nil, err
 	}
 	s := &Store{
@@ -203,6 +287,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		opts:      opts,
 		file:      file,
 		log:       log,
+		hdrSeq:    hdrSeq,
 		heaps:     map[uint32]*heapInfo{},
 		heapNames: map[string]uint32{},
 		nextHeap:  1,
@@ -235,6 +320,8 @@ func (s *Store) closeFiles() {
 func (s *Store) format() error {
 	header := make([]byte, PageSize)
 	copy(header[24:], storeMagic)
+	s.hdrSeq = 1
+	writeHeaderSlot(header[hdrSlotA:], s.hdrSeq, 0)
 	if _, err := s.file.WriteAt(header, 0); err != nil {
 		return err
 	}
@@ -254,18 +341,18 @@ func (s *Store) format() error {
 // load reads the header, catalog and heap chains, then runs recovery.
 // It runs single-threaded before the store is published.
 func (s *Store) load() error {
-	st, err := s.file.Stat()
+	size, err := s.file.Size()
 	if err != nil {
 		return err
 	}
-	if st.Size()%PageSize != 0 {
+	if size%PageSize != 0 {
 		// A crash can leave a partially grown file; trim to whole pages.
-		if err := s.file.Truncate(st.Size() - st.Size()%PageSize); err != nil {
+		if err := s.file.Truncate(size - size%PageSize); err != nil {
 			return err
 		}
-		st, _ = s.file.Stat()
+		size -= size % PageSize
 	}
-	s.pageCount = uint32(st.Size() / PageSize)
+	s.pageCount = uint32(size / PageSize)
 	if s.pageCount < 2 {
 		return fmt.Errorf("store: data file too small")
 	}
@@ -410,23 +497,46 @@ func (s *Store) checkpoint() error {
 	if err := s.pool.flushAll(); err != nil {
 		return err
 	}
-	// Persist the advanced LSN base in the header before dropping the log;
-	// page LSNs written above must never mask future records.
+	// Make the flushed pages durable BEFORE publishing the advanced LSN
+	// base: a crash that tears or loses the header write must leave the
+	// previous (base, pages) pair — which is self-consistent — on disk.
+	// The reverse order could pair a new base with lost page writes,
+	// making stale page LSNs incomparable with recomputed record LSNs.
+	if err := s.file.Sync(); err != nil {
+		return err
+	}
+	// Pages are durable now; the next write-back of each page must log a
+	// fresh full-page image into the (about to be reset) log.
+	s.pool.clearImaged()
+	// Publish the advanced base in the next ping-pong slot. Only after its
+	// own sync succeeds is the log truncated; a crash in between replays
+	// the old log against the new base, which is idempotent — every record
+	// effect is already in the synced pages.
 	newBase := s.log.size()
-	hdr := make([]byte, 48)
-	copy(hdr[24:], storeMagic)
-	binary.LittleEndian.PutUint64(hdr[40:], newBase)
-	if _, err := s.file.WriteAt(hdr, 0); err != nil {
+	seq := s.hdrSeq + 1
+	slot := make([]byte, hdrSlotSize)
+	writeHeaderSlot(slot, seq, newBase)
+	off := int64(hdrSlotA)
+	if seq%2 == 0 {
+		off = hdrSlotB
+	}
+	if _, err := s.file.WriteAt(slot, off); err != nil {
 		return err
 	}
 	if err := s.file.Sync(); err != nil {
 		return err
 	}
+	s.hdrSeq = seq
 	if _, err := s.log.truncate(); err != nil {
 		return err
 	}
 	return nil
 }
+
+// DiskError reports the sticky log I/O error, if any: once a WAL write or
+// fsync has failed the store can no longer guarantee durability of new
+// commits, and callers should stop accepting writes.
+func (s *Store) DiskError() error { return s.log.err() }
 
 // CrashForTest simulates a crash: buffered pages are discarded without
 // write-back and the files are closed without checkpointing. Only data made

@@ -486,18 +486,35 @@ func TestMultipleHeapsIsolated(t *testing.T) {
 }
 
 // TestOpenShortHeaderFails checks that a truncated store header fails Open
-// instead of silently resetting the LSN base to zero, which would let stale
-// page LSNs mask the redo of newer log records after a checkpoint.
+// when the WAL holds records, instead of silently resetting the LSN base to
+// zero — which would let stale page LSNs mask the redo of newer log
+// records after a checkpoint. Without WAL records nothing was ever
+// committed, so the same residue is reformatted as a fresh store.
 func TestOpenShortHeaderFails(t *testing.T) {
 	dir := t.TempDir()
 	if err := os.WriteFile(filepath.Join(dir, "data.db"), []byte("short"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(dir, DefaultOptions()); err == nil {
-		t.Fatal("Open succeeded on a store with a truncated header")
-	} else if !strings.Contains(err.Error(), "header") {
-		t.Fatalf("want header read error, got: %v", err)
+	if err := os.WriteFile(filepath.Join(dir, "wal.log"), []byte("records"), 0o644); err != nil {
+		t.Fatal(err)
 	}
+	if _, err := Open(dir, DefaultOptions()); err == nil {
+		t.Fatal("Open succeeded on a store with a truncated header and non-empty WAL")
+	} else if !strings.Contains(err.Error(), "header") {
+		t.Fatalf("want header error, got: %v", err)
+	}
+
+	// Same truncated data file, empty WAL: a torn initial format, safe to
+	// reformat.
+	dir2 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir2, "data.db"), []byte("short"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir2, DefaultOptions())
+	if err != nil {
+		t.Fatalf("Open should reformat a torn format with empty WAL: %v", err)
+	}
+	s.Close()
 }
 
 // TestOpenEmptyDataFile checks that a zero-length data file — the residue

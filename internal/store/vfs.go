@@ -1,0 +1,135 @@
+package store
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+)
+
+// The VFS seam: every byte the store reads or writes — data file, WAL —
+// goes through the File interface instead of a bare *os.File. Production
+// uses the thin OS wrapper below; tests substitute FaultFS (faultfs.go) to
+// inject crashes, torn writes, lost un-fsynced data, transient and
+// permanent I/O errors, and disk-full, on a deterministic schedule.
+
+// File is the narrow file handle the storage engine performs I/O through.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	Sync() error
+	Truncate(size int64) error
+	Size() (int64, error)
+	Close() error
+}
+
+// VFS opens files by path.
+type VFS interface {
+	OpenFile(path string) (File, error)
+}
+
+// Error taxonomy for injected (and, where detectable, real) I/O failures.
+// Transient errors are retried with bounded jittered backoff by retryFile;
+// permanent errors propagate up so the engine can enter degraded read-only
+// mode instead of panicking or silently losing writes.
+var (
+	// ErrTransientIO marks a failure that may succeed on retry.
+	ErrTransientIO = errors.New("store: transient I/O error")
+	// ErrDiskFull marks an exhausted write budget; writes fail until space
+	// is reclaimed, reads still work.
+	ErrDiskFull = errors.New("store: disk full")
+	// ErrDiskFailure marks a permanent device failure; every subsequent
+	// write fails.
+	ErrDiskFailure = errors.New("store: permanent disk failure")
+	// ErrCrashed is returned by a fault FS after its simulated crash point;
+	// the process-under-test treats it as the end of the world.
+	ErrCrashed = errors.New("store: simulated crash")
+)
+
+// IsTransient reports whether an error is worth retrying.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransientIO) }
+
+// IsPermanent reports whether an error signals that the storage device can
+// no longer accept writes — the trigger for degraded read-only mode.
+func IsPermanent(err error) bool {
+	return errors.Is(err, ErrDiskFailure) || errors.Is(err, ErrDiskFull)
+}
+
+// OSFileSystem returns the production VFS backed by the operating system.
+func OSFileSystem() VFS { return osVFS{} }
+
+type osVFS struct{}
+
+func (osVFS) OpenFile(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+type osFile struct{ *os.File }
+
+func (f osFile) Size() (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// retryFile wraps a File with bounded retry of transient errors: each
+// failed attempt backs off exponentially with full jitter (half fixed, half
+// random) so concurrent retriers spread out instead of thundering. Only
+// errors classified transient are retried; everything else — including
+// permanent failures and simulated crashes — propagates immediately.
+type retryFile struct {
+	f File
+}
+
+const (
+	retryAttempts  = 4
+	retryBaseDelay = time.Millisecond
+)
+
+func withRetry(op func() error) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = op()
+		if err == nil || !IsTransient(err) || attempt == retryAttempts-1 {
+			return err
+		}
+		d := retryBaseDelay << attempt
+		time.Sleep(d/2 + time.Duration(rand.Int63n(int64(d/2)+1)))
+	}
+}
+
+func (r *retryFile) ReadAt(p []byte, off int64) (n int, err error) {
+	err = withRetry(func() error {
+		var e error
+		n, e = r.f.ReadAt(p, off)
+		return e
+	})
+	return n, err
+}
+
+func (r *retryFile) WriteAt(p []byte, off int64) (n int, err error) {
+	err = withRetry(func() error {
+		var e error
+		n, e = r.f.WriteAt(p, off)
+		return e
+	})
+	return n, err
+}
+
+func (r *retryFile) Sync() error {
+	return withRetry(r.f.Sync)
+}
+
+func (r *retryFile) Truncate(size int64) error {
+	return withRetry(func() error { return r.f.Truncate(size) })
+}
+
+func (r *retryFile) Size() (int64, error) { return r.f.Size() }
+func (r *retryFile) Close() error         { return r.f.Close() }

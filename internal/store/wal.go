@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 	"sync"
 	"time"
 )
@@ -36,6 +35,14 @@ const (
 	recSetFlags
 	recCLR
 	recCheckpoint
+	// recFullPage is a redo-only full image of one page, logged on a
+	// page's first write-back since the last checkpoint. It makes torn
+	// data-page writes recoverable: a partially persisted 8K write mixes
+	// old and new bytes — cells moved by compaction, a page LSN from the
+	// new image over slots from the old — which no physiological record
+	// can repair. Recovery applies the image unconditionally and replays
+	// later records on top.
+	recFullPage
 )
 
 // logRecord is the decoded form of one WAL record.
@@ -82,7 +89,7 @@ type wal struct {
 	cond     *sync.Cond // signaled when a flush completes
 	syncing  bool       // a flusher is writing/fsyncing outside mu
 	ioErr    error      // sticky: a failed log write poisons the wal
-	f        *os.File
+	f        File
 	base     uint64 // LSN offset of byte 0 of the current log file
 	buf      []byte
 	fileSize uint64 // durable bytes in the file
@@ -110,22 +117,17 @@ type wal struct {
 	lingerExpired bool   // fallback timer fired during the current linger
 }
 
-func openWAL(path string, base uint64, syncOnCommit bool) (*wal, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+func openWAL(f File, base uint64, syncOnCommit bool) (*wal, error) {
+	size, err := f.Size()
 	if err != nil {
-		return nil, err
-	}
-	st, err := f.Stat()
-	if err != nil {
-		f.Close()
 		return nil, err
 	}
 	w := &wal{
 		f:        f,
 		base:     base,
-		fileSize: uint64(st.Size()),
-		bufStart: uint64(st.Size()),
-		flushed:  uint64(st.Size()),
+		fileSize: uint64(size),
+		bufStart: uint64(size),
+		flushed:  uint64(size),
 		sync:     syncOnCommit,
 	}
 	w.cond = sync.NewCond(&w.mu)
@@ -133,6 +135,13 @@ func openWAL(path string, base uint64, syncOnCommit bool) (*wal, error) {
 }
 
 func (w *wal) close() error { return w.f.Close() }
+
+// err returns the sticky I/O error, if any.
+func (w *wal) err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.ioErr
+}
 
 // append encodes and buffers a record, returning its LSN.
 func (w *wal) append(r *logRecord) uint64 {
@@ -308,14 +317,12 @@ func (w *wal) truncate() (uint64, error) {
 func (w *wal) scan(fn func(r *logRecord) error) error {
 	w.mu.Lock()
 	w.quiesceLocked()
-	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+	data := make([]byte, w.fileSize)
+	if n, err := w.f.ReadAt(data, 0); err != nil && err != io.EOF {
 		w.mu.Unlock()
 		return err
-	}
-	data, err := io.ReadAll(w.f)
-	if err != nil {
-		w.mu.Unlock()
-		return err
+	} else {
+		data = data[:n]
 	}
 	data = append(data, w.buf...)
 	base := w.base
@@ -324,6 +331,11 @@ func (w *wal) scan(fn func(r *logRecord) error) error {
 	for off+8 <= len(data) {
 		n := binary.LittleEndian.Uint32(data[off:])
 		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if n == 0 {
+			// No record is empty; a zero header is a lost write's hole (or
+			// zero padding), i.e. the durable tail ends here.
+			break
+		}
 		if off+8+int(n) > len(data) {
 			break // torn tail
 		}
@@ -389,6 +401,9 @@ func encodeRecord(r *logRecord) []byte {
 	case recCLR:
 		b = binary.LittleEndian.AppendUint64(b, r.undoNext)
 		b = appendBytes(b, encodeRecord(r.comp))
+	case recFullPage:
+		b = binary.LittleEndian.AppendUint32(b, uint32(r.page))
+		b = appendBytes(b, r.after)
 	}
 	return b
 }
@@ -519,6 +534,9 @@ func decodeRecord(payload []byte) (*logRecord, error) {
 			return nil, err
 		}
 		r.comp = comp
+	case recFullPage:
+		r.page = PageID(d.u32())
+		r.after = d.bytes()
 	default:
 		return nil, fmt.Errorf("unknown record type %d", r.typ)
 	}

@@ -40,6 +40,8 @@ func main() {
 		noSync     = flag.Bool("nosync", false, "disable fsync on commit")
 		statsSec   = flag.Duration("stats", 10*time.Second, "stats reporting interval (0 disables)")
 		statusAddr = flag.String("status", "", "serve engine status as JSON on this address (e.g. :7070; demaqctl status reads it)")
+		drain      = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain budget for in-flight work")
+		maxBacklog = flag.Int("max-backlog", 0, "shed ingest with 429 when the backlog exceeds this (0 = unbounded)")
 	)
 	flag.Parse()
 	if *appFile == "" {
@@ -60,13 +62,14 @@ func main() {
 	}
 
 	opts := &demaq.Options{
-		Workers:    *workers,
-		BatchSize:  *batchSize,
-		GCInterval: *gcEvery,
-		NoSync:     *noSync,
-		EnableHTTP: *useHTTP,
-		Resources:  os.DirFS(filepath.Dir(*appFile)),
-		Logger:     slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		Workers:          *workers,
+		BatchSize:        *batchSize,
+		GCInterval:       *gcEvery,
+		NoSync:           *noSync,
+		EnableHTTP:       *useHTTP,
+		MaxIngestBacklog: *maxBacklog,
+		Resources:        os.DirFS(filepath.Dir(*appFile)),
+		Logger:           slog.New(slog.NewTextHandler(os.Stderr, nil)),
 	}
 	if *simSeed != 0 {
 		opts.NetworkSeed = *simSeed
@@ -103,8 +106,18 @@ func main() {
 		}()
 	}
 	<-stop
-	log.Printf("demaqd: shutting down: %s", demaq.FormatStats(srv.Stats()))
-	if err := srv.Close(); err != nil {
-		log.Fatalf("demaqd: close: %v", err)
+	log.Printf("demaqd: shutting down (drain %s): %s", *drain, demaq.FormatStats(srv.Stats()))
+	// A second signal during the drain forces immediate exit; leftover work
+	// stays unprocessed in its persistent queues and resumes on restart.
+	go func() {
+		<-stop
+		log.Fatalf("demaqd: second signal, exiting without drain")
+	}()
+	drained, err := srv.Shutdown(*drain)
+	if err != nil {
+		log.Fatalf("demaqd: shutdown: %v", err)
+	}
+	if !drained {
+		log.Printf("demaqd: drain budget elapsed; leftover work resumes on restart")
 	}
 }

@@ -80,6 +80,15 @@ type Options struct {
 	ScanDispatch bool
 	// GCInterval enables periodic retention garbage collection.
 	GCInterval time.Duration
+	// MaxIngestBacklog bounds the scheduler backlog admission control
+	// tolerates: further external enqueues are shed with engine.ErrOverloaded
+	// (HTTP: 429 with Retry-After) until workers catch up. Zero disables
+	// the bound.
+	MaxIngestBacklog int
+	// NoDurableSessions disables persisting reliable-messaging session
+	// state; exactly-once across a whole-node crash-restart then degrades
+	// to at-least-once (experiment E18 baseline).
+	NoDurableSessions bool
 	// Resources resolves WSDL, policy and schema files referenced by the
 	// application.
 	Resources fs.FS
@@ -141,18 +150,20 @@ func OpenApplication(dir string, app *qdl.Application, opts *Options) (*Server, 
 	}
 	materialized := !opts.NoMaterializedSlices
 	cfg := engine.Config{
-		Dir:          dir,
-		Workers:      opts.Workers,
-		BatchSize:    opts.BatchSize,
-		Granularity:  gran,
-		Store:        storeOpts,
-		Rules:        ruleOpts,
-		Materialized: &materialized,
-		GCInterval:   opts.GCInterval,
-		Logger:       opts.Logger,
-		Resources:    opts.Resources,
-		FullIngest:   opts.FullIngest,
-		ScanDispatch: opts.ScanDispatch,
+		Dir:               dir,
+		Workers:           opts.Workers,
+		BatchSize:         opts.BatchSize,
+		Granularity:       gran,
+		Store:             storeOpts,
+		Rules:             ruleOpts,
+		Materialized:      &materialized,
+		GCInterval:        opts.GCInterval,
+		Logger:            opts.Logger,
+		Resources:         opts.Resources,
+		FullIngest:        opts.FullIngest,
+		ScanDispatch:      opts.ScanDispatch,
+		MaxBacklog:        opts.MaxIngestBacklog,
+		NoDurableSessions: opts.NoDurableSessions,
 	}
 	srv := &Server{}
 	reg := gateway.NewRegistry()
@@ -187,6 +198,23 @@ func (s *Server) Close() error {
 		s.http.Close()
 	}
 	return err
+}
+
+// Shutdown stops the server gracefully: new ingest is refused (HTTP: 503),
+// incoming gateway endpoints stop acknowledging, in-flight batches and
+// outgoing transfers get up to drainTimeout to finish, and the store is
+// closed with the WAL flushed. It reports whether the drain completed —
+// on false, leftover work stays unprocessed in its persistent queues and
+// resumes on the next Open/Start, exactly as after a crash.
+func (s *Server) Shutdown(drainTimeout time.Duration) (bool, error) {
+	drained, err := s.eng.Shutdown(drainTimeout)
+	if s.net != nil {
+		s.net.n.Close()
+	}
+	if s.http != nil {
+		s.http.Close()
+	}
+	return drained, err
 }
 
 // Drain waits until no messages are pending or in flight (timers excluded),
@@ -325,7 +353,8 @@ func (s *Server) OpenPeer(dir, source string, opts *Options) (*Server, error) {
 		Store: storeOpts, Rules: ruleOpts, Materialized: &materialized,
 		GCInterval: opts.GCInterval, Logger: opts.Logger,
 		Resources: opts.Resources, Transports: reg, FullIngest: opts.FullIngest,
-		ScanDispatch: opts.ScanDispatch,
+		ScanDispatch: opts.ScanDispatch, MaxBacklog: opts.MaxIngestBacklog,
+		NoDurableSessions: opts.NoDurableSessions,
 	}
 	eng, err := engine.New(cfg, app)
 	if err != nil {

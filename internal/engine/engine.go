@@ -102,6 +102,18 @@ type Config struct {
 	// actually selected for that message — at deep backlogs most messages
 	// are dispatched away without ever decoding their payloads.
 	ScanDispatch bool
+	// MaxBacklog bounds the scheduler backlog admission control tolerates:
+	// when more unprocessed messages are waiting, ingest is shed with
+	// ErrOverloaded (HTTP: 429 Retry-After) instead of growing the backlog
+	// without bound. Zero disables the bound. Shedding is deterministic —
+	// purely a function of the backlog size at admission, no sampling.
+	MaxBacklog int
+	// NoDurableSessions disables persisting reliable-messaging session
+	// state (receive dedup windows, send sequence reservations) in the
+	// message store. Exactly-once across a whole-node crash-restart then no
+	// longer holds — retransmitted transfers admitted before the crash can
+	// be re-admitted after it. Benchmark knob (experiment E18 baseline).
+	NoDurableSessions bool
 }
 
 // DefaultBatchSize is the tuned default for Config.BatchSize.
@@ -125,6 +137,10 @@ type Stats struct {
 	// StorageError carries the failure that tripped it.
 	Degraded     bool
 	StorageError string
+
+	// IngestShed counts enqueues refused with ErrOverloaded because the
+	// scheduler backlog was at Config.MaxBacklog.
+	IngestShed uint64
 
 	// BatchesClaimed counts scheduler claim rounds; AvgBatchSize is the
 	// mean number of messages claimed per round (set-oriented execution
@@ -167,13 +183,17 @@ type Engine struct {
 
 	stats struct {
 		processed, rulesEval, rulesFired, enqueued, resets, errors, deadlocks, collected atomic.Uint64
-		batches, batchMsgs, deadlockRequeues                                             atomic.Uint64
+		batches, batchMsgs, deadlockRequeues, ingestShed                                 atomic.Uint64
 	}
 
 	// degraded flips (one-way, until restart) when the store reports a
 	// permanent I/O failure; storageErr holds the error that tripped it.
 	degraded   atomic.Bool
 	storageErr atomic.Value // error
+
+	// closing flips when Shutdown begins: admission refuses new ingest
+	// (ErrShutdown) while in-flight work drains.
+	closing atomic.Bool
 
 	schemas map[string]*schema.Schema
 
@@ -451,11 +471,55 @@ func (e *Engine) Drain(timeout time.Duration) bool {
 	return e.sched.Idle() && e.gws.idle()
 }
 
+// Shutdown stops the engine gracefully: admission is closed first
+// (ErrShutdown), incoming gateway endpoints are unsubscribed so no new
+// transfer is acknowledged after close begins, in-flight batches and
+// outgoing transfers get up to drainTimeout to finish, and only then is
+// the store closed (flushing the WAL). It returns whether the drain
+// completed — on false, whatever was still in flight stays unprocessed in
+// its persistent queue and resumes on the next start, exactly as after a
+// crash.
+func (e *Engine) Shutdown(drainTimeout time.Duration) (drained bool, err error) {
+	e.closing.Store(true)
+	e.gws.stopIncoming()
+	drained = e.Drain(drainTimeout)
+	return drained, e.Stop()
+}
+
 // ErrDegraded is returned by the ingest APIs while the engine is in
 // degraded read-only mode after a permanent storage failure. It wraps
 // gateway.ErrUnavailable, so transports shed the load (HTTP: 503 with
 // Retry-After) instead of surfacing it as a message fault.
 var ErrDegraded = fmt.Errorf("engine: degraded read-only mode after storage failure: %w", gateway.ErrUnavailable)
+
+// ErrShutdown is returned by the ingest APIs once Shutdown has begun. It
+// wraps gateway.ErrUnavailable (HTTP: 503) — from a sender's point of view
+// a node draining for shutdown is about to be gone.
+var ErrShutdown = fmt.Errorf("engine: shutting down: %w", gateway.ErrUnavailable)
+
+// ErrOverloaded is returned by the ingest APIs when the scheduler backlog
+// is at Config.MaxBacklog. It wraps gateway.ErrOverloaded (HTTP: 429 with
+// Retry-After), the transient-overload verdict distinct from the degraded
+// and shutting-down 503s: the node is healthy, retry the same request.
+var ErrOverloaded = fmt.Errorf("engine: ingest backlog full: %w", gateway.ErrOverloaded)
+
+// admitIngest is the admission decision at the top of every external
+// enqueue, in verdict order: a degraded node refuses everything, a
+// draining node refuses new work, and a healthy node sheds only when the
+// backlog bound is hit.
+func (e *Engine) admitIngest() error {
+	if e.degraded.Load() {
+		return ErrDegraded
+	}
+	if e.closing.Load() {
+		return ErrShutdown
+	}
+	if max := e.cfg.MaxBacklog; max > 0 && e.sched.Backlog() >= max {
+		e.stats.ingestShed.Add(1)
+		return ErrOverloaded
+	}
+	return nil
+}
 
 // noteStorageError inspects an error from the storage layer and flips the
 // engine into degraded read-only mode when it is permanent — a dead or
@@ -498,6 +562,7 @@ func (e *Engine) Stats() Stats {
 		Backlog:          e.sched.Backlog(),
 		BatchesClaimed:   e.stats.batches.Load(),
 		DeadlockRequeues: e.stats.deadlockRequeues.Load(),
+		IngestShed:       e.stats.ingestShed.Load(),
 	}
 	if st.BatchesClaimed > 0 {
 		st.AvgBatchSize = float64(e.stats.batchMsgs.Load()) / float64(st.BatchesClaimed)
@@ -542,8 +607,17 @@ func (e *Engine) gcLoop() {
 // are evaluated; explicit props (e.g. the Sender system property) may be
 // supplied.
 func (e *Engine) Enqueue(queue string, doc *xmldom.Node, explicit map[string]xdm.Value) (msgstore.MsgID, error) {
-	if e.degraded.Load() {
-		return 0, ErrDegraded
+	return e.enqueueDoc(queue, doc, explicit, nil)
+}
+
+// enqueueDoc is Enqueue with an optional reliable-session snapshot staged
+// into the same transaction: the transfer becoming durable and its
+// retransmits becoming suppressible are then one atomic fact — the ack the
+// gateway sends afterwards is never a lie, whichever side of the commit a
+// crash lands on.
+func (e *Engine) enqueueDoc(queue string, doc *xmldom.Node, explicit map[string]xdm.Value, sess *msgstore.SessionState) (msgstore.MsgID, error) {
+	if err := e.admitIngest(); err != nil {
+		return 0, err
 	}
 	q, ok := e.ms.Queue(queue)
 	if !ok {
@@ -566,6 +640,9 @@ func (e *Engine) Enqueue(queue string, doc *xmldom.Node, explicit map[string]xdm
 		tx.Abort()
 		e.noteStorageError(err)
 		return 0, err
+	}
+	if sess != nil {
+		tx.PutSession(*sess)
 	}
 	if _, err := tx.Commit(); err != nil {
 		e.noteStorageError(err)
@@ -590,8 +667,14 @@ func (e *Engine) Enqueue(queue string, doc *xmldom.Node, explicit map[string]xdm
 // document), echo and outgoing-gateway kinds — transparently fall back to
 // parse-and-enqueue with identical semantics and error surface.
 func (e *Engine) EnqueueWire(queue string, wire []byte, explicit map[string]xdm.Value) (msgstore.MsgID, error) {
-	if e.degraded.Load() {
-		return 0, ErrDegraded
+	return e.enqueueWire(queue, wire, explicit, nil)
+}
+
+// enqueueWire is EnqueueWire with an optional reliable-session snapshot
+// staged into the enqueue transaction (see enqueueDoc).
+func (e *Engine) enqueueWire(queue string, wire []byte, explicit map[string]xdm.Value, sess *msgstore.SessionState) (msgstore.MsgID, error) {
+	if err := e.admitIngest(); err != nil {
+		return 0, err
 	}
 	q, ok := e.ms.Queue(queue)
 	if !ok {
@@ -607,7 +690,7 @@ func (e *Engine) EnqueueWire(queue string, wire []byte, explicit map[string]xdm.
 		if err != nil {
 			return 0, err
 		}
-		return e.Enqueue(queue, doc, explicit)
+		return e.enqueueDoc(queue, doc, explicit, sess)
 	}
 	proj := e.projs[queue]
 	enc, err := xmldom.StreamEncode(nil, wire, proj)
@@ -650,6 +733,9 @@ func (e *Engine) EnqueueWire(queue string, wire []byte, explicit map[string]xdm.
 		tx.Abort()
 		e.noteStorageError(err)
 		return 0, err
+	}
+	if sess != nil {
+		tx.PutSession(*sess)
 	}
 	if _, err := tx.Commit(); err != nil {
 		e.noteStorageError(err)

@@ -31,13 +31,51 @@ import (
 type gatewayService struct {
 	eng *Engine
 
-	mu       sync.Mutex
-	outgoing map[string]*outgoingGW
-	incoming map[string]*incomingGW
-	inflight int
-	started  bool
-	stopCh   chan struct{}
-	unsubs   []func()
+	mu           sync.Mutex
+	outgoing     map[string]*outgoingGW
+	incoming     map[string]*incomingGW
+	incomingRels []*gateway.Reliable
+	inflight     int
+	started      bool
+	stopCh       chan struct{}
+	unsubs       []func()
+}
+
+// msSessionStore adapts the message store's persisted session records to
+// the gateway layer's SessionStore: send-sequence reservations and
+// receive dedup windows live in the "sys:sessions" heap, restored at Open.
+type msSessionStore struct {
+	ms *msgstore.Store
+}
+
+func (s msSessionStore) SendNext(source string) uint64 {
+	st, ok := s.ms.SessionSnapshot(msgstore.SessionSend, source, "")
+	if !ok {
+		return 0
+	}
+	return st.Seq
+}
+
+func (s msSessionStore) ReserveSend(source string, upTo uint64) error {
+	return s.ms.PutSession(msgstore.SessionState{Kind: msgstore.SessionSend, Endpoint: source, Seq: upTo})
+}
+
+func (s msSessionStore) RecvSessions(endpoint string) []gateway.RecvSession {
+	states := s.ms.RecvSessionStates(endpoint)
+	out := make([]gateway.RecvSession, 0, len(states))
+	for _, st := range states {
+		out = append(out, gateway.RecvSession{Peer: st.Peer, High: st.Seq, Window: st.Window})
+	}
+	return out
+}
+
+// sessionStore returns the durable session backend, or nil when the
+// configuration opts out (experiment E18 baseline).
+func (g *gatewayService) sessionStore() gateway.SessionStore {
+	if g.eng.cfg.NoDurableSessions {
+		return nil
+	}
+	return msSessionStore{ms: g.eng.ms}
 }
 
 type outgoingGW struct {
@@ -174,9 +212,6 @@ func (g *gatewayService) start() {
 			g.eng.log.Error("incoming gateway failed", "queue", in.decl.Name, "err", err)
 			continue
 		}
-		handler := func(payload []byte, props map[string]string) error {
-			return g.deliver(in.decl.Name, payload, props)
-		}
 		// Incoming reliable endpoints ack and deduplicate.
 		reliable := false
 		for _, pol := range in.decl.Policies {
@@ -185,14 +220,41 @@ func (g *gatewayService) start() {
 			}
 		}
 		if reliable {
-			rel, err := gateway.NewReliable(tr, in.addr, 25*time.Millisecond, 40)
+			rel, err := gateway.NewReliableOptions(tr, in.addr, gateway.ReliableOptions{
+				RetryInterval: 25 * time.Millisecond,
+				MaxRetries:    40,
+				Session:       g.sessionStore(),
+			})
 			if err == nil {
-				err = rel.Subscribe(handler)
+				// The handler threads the post-admit dedup snapshot into the
+				// enqueue transaction: the transfer and the window update
+				// that suppresses its retransmits commit atomically, and the
+				// ack goes out only after both are durable.
+				addr, durable := in.addr, !g.eng.cfg.NoDurableSessions
+				err = rel.Subscribe(func(payload []byte, props map[string]string) error {
+					var sess *msgstore.SessionState
+					if durable {
+						if rs, ok := rel.PendingRecvSession(props); ok {
+							sess = &msgstore.SessionState{
+								Kind: msgstore.SessionRecv, Endpoint: addr,
+								Peer: rs.Peer, Seq: rs.High, Window: rs.Window,
+							}
+						}
+					}
+					return g.deliver(in.decl.Name, payload, props, sess)
+				})
 			}
 			if err != nil {
 				g.eng.log.Error("incoming gateway failed", "queue", in.decl.Name, "err", err)
+				continue
 			}
+			g.mu.Lock()
+			g.incomingRels = append(g.incomingRels, rel)
+			g.mu.Unlock()
 			continue
+		}
+		handler := func(payload []byte, props map[string]string) error {
+			return g.deliver(in.decl.Name, payload, props, nil)
 		}
 		unsub, err := tr.Subscribe(in.addr, handler)
 		if err != nil {
@@ -211,6 +273,24 @@ func (g *gatewayService) start() {
 	}
 }
 
+// stopIncoming unsubscribes every incoming endpoint — reliable and plain —
+// so no new transfer is admitted (or acknowledged) once shutdown begins.
+// Idempotent; Shutdown calls it before draining, stop calls it again.
+func (g *gatewayService) stopIncoming() {
+	g.mu.Lock()
+	rels := g.incomingRels
+	g.incomingRels = nil
+	unsubs := g.unsubs
+	g.unsubs = nil
+	g.mu.Unlock()
+	for _, r := range rels {
+		r.Close()
+	}
+	for _, u := range unsubs {
+		u()
+	}
+}
+
 func (g *gatewayService) stop() {
 	g.mu.Lock()
 	if !g.started {
@@ -218,15 +298,14 @@ func (g *gatewayService) stop() {
 		return
 	}
 	g.started = false
+	g.mu.Unlock()
+	g.stopIncoming()
+	g.mu.Lock()
 	for _, out := range g.outgoing {
 		if out.reliable != nil {
 			out.reliable.Close()
 		}
 	}
-	for _, u := range g.unsubs {
-		u()
-	}
-	g.unsubs = nil
 	g.mu.Unlock()
 	close(g.stopCh)
 }
@@ -310,8 +389,12 @@ func (g *gatewayService) sendOne(gw *outgoingGW, id msgstore.MsgID) {
 		e.consumeGatewayMessage(id)
 	}
 	if gw.reliable != nil {
+		// The durable message ID is the reliable sequence number: a
+		// retransmit after a crash-restart reuses the pre-crash number, so
+		// the receiver's dedup window suppresses the one duplicate a
+		// restored send counter alone could not.
 		done := make(chan error, 1)
-		gw.reliable.SendAsync(gw.dest, payload, props, func(err error) { done <- err })
+		gw.reliable.SendAsyncSeq(gw.dest, uint64(id), payload, props, func(err error) { done <- err })
 		complete(<-done)
 		return
 	}
@@ -365,8 +448,9 @@ func (e *Engine) emitNetworkError(queue string, doc *xmldom.Node, cause error) {
 
 // deliver enqueues an external message arriving at an incoming gateway,
 // validating against the queue schema and recording transport metadata as
-// system properties (Sec. 2.2 "System").
-func (g *gatewayService) deliver(queue string, payload []byte, props map[string]string) error {
+// system properties (Sec. 2.2 "System"). A non-nil sess is the reliable
+// receive-session snapshot persisted atomically with the enqueue.
+func (g *gatewayService) deliver(queue string, payload []byte, props map[string]string, sess *msgstore.SessionState) error {
 	e := g.eng
 	explicit := map[string]xdm.Value{}
 	if s := props["Sender"]; s != "" {
@@ -388,12 +472,12 @@ func (g *gatewayService) deliver(queue string, payload []byte, props map[string]
 			e.emitError(queue, 0, doc, nil, err)
 			return err
 		}
-		_, err = e.Enqueue(queue, doc, explicit)
+		_, err = e.enqueueDoc(queue, doc, explicit, sess)
 		return err
 	}
-	// Streaming ingest straight from the wire buffer; EnqueueWire copies
+	// Streaming ingest straight from the wire buffer; enqueueWire copies
 	// what it keeps, so the transport may recycle payload afterwards.
-	_, err := e.EnqueueWire(queue, payload, explicit)
+	_, err := e.enqueueWire(queue, payload, explicit, sess)
 	if err != nil {
 		// Distinguish a malformed document (an application-visible error
 		// message, Sec. 3.6) from internal enqueue failures. The re-parse

@@ -238,6 +238,15 @@ func (t *HTTPTransport) serve(w http.ResponseWriter, r *http.Request) {
 	if cap(body) <= maxPooledBody {
 		t.bodies.Put(bp)
 	}
+	if errors.Is(herr, ErrOverloaded) {
+		// Backlog full on a healthy node: the client should retry the same
+		// request shortly. Checked before ErrUnavailable — overload wraps
+		// neither, but the order documents that 429 is the more specific
+		// verdict.
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, herr.Error(), http.StatusTooManyRequests)
+		return
+	}
 	if errors.Is(herr, ErrUnavailable) {
 		// Degraded node: shed ingest and tell the sender when to retry.
 		w.Header().Set("Retry-After", "5")

@@ -19,21 +19,32 @@ import (
 // The paper notes that reliable sending across system failures requires
 // persistent queues: the engine keeps a sent message unprocessed in its
 // persistent outgoing gateway queue until the ack arrives, so retransmission
-// state survives crashes by construction.
+// state survives crashes by construction. The de-duplication and sequencing
+// state needs the same treatment — a SessionStore persists the receive
+// high-water/window atomically with the enqueue each transfer triggers, and
+// the sender's next sequence number in durable reservation blocks — so a
+// whole-node crash-restart neither re-admits retransmitted duplicates nor
+// reissues sequence numbers from zero.
 type Reliable struct {
-	tr     Transport
-	source string // our ack endpoint address
+	tr      Transport
+	source  string       // our ack endpoint address
+	session SessionStore // nil: in-memory only (single-process lifetime)
 
 	mu       sync.Mutex
 	nextSeq  uint64
 	pending  map[uint64]*pendingSend
-	seen     map[string]map[uint64]bool // dedup per remote source
+	recv     map[string]*recvState // dedup per remote source
 	interval time.Duration
 	maxWait  time.Duration
 	rng      *rand.Rand // per-sender jitter source (guarded by mu)
 	retries  int
 	closed   bool
 	unsub    func()
+
+	// resMu serializes durable send-block reservations so concurrent
+	// senders do not interleave reservation writes out of order.
+	resMu    sync.Mutex
+	reserved uint64 // exclusive upper bound of the durable seq block
 
 	acked, retransmits, duplicates uint64
 }
@@ -47,6 +58,55 @@ type pendingSend struct {
 	timer   *time.Timer
 }
 
+// recvWindowWords sizes the per-peer dedup bitmap: 16 words = 1024 sequence
+// numbers below the high-water mark. Bit i (word i/64, bit i%64) is set iff
+// sequence high-i was admitted; anything older than the window is treated
+// as an already-acknowledged duplicate. The window is the whole per-peer
+// state — memory stays flat no matter how many transfers a peer sends.
+const recvWindowWords = 16
+
+type recvState struct {
+	mu     sync.Mutex
+	high   uint64
+	window [recvWindowWords]uint64
+
+	// pending holds the post-admit snapshot between the dedup check and the
+	// handler's return, so the handler can persist it in the transaction
+	// that makes the transfer durable (PendingRecvSession). Written and
+	// cleared under mu; the handler runs on the goroutine holding mu.
+	pending *RecvSession
+}
+
+// RecvSession is the externally visible receive-session snapshot: the
+// dedup state for one remote peer at one local endpoint.
+type RecvSession struct {
+	Peer   string
+	High   uint64
+	Window []uint64
+}
+
+// SessionStore persists reliable-session state across restarts. Implemented
+// by the engine over the message store; nil keeps the pre-existing
+// in-memory behavior.
+type SessionStore interface {
+	// SendNext returns the durable next sequence number of a local source
+	// (0 when the source has never reserved).
+	SendNext(source string) uint64
+	// ReserveSend durably raises the source's reserved next-seq upper
+	// bound (exclusive). It must not return until the reservation is
+	// durable: a restarted sender resumes from the bound, so sequence
+	// numbers below it must never be issued again.
+	ReserveSend(source string, upTo uint64) error
+	// RecvSessions returns the persisted receive sessions of a local
+	// endpoint, one per remote peer.
+	RecvSessions(endpoint string) []RecvSession
+}
+
+// sendReserveBlock is how many sequence numbers one durable reservation
+// covers; a crash wastes at most one block (sequence gaps are harmless, the
+// receive window is gap-tolerant).
+const sendReserveBlock = 64
+
 // Property keys used by the reliability protocol.
 const (
 	propSeq    = "demaq-rm-seq"
@@ -54,15 +114,30 @@ const (
 	propAck    = "demaq-rm-ack"
 )
 
+// ReliableOptions configure a reliable endpoint beyond the retry schedule.
+type ReliableOptions struct {
+	RetryInterval time.Duration
+	MaxRetries    int
+	Session       SessionStore
+}
+
 // NewReliable layers reliability over tr. source is the address this side
 // listens on for acknowledgements (and, when used bidirectionally, for
 // application messages via Subscribe).
 func NewReliable(tr Transport, source string, retryInterval time.Duration, maxRetries int) (*Reliable, error) {
-	if retryInterval <= 0 {
-		retryInterval = 50 * time.Millisecond
+	return NewReliableOptions(tr, source, ReliableOptions{RetryInterval: retryInterval, MaxRetries: maxRetries})
+}
+
+// NewReliableOptions is NewReliable with a full option set. When a
+// SessionStore is given, the sender's sequence counter and the per-peer
+// receive windows are restored from it, so the endpoint resumes its
+// sessions instead of starting new ones.
+func NewReliableOptions(tr Transport, source string, opts ReliableOptions) (*Reliable, error) {
+	if opts.RetryInterval <= 0 {
+		opts.RetryInterval = 50 * time.Millisecond
 	}
-	if maxRetries <= 0 {
-		maxRetries = 20
+	if opts.MaxRetries <= 0 {
+		opts.MaxRetries = 20
 	}
 	// Each sender jitters its retransmit schedule independently — after a
 	// receiver outage, senders seeded alike would otherwise retransmit in
@@ -71,12 +146,34 @@ func NewReliable(tr Transport, source string, retryInterval time.Duration, maxRe
 	h.Write([]byte(source))
 	r := &Reliable{
 		tr: tr, source: source,
+		session:  opts.Session,
 		pending:  map[uint64]*pendingSend{},
-		seen:     map[string]map[uint64]bool{},
-		interval: retryInterval,
-		maxWait:  16 * retryInterval,
+		recv:     map[string]*recvState{},
+		interval: opts.RetryInterval,
+		maxWait:  16 * opts.RetryInterval,
 		rng:      rand.New(rand.NewPCG(h.Sum64(), uint64(time.Now().UnixNano()))),
-		retries:  maxRetries,
+		retries:  opts.MaxRetries,
+	}
+	if r.session != nil {
+		if next := r.session.SendNext(source); next > 0 {
+			r.nextSeq = next - 1
+			r.reserved = next
+		}
+		for _, s := range r.session.RecvSessions(source) {
+			rs := &recvState{high: s.High}
+			// Persisted windows elide their all-ones tail (fully-admitted old
+			// region), so absent words restore as all-ones: claiming "admitted"
+			// for an old sequence re-acks a duplicate, while claiming "fresh"
+			// would re-admit it.
+			for i := 0; i < recvWindowWords; i++ {
+				if i < len(s.Window) {
+					rs.window[i] = s.Window[i]
+				} else {
+					rs.window[i] = ^uint64(0)
+				}
+			}
+			r.recv[s.Peer] = rs
+		}
 	}
 	return r, nil
 }
@@ -127,7 +224,9 @@ func (r *Reliable) Close() {
 
 // SendAsync transmits payload to dest; done is called exactly once with nil
 // after the acknowledgement arrives, or with an error when the retry budget
-// is exhausted or the endpoint is disconnected.
+// is exhausted or the endpoint is disconnected. Sequence numbers are drawn
+// from the session counter; with a SessionStore, the number is covered by a
+// durable reservation before it reaches the wire.
 func (r *Reliable) SendAsync(dest string, payload []byte, props map[string]string, done func(error)) {
 	r.mu.Lock()
 	if r.closed {
@@ -137,6 +236,53 @@ func (r *Reliable) SendAsync(dest string, payload []byte, props map[string]strin
 	}
 	r.nextSeq++
 	seq := r.nextSeq
+	r.mu.Unlock()
+	if r.session != nil {
+		if err := r.reserve(seq); err != nil {
+			done(fmt.Errorf("gateway: sequence reservation: %w", err))
+			return
+		}
+	}
+	r.sendSeq(dest, seq, payload, props, done)
+}
+
+// SendAsyncSeq is SendAsync with a caller-chosen sequence number. The
+// engine's outgoing gateways use the durable message ID: a retransmit after
+// a crash-restart then reuses the exact sequence number of the pre-crash
+// attempt, and the receiver's window recognizes it — the one duplicate a
+// restored send counter alone cannot suppress. Caller-chosen and automatic
+// sequence numbers must not be mixed on one endpoint.
+func (r *Reliable) SendAsyncSeq(dest string, seq uint64, payload []byte, props map[string]string, done func(error)) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		done(fmt.Errorf("gateway: reliable layer closed"))
+		return
+	}
+	if seq > r.nextSeq {
+		r.nextSeq = seq
+	}
+	r.mu.Unlock()
+	r.sendSeq(dest, seq, payload, props, done)
+}
+
+// reserve extends the durable send block to cover seq. Serialized so
+// concurrent senders extend the bound monotonically.
+func (r *Reliable) reserve(seq uint64) error {
+	r.resMu.Lock()
+	defer r.resMu.Unlock()
+	if seq < r.reserved {
+		return nil
+	}
+	upTo := seq + sendReserveBlock
+	if err := r.session.ReserveSend(r.source, upTo); err != nil {
+		return err
+	}
+	r.reserved = upTo
+	return nil
+}
+
+func (r *Reliable) sendSeq(dest string, seq uint64, payload []byte, props map[string]string, done func(error)) {
 	pr := make(map[string]string, len(props)+2)
 	for k, v := range props {
 		pr[k] = v
@@ -144,6 +290,12 @@ func (r *Reliable) SendAsync(dest string, payload []byte, props map[string]strin
 	pr[propSeq] = strconv.FormatUint(seq, 10)
 	pr[propSource] = r.source
 	ps := &pendingSend{dest: dest, payload: payload, props: pr, done: done}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		done(fmt.Errorf("gateway: reliable layer closed"))
+		return
+	}
 	r.pending[seq] = ps
 	r.mu.Unlock()
 	r.transmit(seq, ps)
@@ -212,9 +364,88 @@ func (r *Reliable) finish(seq uint64, err error) {
 	}
 }
 
+// recvStateFor returns (creating if needed) the dedup state of one peer.
+func (r *Reliable) recvStateFor(peer string) *recvState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rs := r.recv[peer]
+	if rs == nil {
+		rs = &recvState{}
+		r.recv[peer] = rs
+	}
+	return rs
+}
+
+// isDup reports whether seq was already admitted (or is older than the
+// window, which is treated the same: the ack was sent long ago). Called
+// with rs.mu held.
+func (rs *recvState) isDup(seq uint64) bool {
+	if seq > rs.high {
+		return false
+	}
+	d := rs.high - seq
+	if d >= recvWindowWords*64 {
+		return true
+	}
+	return rs.window[d/64]&(1<<(d%64)) != 0
+}
+
+// admitted returns the window state after admitting seq. Called with rs.mu
+// held; does not mutate rs (the caller commits after the handler succeeds).
+func (rs *recvState) admitted(seq uint64) (uint64, [recvWindowWords]uint64) {
+	high, w := rs.high, rs.window
+	if seq > high {
+		d := seq - high
+		if d >= recvWindowWords*64 {
+			w = [recvWindowWords]uint64{}
+		} else {
+			shift := int(d / 64)
+			bits := uint(d % 64)
+			for i := recvWindowWords - 1; i >= 0; i-- {
+				var v uint64
+				if i >= shift {
+					v = w[i-shift] << bits
+					if bits > 0 && i-shift-1 >= 0 {
+						v |= w[i-shift-1] >> (64 - bits)
+					}
+				}
+				w[i] = v
+			}
+		}
+		high = seq
+		w[0] |= 1
+	} else {
+		d := high - seq
+		w[d/64] |= 1 << (d % 64)
+	}
+	return high, w
+}
+
+// PendingRecvSession returns the receive-session snapshot that admitting
+// the transfer currently in the handler will produce. Valid only while the
+// Subscribe handler for that transfer is running (the handler's goroutine
+// holds the per-peer admit lock); the handler persists the snapshot in the
+// same transaction as the transfer's effects, making "message durable" and
+// "retransmit suppressed" one atomic fact.
+func (r *Reliable) PendingRecvSession(props map[string]string) (RecvSession, bool) {
+	peer := props[propSource]
+	if peer == "" {
+		return RecvSession{}, false
+	}
+	r.mu.Lock()
+	rs := r.recv[peer]
+	r.mu.Unlock()
+	if rs == nil || rs.pending == nil {
+		return RecvSession{}, false
+	}
+	return *rs.pending, true
+}
+
 // Subscribe registers the receiving side: application messages are
 // de-duplicated, acknowledged, and handed to h; acknowledgements complete
-// pending sends.
+// pending sends. The dedup check, the handler, and the window update run
+// under the per-peer admit lock, so two concurrent deliveries of the same
+// retransmitted transfer cannot both pass the check.
 func (r *Reliable) Subscribe(h Handler) error {
 	unsub, err := r.tr.Subscribe(r.source, func(payload []byte, props map[string]string) error {
 		if ackStr, isAck := props[propAck]; isAck {
@@ -234,29 +465,28 @@ func (r *Reliable) Subscribe(h Handler) error {
 		if err != nil {
 			return fmt.Errorf("gateway: bad sequence number %q", seqStr)
 		}
-		r.mu.Lock()
-		seen := r.seen[source]
-		if seen == nil {
-			seen = map[uint64]bool{}
-			r.seen[source] = seen
-		}
-		dup := seen[seq]
-		if dup {
+		rs := r.recvStateFor(source)
+		rs.mu.Lock()
+		if rs.isDup(seq) {
+			rs.mu.Unlock()
+			r.mu.Lock()
 			r.duplicates++
-		}
-		r.mu.Unlock()
-		if dup {
+			r.mu.Unlock()
 			// Re-acknowledge: the previous ack may have been lost.
 			_ = r.tr.Send(source, nil, map[string]string{propAck: seqStr})
 			return nil
 		}
-		if err := h(payload, props); err != nil {
+		high, w := rs.admitted(seq)
+		rs.pending = &RecvSession{Peer: source, High: high, Window: w[:]}
+		err = h(payload, props)
+		rs.pending = nil
+		if err != nil {
+			rs.mu.Unlock()
 			// No ack: the sender retransmits and the message is retried.
 			return err
 		}
-		r.mu.Lock()
-		seen[seq] = true
-		r.mu.Unlock()
+		rs.high, rs.window = high, w
+		rs.mu.Unlock()
 		_ = r.tr.Send(source, nil, map[string]string{propAck: seqStr})
 		return nil
 	})

@@ -31,6 +31,13 @@ var ErrDisconnected = errors.New("gateway: transport endpoint disconnected")
 // so well-behaved senders back off instead of hammering a dying node.
 var ErrUnavailable = errors.New("gateway: service unavailable")
 
+// ErrOverloaded reports that the node is healthy but its ingest backlog is
+// at capacity — a transient overload, distinct from the degraded read-only
+// ErrUnavailable. The HTTP transport maps it to 429 with a Retry-After:
+// the client should retry the same request later, whereas a 503 signals
+// the node itself may need operator attention.
+var ErrOverloaded = errors.New("gateway: ingest overloaded")
+
 // Transport moves messages between endpoint addresses.
 type Transport interface {
 	// Scheme returns the address scheme this transport serves ("sim",

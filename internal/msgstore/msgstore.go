@@ -159,6 +159,17 @@ type Store struct {
 
 	cmu   sync.RWMutex // guards the colls map (not collection contents)
 	colls map[string]*collection
+
+	// Reliable-messaging session snapshots (session.go): newest committed
+	// version per key, plus the on-disk record versions for compaction.
+	// Stale versions are garbage-collected by a background goroutine so the
+	// admit path never pays a delete commit (channel closed by Close).
+	sessMu     sync.Mutex
+	sessions   map[sessionKey]*sessionEntry
+	sessVer    atomic.Uint64
+	sessClosed bool
+	sessGC     chan []store.RID
+	sessGCDone chan struct{}
 }
 
 type collection struct {
@@ -260,6 +271,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		ps:           ps,
 		queues:       map[string]*Queue{},
 		colls:        map[string]*collection{},
+		sessions:     map[sessionKey]*sessionEntry{},
 		cache:        newDocCache(opts.CacheDocs),
 		textPayloads: opts.TextPayloads,
 	}
@@ -284,11 +296,27 @@ func Open(dir string, opts Options) (*Store, error) {
 			}
 		}
 	}
+	if err := ms.loadSessions(); err != nil {
+		ps.Close()
+		return nil, err
+	}
+	ms.sessGC = make(chan []store.RID, 256)
+	ms.sessGCDone = make(chan struct{})
+	go ms.sessionCompactor()
 	return ms, nil
 }
 
-// Close closes the underlying store.
-func (ms *Store) Close() error { return ms.ps.Close() }
+// Close stops the session compactor and closes the underlying store.
+func (ms *Store) Close() error {
+	ms.sessMu.Lock()
+	if !ms.sessClosed {
+		ms.sessClosed = true
+		close(ms.sessGC)
+	}
+	ms.sessMu.Unlock()
+	<-ms.sessGCDone
+	return ms.ps.Close()
+}
 
 // Crash simulates a crash for tests.
 func (ms *Store) Crash() { ms.ps.CrashForTest() }

@@ -40,6 +40,7 @@ type Txn struct {
 	enqueues  []*pendingEnqueue
 	processed []MsgID
 	resets    []ResetEvent
+	sessions  []SessionState
 
 	// AppliedResets holds the reset events with their watermarks as
 	// committed; the engine feeds them to the slicing manager.
@@ -150,7 +151,7 @@ func (t *Txn) Commit() ([]Message, error) {
 	ms := t.ms
 
 	// --- prepare: resolve targets, no page-store work yet ---
-	needDisk := len(t.resets) > 0
+	needDisk := len(t.resets) > 0 || len(t.sessions) > 0
 	for _, pe := range t.enqueues {
 		pe.q = ms.getQueue(pe.queue)
 		if pe.q == nil {
@@ -249,8 +250,25 @@ func (t *Txn) Commit() ([]Message, error) {
 			}
 			t.AppliedResets = append(t.AppliedResets, re)
 		}
+		// Session snapshots ride the same page-store transaction as the
+		// enqueue they guard: the retransmit-suppression state and the
+		// message become durable together, or neither does.
+		sessVers := make([]uint64, len(t.sessions))
+		sessRids := make([]store.RID, len(t.sessions))
+		for i, s := range t.sessions {
+			sessVers[i] = ms.sessVer.Add(1)
+			rid, err := ms.writeSession(pt, sessVers[i], s)
+			if err != nil {
+				pt.Abort()
+				return nil, err
+			}
+			sessRids[i] = rid
+		}
 		if err := pt.Commit(); err != nil {
 			return nil, err
+		}
+		for i, s := range t.sessions {
+			ms.publishSession(s, sessVers[i], sessRids[i])
 		}
 	}
 
@@ -391,6 +409,7 @@ func (t *Txn) Abort() {
 	t.enqueues = nil
 	t.processed = nil
 	t.resets = nil
+	t.sessions = nil
 }
 
 // --- read side ---

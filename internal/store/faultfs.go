@@ -150,6 +150,19 @@ func (fs *FaultFS) ClearFault() {
 	}
 }
 
+// CrashNow crashes the filesystem immediately, as if power was cut between
+// operations: pending (un-fsynced) writes resolve with the seeded RNG and
+// every subsequent call fails with ErrCrashed until ClearFault. It lets an
+// external event source — e.g. a simulated network — act as the crash
+// trigger while storage-state resolution stays deterministic.
+func (fs *FaultFS) CrashNow() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if !fs.crashed {
+		fs.crashNow("", nil)
+	}
+}
+
 // Crashed reports whether the simulated crash has fired.
 func (fs *FaultFS) Crashed() bool {
 	fs.mu.Lock()

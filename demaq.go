@@ -85,6 +85,19 @@ type Options struct {
 	// (HTTP: 429 with Retry-After) until workers catch up. Zero disables
 	// the bound.
 	MaxIngestBacklog int
+	// WALSoftBudget and WALHardBudget bound the live WAL (the bytes a
+	// crash right now would replay through) in bytes. Past the soft budget
+	// commits are throttled and the background checkpointer runs; at the
+	// hard budget new ingest is shed with engine.ErrOverloaded (HTTP: 429
+	// with Retry-After) until a checkpoint advances the log head. A soft
+	// budget of zero with a hard budget set defaults to half the hard
+	// budget. Zero for both leaves the WAL unbudgeted.
+	WALSoftBudget int64
+	WALHardBudget int64
+	// CheckpointInterval runs a fuzzy checkpoint at least this often,
+	// bounding crash-recovery replay even on an idle node. Zero disables
+	// the time trigger (budget triggers, if configured, still apply).
+	CheckpointInterval time.Duration
 	// NoDurableSessions disables persisting reliable-messaging session
 	// state; exactly-once across a whole-node crash-restart then degrades
 	// to at-least-once (experiment E18 baseline).
@@ -139,6 +152,8 @@ func OpenApplication(dir string, app *qdl.Application, opts *Options) (*Server, 
 	}
 	storeOpts := msgstore.DefaultOptions()
 	storeOpts.Store.SyncCommits = !opts.NoSync
+	storeOpts.Store.WALSoftBudget = opts.WALSoftBudget
+	storeOpts.Store.WALHardBudget = opts.WALHardBudget
 	storeOpts.NoPropertyIndex = opts.ScanDispatch
 	ruleOpts := rule.DefaultOptions()
 	if opts.NoRuleOptimizations {
@@ -150,20 +165,21 @@ func OpenApplication(dir string, app *qdl.Application, opts *Options) (*Server, 
 	}
 	materialized := !opts.NoMaterializedSlices
 	cfg := engine.Config{
-		Dir:               dir,
-		Workers:           opts.Workers,
-		BatchSize:         opts.BatchSize,
-		Granularity:       gran,
-		Store:             storeOpts,
-		Rules:             ruleOpts,
-		Materialized:      &materialized,
-		GCInterval:        opts.GCInterval,
-		Logger:            opts.Logger,
-		Resources:         opts.Resources,
-		FullIngest:        opts.FullIngest,
-		ScanDispatch:      opts.ScanDispatch,
-		MaxBacklog:        opts.MaxIngestBacklog,
-		NoDurableSessions: opts.NoDurableSessions,
+		Dir:                dir,
+		Workers:            opts.Workers,
+		BatchSize:          opts.BatchSize,
+		Granularity:        gran,
+		Store:              storeOpts,
+		Rules:              ruleOpts,
+		Materialized:       &materialized,
+		GCInterval:         opts.GCInterval,
+		Logger:             opts.Logger,
+		Resources:          opts.Resources,
+		FullIngest:         opts.FullIngest,
+		ScanDispatch:       opts.ScanDispatch,
+		MaxBacklog:         opts.MaxIngestBacklog,
+		NoDurableSessions:  opts.NoDurableSessions,
+		CheckpointInterval: opts.CheckpointInterval,
 	}
 	srv := &Server{}
 	reg := gateway.NewRegistry()
@@ -332,6 +348,8 @@ func (s *Server) OpenPeer(dir, source string, opts *Options) (*Server, error) {
 	}
 	storeOpts := msgstore.DefaultOptions()
 	storeOpts.Store.SyncCommits = !opts.NoSync
+	storeOpts.Store.WALSoftBudget = opts.WALSoftBudget
+	storeOpts.Store.WALHardBudget = opts.WALHardBudget
 	storeOpts.NoPropertyIndex = opts.ScanDispatch
 	ruleOpts := rule.DefaultOptions()
 	if opts.NoRuleOptimizations {
@@ -354,7 +372,8 @@ func (s *Server) OpenPeer(dir, source string, opts *Options) (*Server, error) {
 		GCInterval: opts.GCInterval, Logger: opts.Logger,
 		Resources: opts.Resources, Transports: reg, FullIngest: opts.FullIngest,
 		ScanDispatch: opts.ScanDispatch, MaxBacklog: opts.MaxIngestBacklog,
-		NoDurableSessions: opts.NoDurableSessions,
+		NoDurableSessions:  opts.NoDurableSessions,
+		CheckpointInterval: opts.CheckpointInterval,
 	}
 	eng, err := engine.New(cfg, app)
 	if err != nil {
@@ -407,6 +426,17 @@ func FormatStats(st Stats) string {
 		st.Processed, st.RulesEvaluated, st.RulesFired, st.Enqueued, st.Resets,
 		st.Errors, st.Deadlocks, st.DeadlockRequeues, st.Collected, st.Backlog,
 		st.BatchesClaimed, st.AvgBatchSize)
+	s += fmt.Sprintf(" wal-live=%d segs=%d dirty=%d ckpts=%d",
+		st.WALLiveBytes, st.WALSegments, st.DirtyPages, st.Checkpoints)
+	if st.WALThrottles > 0 || st.WALShed > 0 {
+		s += fmt.Sprintf(" throttled=%d wal-shed=%d", st.WALThrottles, st.WALShed)
+	}
+	if st.LastCheckpoint > 0 {
+		s += fmt.Sprintf(" last-ckpt=%s", st.LastCheckpoint.Round(time.Microsecond))
+	}
+	if st.RecoveryReplayed > 0 || st.LastRecovery > 0 {
+		s += fmt.Sprintf(" recovered=%d in %s", st.RecoveryReplayed, st.LastRecovery.Round(time.Microsecond))
+	}
 	if st.Degraded {
 		s += fmt.Sprintf(" DEGRADED(read-only: %s)", st.StorageError)
 	}

@@ -108,6 +108,14 @@ type Config struct {
 	// without bound. Zero disables the bound. Shedding is deterministic —
 	// purely a function of the backlog size at admission, no sampling.
 	MaxBacklog int
+	// CheckpointInterval is the time trigger of the fuzzy checkpoint
+	// scheduler: a checkpoint runs at least this often while the engine is
+	// up, bounding replay after a crash even on an idle node. Zero disables
+	// the time trigger; the scheduler still starts when the store has a WAL
+	// soft budget (Store.Store.WALSoftBudget / WALHardBudget), checkpointing
+	// whenever the live WAL outgrows it or too many buffered pages are
+	// dirty. Checkpoints are fuzzy — commits keep flowing while they run.
+	CheckpointInterval time.Duration
 	// NoDurableSessions disables persisting reliable-messaging session
 	// state (receive dedup windows, send sequence reservations) in the
 	// message store. Exactly-once across a whole-node crash-restart then no
@@ -156,6 +164,26 @@ type Stats struct {
 	// receive buffers (the streaming ingest path copies what it keeps, so
 	// the transport can recycle its read buffer immediately).
 	IngestBytesPooled uint64
+
+	// Storage health, from the page store. WALLiveBytes is the log volume
+	// the next recovery would replay through (what the WAL budgets bound);
+	// WALSegments is how many segment files hold it. DirtyPages counts
+	// buffered pages not yet written back. Checkpoints counts completed
+	// fuzzy checkpoints; WALThrottles counts commits delayed by the
+	// soft-budget ramp; WALShed counts enqueues refused because the live
+	// WAL reached the hard budget. LastCheckpoint/LastRecovery are the
+	// durations of the most recent checkpoint and recovery, and
+	// RecoveryReplayed is how many log records that recovery replayed —
+	// the bounded-recovery metric.
+	WALLiveBytes     uint64
+	WALSegments      int
+	DirtyPages       int
+	Checkpoints      uint64
+	WALThrottles     uint64
+	WALShed          uint64
+	LastCheckpoint   time.Duration
+	LastRecovery     time.Duration
+	RecoveryReplayed uint64
 }
 
 // Engine is a running Demaq server instance.
@@ -183,7 +211,7 @@ type Engine struct {
 
 	stats struct {
 		processed, rulesEval, rulesFired, enqueued, resets, errors, deadlocks, collected atomic.Uint64
-		batches, batchMsgs, deadlockRequeues, ingestShed                                 atomic.Uint64
+		batches, batchMsgs, deadlockRequeues, ingestShed, walShed                        atomic.Uint64
 	}
 
 	// degraded flips (one-way, until restart) when the store reports a
@@ -197,10 +225,11 @@ type Engine struct {
 
 	schemas map[string]*schema.Schema
 
-	wg      sync.WaitGroup
-	stopGC  chan struct{}
-	started bool
-	mu      sync.Mutex
+	wg       sync.WaitGroup
+	stopGC   chan struct{}
+	stopCkpt chan struct{}
+	started  bool
+	mu       sync.Mutex
 }
 
 // validateSchema checks a message against the queue's declared schema,
@@ -436,6 +465,11 @@ func (e *Engine) Start() {
 		e.wg.Add(1)
 		go e.gcLoop()
 	}
+	if e.cfg.CheckpointInterval > 0 || e.cfg.Store.Store.WALSoftBudget > 0 || e.cfg.Store.Store.WALHardBudget > 0 {
+		e.stopCkpt = make(chan struct{})
+		e.wg.Add(1)
+		go e.checkpointLoop()
+	}
 }
 
 // Stop shuts the engine down and closes the store.
@@ -453,7 +487,12 @@ func (e *Engine) Stop() error {
 	if e.stopGC != nil {
 		close(e.stopGC)
 	}
+	if e.stopCkpt != nil {
+		close(e.stopCkpt)
+	}
 	e.wg.Wait()
+	// ms.Close runs a final quiescent checkpoint: a clean shutdown leaves
+	// nothing for the next Open to replay.
 	return e.ms.Close()
 }
 
@@ -506,7 +545,11 @@ var ErrOverloaded = fmt.Errorf("engine: ingest backlog full: %w", gateway.ErrOve
 // admitIngest is the admission decision at the top of every external
 // enqueue, in verdict order: a degraded node refuses everything, a
 // draining node refuses new work, and a healthy node sheds only when the
-// backlog bound is hit.
+// backlog bound or the WAL hard budget is hit. The WAL check is the last
+// line of the graceful-degradation ramp: past the soft budget commits are
+// already throttled in the store; if the live log still reaches the hard
+// budget, new work is refused (429, retryable) until the checkpointer
+// advances the head — the WAL never grows without bound.
 func (e *Engine) admitIngest() error {
 	if e.degraded.Load() {
 		return ErrDegraded
@@ -516,6 +559,10 @@ func (e *Engine) admitIngest() error {
 	}
 	if max := e.cfg.MaxBacklog; max > 0 && e.sched.Backlog() >= max {
 		e.stats.ingestShed.Add(1)
+		return ErrOverloaded
+	}
+	if hard := e.cfg.Store.Store.WALHardBudget; hard > 0 && int64(e.ms.PageStore().LiveLogBytes()) >= hard {
+		e.stats.walShed.Add(1)
 		return ErrOverloaded
 	}
 	return nil
@@ -568,6 +615,16 @@ func (e *Engine) Stats() Stats {
 		st.AvgBatchSize = float64(e.stats.batchMsgs.Load()) / float64(st.BatchesClaimed)
 	}
 	st.IngestBytesPooled = e.cfg.Transports.IngestBytesPooled()
+	ps := e.ms.PageStore().Stats()
+	st.WALLiveBytes = ps.WALLiveBytes
+	st.WALSegments = ps.WALSegments
+	st.DirtyPages = ps.DirtyPages
+	st.Checkpoints = ps.Checkpoints
+	st.WALThrottles = ps.WALThrottles
+	st.WALShed = e.stats.walShed.Load()
+	st.LastCheckpoint = ps.LastCheckpointDuration
+	st.LastRecovery = ps.LastRecoveryDuration
+	st.RecoveryReplayed = ps.RecoveryRecordsReplayed
 	st.Degraded = e.degraded.Load()
 	if err := e.StorageError(); err != nil {
 		st.StorageError = err.Error()
@@ -584,6 +641,61 @@ func (e *Engine) CollectGarbage() (int, error) {
 	e.stats.collected.Add(uint64(n))
 	e.noteStorageError(err)
 	return n, err
+}
+
+// checkpointLoop is the fuzzy checkpoint scheduler. It polls the page
+// store and checkpoints when any trigger fires: the live WAL outgrew the
+// soft budget (the primary signal under load), too many buffered pages are
+// dirty (bounds checkpoint write-back bursts), or CheckpointInterval
+// elapsed since the last checkpoint (bounds replay on an idle node).
+// Checkpoints are fuzzy: commits keep flowing while one runs, so the loop
+// needs no coordination with the workers.
+func (e *Engine) checkpointLoop() {
+	defer e.wg.Done()
+	soft := e.cfg.Store.Store.WALSoftBudget
+	if hard := e.cfg.Store.Store.WALHardBudget; soft <= 0 && hard > 0 {
+		soft = hard / 2
+	}
+	// A checkpoint rewrites every dirty page once; capping the dirty set
+	// at half the buffer pool keeps each cycle's write-back burst small.
+	dirtyTrigger := e.cfg.Store.Store.BufferPages / 2
+	if dirtyTrigger <= 0 {
+		dirtyTrigger = 512
+	}
+	poll := 200 * time.Millisecond
+	if iv := e.cfg.CheckpointInterval; iv > 0 && iv < poll {
+		poll = iv
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	last := time.Now()
+	for {
+		select {
+		case <-e.stopCkpt:
+			return
+		case <-t.C:
+			if e.degraded.Load() {
+				continue
+			}
+			ps := e.ms.PageStore()
+			due := soft > 0 && int64(ps.LiveLogBytes()) > soft
+			if !due && dirtyTrigger > 0 {
+				due = ps.Stats().DirtyPages >= dirtyTrigger
+			}
+			if !due && e.cfg.CheckpointInterval > 0 {
+				due = time.Since(last) >= e.cfg.CheckpointInterval
+			}
+			if !due {
+				continue
+			}
+			if err := ps.Checkpoint(); err != nil {
+				e.noteStorageError(err)
+				e.log.Error("checkpoint failed", "err", err)
+				continue
+			}
+			last = time.Now()
+		}
+	}
 }
 
 func (e *Engine) gcLoop() {

@@ -15,7 +15,7 @@ import (
 // The crash torture harness: a deterministic mixed workload (enqueue,
 // multi-message transactions, processed marking, retention removal,
 // checkpoints, reads) runs against a FaultFS. A first pass enumerates
-// every write/sync/truncate the workload performs; the sweep then reruns
+// every write/sync/remove the workload performs; the sweep then reruns
 // it once per operation, crashing exactly there, reopening the store, and
 // checking the recovered state against a model of what had committed:
 //
@@ -27,7 +27,10 @@ import (
 //   - no ghost messages appear;
 //   - VerifyIntegrity holds: heaps decode, the status side-heap joins,
 //     the property index matches a recomputation, page LSNs are within
-//     the log.
+//     the log;
+//   - recovery is bounded: with fuzzy checkpoints running every 11th
+//     iteration, replay after any crash covers at most the records since
+//     the last complete checkpoint — never the whole workload history.
 
 const tortureDir = "torture" // never touches the real FS: FaultFS only
 
@@ -38,6 +41,9 @@ func tortureOptions(fs *store.FaultFS) Options {
 			BufferPages:     16, // force evictions → write-backs mid-run
 			SyncCommits:     true,
 			UnloggedDeletes: true,
+			// Tiny segments so the workload rolls the WAL and the fuzzy
+			// checkpoints recycle dead segments — both are crash sites.
+			WALSegmentSize: 16 << 10,
 		},
 		CacheDocs: 8,
 	}
@@ -287,6 +293,15 @@ func checkMessage(ms *Store, got Message, mm *modelMsg, processedAmbiguous bool)
 
 const tortureIters = 40
 
+// tortureReplayBound caps the records any single recovery may replay. The
+// workload checkpoints every 11th iteration, and one iteration logs a few
+// dozen records at most (two enqueues with properties plus status updates),
+// so replay after any crash is bounded by ~11 iterations of log plus the
+// last checkpoint's own bracket records and full-page images. The full
+// 40-iteration history is several times this bound: a regression that stops
+// advancing the log head trips it immediately.
+const tortureReplayBound = 700
+
 // TestTortureNoFaults is the baseline: the workload with no faults armed
 // must pass its own checker, and must generate enough distinct crash
 // points across all five site categories for the sweep to be meaningful.
@@ -308,14 +323,17 @@ func TestTortureNoFaults(t *testing.T) {
 		t.Fatalf("workload produced only %d crash points, want >= 50", len(trace))
 	}
 	cats := map[string]int{}
+	wal := func(p string) bool {
+		return strings.HasSuffix(p, ".log") && strings.Contains(p, "wal.")
+	}
 	for _, p := range trace {
 		switch {
-		case strings.HasSuffix(p.Path, "wal.log") && p.Op == "write":
-			cats["wal-append"]++
-		case strings.HasSuffix(p.Path, "wal.log") && p.Op == "sync":
-			cats["group-commit-fsync"]++
-		case strings.HasSuffix(p.Path, "wal.log") && p.Op == "truncate":
-			cats["checkpoint-truncate"]++
+		case wal(p.Path) && p.Op == "write":
+			cats["wal-append"]++ // includes the header write of each new segment
+		case wal(p.Path) && p.Op == "sync":
+			cats["group-commit-fsync"]++ // includes segment seals and redo publishes
+		case wal(p.Path) && p.Op == "remove":
+			cats["segment-recycle"]++ // checkpoint head advance deletes dead segments
 		case strings.HasSuffix(p.Path, "data.db") && p.Op == "write" && p.Off < store.PageSize:
 			cats["header-rewrite"]++
 		case strings.HasSuffix(p.Path, "data.db") && p.Op == "write":
@@ -324,7 +342,7 @@ func TestTortureNoFaults(t *testing.T) {
 			cats["checkpoint-sync"]++
 		}
 	}
-	for _, want := range []string{"wal-append", "group-commit-fsync", "checkpoint-truncate", "header-rewrite", "page-writeback", "checkpoint-sync"} {
+	for _, want := range []string{"wal-append", "group-commit-fsync", "segment-recycle", "header-rewrite", "page-writeback", "checkpoint-sync"} {
 		if cats[want] == 0 {
 			t.Errorf("no crash points in category %s (have %v)", want, cats)
 		}
@@ -379,12 +397,15 @@ func TestTortureCrashSweep(t *testing.T) {
 					ms.Crash() // release resources; the FaultFS keeps the disk state
 				}
 			}
-			if err == nil {
-				t.Fatalf("workload finished without hitting crash point %d", k)
-			}
 			if !fs.Crashed() {
+				if err == nil {
+					t.Fatalf("workload finished without hitting crash point %d", k)
+				}
 				t.Fatalf("error before the crash point: %v", err)
 			}
+			// err may be nil even though the crash fired: segment-recycle
+			// removes tolerate failure (a stale segment is re-deleted at the
+			// next open), so a crash landing on one lets the run complete.
 
 			fs.ClearFault()
 			ms2, err := Open(tortureDir, tortureOptions(fs))
@@ -394,6 +415,12 @@ func TestTortureCrashSweep(t *testing.T) {
 			defer ms2.Close()
 			if err := checkRecovered(ms2, mdl); err != nil {
 				t.Fatalf("invariant violation after crash at %d: %v", k, err)
+			}
+			// Bounded recovery: replay covers at most the records since the
+			// last complete checkpoint (the workload checkpoints every 11th
+			// iteration), never the whole history back to the log start.
+			if replayed, _ := ms2.PageStore().RecoveryReplayed(); replayed > tortureReplayBound {
+				t.Fatalf("crash at %d: recovery replayed %d records, bound %d — checkpoint head advance is not holding", k, replayed, tortureReplayBound)
 			}
 
 			// Recovery is idempotent: a second crashless reopen agrees.

@@ -359,9 +359,91 @@ func (bp *bufferPool) flushAll() error {
 	return nil
 }
 
-// clearImaged resets the full-page-image bookkeeping. Called by the
-// checkpoint after the data-file sync, under the exclusive checkpoint
-// fence, so no write-back races the reset.
+// dirtyPages snapshots the IDs of every dirty buffered page. The fuzzy
+// checkpoint calls it under the exclusive checkpoint fence — in-flight data
+// operations are drained, and evictions only run inside data operations, so
+// no frame is mid-eviction and the snapshot is the complete set of pages
+// whose effects predate the fence and are not yet on disk.
+func (bp *bufferPool) dirtyPages() []PageID {
+	var pids []PageID
+	for i := range bp.shards {
+		sh := &bp.shards[i]
+		sh.mu.Lock()
+		for id, f := range sh.frames {
+			if f.dirty {
+				pids = append(pids, id)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return pids
+}
+
+// dirtyCount reports how many buffered pages are currently dirty
+// (observability; racy by nature).
+func (bp *bufferPool) dirtyCount() int {
+	n := 0
+	for i := range bp.shards {
+		sh := &bp.shards[i]
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			if f.dirty {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// flushPage writes back one page if it is still buffered and dirty,
+// following flushAll's claim protocol. The fuzzy checkpoint calls it with
+// data operations running concurrently: a frame mid-eviction is waited on
+// (its write must land before the checkpoint's data sync), a frame already
+// evicted or clean needs nothing, and a writer re-dirtying the page during
+// the write-back keeps its flag for the next cycle.
+func (bp *bufferPool) flushPage(id PageID) error {
+	sh := bp.shard(id)
+	for {
+		sh.mu.Lock()
+		f, ok := sh.frames[id]
+		if !ok {
+			// Evicted since the snapshot: the eviction's write-back already
+			// put the bytes on disk (or its failure left the frame in the
+			// map, so we would have found it).
+			sh.mu.Unlock()
+			return nil
+		}
+		if f.state != frameReady {
+			done := f.ioDone
+			sh.mu.Unlock()
+			<-done
+			continue
+		}
+		if !f.dirty {
+			sh.mu.Unlock()
+			return nil
+		}
+		f.pins++
+		// Claim the current mutation set before writing, as in flushAll.
+		f.dirty = false
+		sh.mu.Unlock()
+		err := bp.writeBack(f)
+		sh.mu.Lock()
+		if err != nil {
+			f.dirty = true // disk is stale; keep the page flushable
+		}
+		f.pins--
+		sh.mu.Unlock()
+		return err
+	}
+}
+
+// clearImaged resets the full-page-image bookkeeping, starting a new
+// image cycle. Called under the exclusive checkpoint fence — at the begin
+// fence of a fuzzy checkpoint (so every image of the new cycle lands at or
+// after the redo point it will publish) and after the data-file sync of a
+// quiescent one — so no write-back races the reset.
 func (bp *bufferPool) clearImaged() {
 	bp.imagedMu.Lock()
 	bp.imaged = map[PageID]bool{}

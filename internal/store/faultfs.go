@@ -51,7 +51,7 @@ type FaultFS struct {
 type FaultPoint struct {
 	N    int
 	Path string
-	Op   string // "write", "sync", "truncate"
+	Op   string // "write", "sync", "truncate", "remove"
 	Off  int64
 	Len  int
 }
@@ -64,13 +64,21 @@ type faultData struct {
 	durable []byte
 	current []byte
 	pending []pendingOp
+
+	// File removal is metadata, tracked like truncation: removed is the
+	// current (page-cache) view, durRemoved what a crash would preserve.
+	// Like a POSIX unlink, existing handles keep working on the orphaned
+	// data; only OpenFile and ReadDir consult the flags.
+	removed    bool
+	durRemoved bool
 }
 
 type pendingOp struct {
-	isTrunc bool
-	off     int64
-	data    []byte
-	size    int64
+	isTrunc  bool
+	isRemove bool
+	off      int64
+	data     []byte
+	size     int64
 }
 
 // NewFaultFS returns a fault-injecting VFS whose crash resolution is driven
@@ -92,11 +100,62 @@ func (fs *FaultFS) OpenFile(path string) (File, error) {
 		return nil, ErrCrashed
 	}
 	d, ok := fs.files[path]
-	if !ok {
+	if !ok || d.removed {
+		// Creating a path whose previous file was removed makes a fresh
+		// file; orphaned handles keep the old data, like POSIX unlink.
 		d = &faultData{}
 		fs.files[path] = d
 	}
 	return &faultHandle{fs: fs, path: path, d: d}, nil
+}
+
+// Remove deletes a file. The removal is a numbered mutation op and, like
+// truncation, is metadata: a crash before it is made durable may resurrect
+// the file with its durable content.
+func (fs *FaultFS) Remove(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	d, ok := fs.files[path]
+	if !ok || d.removed {
+		if fs.crashed {
+			return ErrCrashed
+		}
+		return fmt.Errorf("faultfs: remove %s: no such file", path)
+	}
+	fail, crash := fs.checkFaults(path, "remove", 0, 0)
+	if crash {
+		fs.crashNow(path, &pendingOp{isRemove: true})
+		return ErrCrashed
+	}
+	if fail != nil {
+		return fail
+	}
+	d.removed = true
+	d.pending = append(d.pending, pendingOp{isRemove: true})
+	return nil
+}
+
+// ReadDir lists the file names (not full paths) under dir in the current
+// (page-cache) view.
+func (fs *FaultFS) ReadDir(dir string) ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return nil, ErrCrashed
+	}
+	prefix := dir
+	if prefix != "" && prefix[len(prefix)-1] != '/' {
+		prefix += "/"
+	}
+	var names []string
+	for p, d := range fs.files {
+		if d.removed || len(p) <= len(prefix) || p[:len(prefix)] != prefix {
+			continue
+		}
+		names = append(names, p[len(prefix):])
+	}
+	sort.Strings(names)
+	return names, nil
 }
 
 // CrashAt arms a crash at mutation operation n (1-based). Passing 0
@@ -146,6 +205,7 @@ func (fs *FaultFS) ClearFault() {
 		for _, d := range fs.files {
 			d.current = append([]byte(nil), d.durable...)
 			d.pending = nil
+			d.removed = d.durRemoved
 		}
 	}
 }
@@ -240,10 +300,19 @@ func (fs *FaultFS) crashNow(extraPath string, extra *pendingOp) {
 		}
 		d.pending = nil
 		d.current = append([]byte(nil), d.durable...)
+		d.removed = d.durRemoved
 	}
 }
 
 func (fs *FaultFS) resolveOp(d *faultData, op pendingOp) {
+	if op.isRemove {
+		// Like truncation, an unlink either reached the journal or did not;
+		// a lost one resurrects the file with its durable content.
+		if fs.rng.Intn(2) == 0 {
+			d.durRemoved = true
+		}
+		return
+	}
 	if op.isTrunc {
 		// Metadata operations either reached the journal or did not.
 		if fs.rng.Intn(2) == 0 {
@@ -334,6 +403,9 @@ func (h *faultHandle) Sync() error {
 		return fail
 	}
 	h.d.durable = append([]byte(nil), h.d.current...)
+	if h.d.removed {
+		h.d.durRemoved = true
+	}
 	h.d.pending = nil
 	return nil
 }

@@ -592,54 +592,78 @@ func (s *Store) freePages(pages []PageID) {
 	}
 }
 
+// reclaimBatchPages bounds how many chain pages one exclusive chain-lock
+// acquisition examines during reclaim.
+const reclaimBatchPages = 64
+
 // reclaimEmptyPages unlinks fully-empty interior pages of a heap chain and
-// frees them; head and tail pages stay to keep insertion cheap. It holds
-// the chain lock exclusively — scanners and reclaim never interleave.
+// frees them; head and tail pages stay to keep insertion cheap. The chain
+// lock is held exclusively only for one bounded batch at a time — between
+// batches scanners proceed, so slice scans never stall behind a reclaim
+// walking a long chain. The walk resumes from the last kept page: only
+// reclaim unlinks pages (reclaimMu serializes reclaimers) and appends grow
+// the chain strictly at the tail, so the resume cursor stays valid across
+// the lock release.
 func (s *Store) reclaimEmptyPages(h *heapInfo) error {
-	h.chainMu.Lock()
-	defer h.chainMu.Unlock()
-	h.appendMu.Lock()
-	last := h.last
-	h.appendMu.Unlock()
+	h.reclaimMu.Lock()
+	defer h.reclaimMu.Unlock()
 
 	prev := h.first
-	pf, err := s.pool.get(prev)
-	if err != nil {
-		return err
-	}
-	pf.latch.RLock()
-	cur := pf.pg.next()
-	pf.latch.RUnlock()
-	s.pool.unpin(pf, false)
-	var toFree []PageID
-	for cur != InvalidPage && cur != last {
-		cf, err := s.pool.get(cur)
+	for {
+		h.appendMu.Lock()
+		last := h.last
+		h.appendMu.Unlock()
+
+		var toFree []PageID
+		h.chainMu.Lock()
+		pf, err := s.pool.get(prev)
 		if err != nil {
+			h.chainMu.Unlock()
 			return err
 		}
-		cf.latch.RLock()
-		next := cf.pg.next()
-		empty := cf.pg.liveCount() == 0
-		cf.latch.RUnlock()
-		s.pool.unpin(cf, false)
-		if empty {
-			// Unlink: prev.next = next (redo-only chain record).
-			pf, err := s.pool.get(prev)
+		pf.latch.RLock()
+		cur := pf.pg.next()
+		pf.latch.RUnlock()
+		s.pool.unpin(pf, false)
+		examined := 0
+		for cur != InvalidPage && cur != last && examined < reclaimBatchPages {
+			examined++
+			cf, err := s.pool.get(cur)
 			if err != nil {
+				h.chainMu.Unlock()
 				return err
 			}
-			pf.latch.Lock()
-			lsn := s.log.append(&logRecord{typ: recChain, page: prev, page2: next})
-			pf.pg.setNext(next)
-			pf.pg.setLSN(lsn)
-			pf.latch.Unlock()
-			s.pool.unpin(pf, true)
-			toFree = append(toFree, cur)
-		} else {
-			prev = cur
+			cf.latch.RLock()
+			next := cf.pg.next()
+			empty := cf.pg.liveCount() == 0
+			cf.latch.RUnlock()
+			s.pool.unpin(cf, false)
+			if empty {
+				// Unlink: prev.next = next (redo-only chain record).
+				pf, err := s.pool.get(prev)
+				if err != nil {
+					h.chainMu.Unlock()
+					return err
+				}
+				pf.latch.Lock()
+				lsn := s.log.append(&logRecord{typ: recChain, page: prev, page2: next})
+				pf.pg.setNext(next)
+				pf.pg.setLSN(lsn)
+				pf.latch.Unlock()
+				s.pool.unpin(pf, true)
+				toFree = append(toFree, cur)
+			} else {
+				prev = cur
+			}
+			cur = next
 		}
-		cur = next
+		done := cur == InvalidPage || cur == last
+		h.chainMu.Unlock()
+		// Free outside the chain lock: the pages are unlinked, so neither
+		// scanners nor the allocator can reach them in between.
+		s.freePages(toFree)
+		if done {
+			return nil
+		}
 	}
-	s.freePages(toFree)
-	return nil
 }

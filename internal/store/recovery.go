@@ -1,23 +1,38 @@
 package store
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Crash recovery, ARIES style reduced to the needs of an append-only
 // message store:
 //
-//  1. a single forward pass performs analysis and redo together: every
-//     record is re-applied unless the target page already carries an LSN at
-//     or beyond the record (pages are stamped with the LSN of the last
-//     change, making redo idempotent);
+//  1. a single forward pass performs analysis and redo together, starting
+//     at the redo offset the last complete checkpoint published in the
+//     store header — not at the log start, so replay work is bounded by
+//     checkpoint frequency, not uptime. Every record is re-applied unless
+//     the target page already carries an LSN at or beyond the record
+//     (pages are stamped with the LSN of the last change, making redo
+//     idempotent);
 //  2. loser transactions — those with neither a commit nor an abort-end
 //     record — are rolled back using the update records collected during
-//     the forward pass, logging CLRs exactly like a runtime abort;
+//     the forward pass, logging CLRs exactly like a runtime abort. Every
+//     loser's records lie at or after the redo offset: a fuzzy checkpoint
+//     never advances it past the first record of a transaction that was
+//     still active at its begin fence;
 //  3. the free list is rebuilt by scanning page flags, and pages still
 //     referenced by live overflow pointers are rescued from it (closing the
 //     window between deferred overflow frees and the transaction outcome).
 //
 // Step 3 runs in Store.load after the catalog is available.
 func (s *Store) recover() error {
+	started := time.Now()
+	replayed := uint64(0)
+	defer func() {
+		s.recReplayed.Store(replayed)
+		s.lastRecNs.Store(int64(time.Since(started)))
+	}()
 	type txnState struct {
 		updates  []*logRecord
 		lastLSN  uint64
@@ -34,7 +49,8 @@ func (s *Store) recover() error {
 	}
 
 	maxTxn := uint64(0)
-	err := s.log.scan(func(r *logRecord) error {
+	err := s.log.scanFrom(s.log.headOffset(), func(r *logRecord) error {
+		replayed++
 		if r.txn > maxTxn {
 			maxTxn = r.txn
 		}
@@ -43,9 +59,11 @@ func (s *Store) recover() error {
 			get(r.txn).lastLSN = r.lsn
 		case recCommit, recAbort:
 			get(r.txn).finished = true
-		case recCheckpoint:
-			// Sharp checkpoints truncate the log, so nothing precedes one;
-			// kept for format compatibility.
+		case recCheckpoint, recCkptBegin, recCkptEnd:
+			// Checkpoint bracket records carry no page changes; the redo
+			// offset recovery starts from comes from the store header, which
+			// only ever points at a COMPLETE checkpoint (the slot is
+			// published after recCkptEnd is durable).
 		case recFullPage:
 			// Restore the image unconditionally: the on-disk page may be a
 			// torn mix of two states whose LSN field cannot be trusted.

@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,6 +41,21 @@ type Options struct {
 	// latched pool overlaps across goroutines — and that a global store
 	// mutex serializes. Benchmarks only; zero in production.
 	BenchIODelay time.Duration
+
+	// WALSegmentSize is the roll threshold for WAL segment files in bytes
+	// (0 = 4 MiB). Smaller segments reclaim space sooner after a
+	// checkpoint at the cost of more file churn.
+	WALSegmentSize int64
+	// WALSoftBudget bounds the live WAL (bytes at or after the last
+	// checkpoint's redo point) softly: beyond it the checkpoint scheduler
+	// should run a checkpoint, and commits start to be throttled
+	// proportionally to how far past it the log has grown. 0 disables.
+	WALSoftBudget int64
+	// WALHardBudget is the ceiling the throttle ramps toward: at or past
+	// it commits pay the maximum throttle delay and the engine sheds new
+	// ingest with 429 + Retry-After until the checkpointer catches up.
+	// 0 disables.
+	WALHardBudget int64
 }
 
 // DefaultOptions returns the production configuration.
@@ -50,34 +66,38 @@ func DefaultOptions() Options {
 const (
 	storeMagic   = "DEMAQST1"
 	dataFileName = "data.db"
-	walFileName  = "wal.log"
+	// walLegacyFileName is the single-file WAL of stores formatted before
+	// log segmentation; its presence with content makes Open fail rather
+	// than silently ignore committed data.
+	walLegacyFileName = "wal.log"
 
 	catalogHeapID    = 0
 	catalogFirstPage = 1
 
-	// The header page carries the LSN base in two CRC-protected ping-pong
-	// slots. Checkpoints alternate between them, so a torn or lost slot
-	// write leaves the previous slot — which pairs with the still-intact
-	// previous on-disk state — valid. Offset 40 holds the legacy
-	// (pre-slot) base for stores formatted by older versions.
+	// The header page carries the checkpoint redo offset — the logical log
+	// offset recovery replays from — in two CRC-protected ping-pong slots.
+	// Checkpoints alternate between them, so a torn or lost slot write
+	// leaves the previous slot — which pairs with the still-intact previous
+	// on-disk state — valid. Offset 40 holds the legacy (pre-slot) value
+	// for stores formatted by older versions.
 	hdrLegacyBase = 40
 	hdrSlotA      = 64
 	hdrSlotB      = 96
-	hdrSlotSize   = 20 // seq u64 | lsnBase u64 | crc32 u32
+	hdrSlotSize   = 20 // seq u64 | redo offset u64 | crc32 u32
 	headerBytes   = hdrSlotB + hdrSlotSize
 )
 
 // writeHeaderSlot encodes one header slot into b.
-func writeHeaderSlot(b []byte, seq, base uint64) {
+func writeHeaderSlot(b []byte, seq, redo uint64) {
 	binary.LittleEndian.PutUint64(b[0:], seq)
-	binary.LittleEndian.PutUint64(b[8:], base)
+	binary.LittleEndian.PutUint64(b[8:], redo)
 	binary.LittleEndian.PutUint32(b[16:], crc32.ChecksumIEEE(b[:16]))
 }
 
-// parseHeaderSlots returns the newest valid (base, seq) pair, falling back
-// to the legacy field (seq 0) when neither slot validates.
-func parseHeaderSlots(hdr []byte) (base, seq uint64) {
-	base = binary.LittleEndian.Uint64(hdr[hdrLegacyBase:])
+// parseHeaderSlots returns the newest valid (redo offset, seq) pair,
+// falling back to the legacy field (seq 0) when neither slot validates.
+func parseHeaderSlots(hdr []byte) (redo, seq uint64) {
+	redo = binary.LittleEndian.Uint64(hdr[hdrLegacyBase:])
 	for _, off := range []int{hdrSlotA, hdrSlotB} {
 		s := hdr[off : off+hdrSlotSize]
 		if crc32.ChecksumIEEE(s[:16]) != binary.LittleEndian.Uint32(s[16:]) {
@@ -85,10 +105,10 @@ func parseHeaderSlots(hdr []byte) (base, seq uint64) {
 		}
 		if sq := binary.LittleEndian.Uint64(s[0:]); sq > seq {
 			seq = sq
-			base = binary.LittleEndian.Uint64(s[8:])
+			redo = binary.LittleEndian.Uint64(s[8:])
 		}
 	}
-	return base, seq
+	return redo, seq
 }
 
 // heapInfo is the in-memory descriptor of one record heap. The first page
@@ -108,9 +128,15 @@ type heapInfo struct {
 
 	// chainMu guards the page chain's structure against unlinking: Scan
 	// holds it shared for the duration of the walk, reclaimEmptyPages
-	// exclusively. Appending a new tail page does not take it — scanners
-	// tolerate a growing chain, but not a shrinking one.
+	// exclusively — but only one bounded batch at a time. Appending a new
+	// tail page does not take it — scanners tolerate a growing chain, but
+	// not a shrinking one.
 	chainMu sync.RWMutex
+
+	// reclaimMu serializes reclaimers of this heap: reclaim releases
+	// chainMu between batches, and its resume cursor is only valid if no
+	// other reclaimer unlinks pages meanwhile.
+	reclaimMu sync.Mutex
 }
 
 // Stats reports storage counters.
@@ -132,6 +158,20 @@ type Stats struct {
 	WALFsyncs     uint64
 	WALFlushCalls uint64
 	WALCoalesced  uint64
+
+	// Checkpoint/recovery observability: WALLiveBytes is the log volume a
+	// crash right now would replay through (bytes at or after the last
+	// published redo offset) — the quantity the WAL budgets bound.
+	// RecoveryRecordsReplayed is from the most recent Open of this store.
+	WALLiveBytes            uint64
+	WALSegments             int
+	WALSegRolls             uint64
+	DirtyPages              int
+	Checkpoints             uint64
+	WALThrottles            uint64
+	LastCheckpointDuration  time.Duration
+	LastRecoveryDuration    time.Duration
+	RecoveryRecordsReplayed uint64
 }
 
 // Store is the page-based storage engine. All operations are safe for
@@ -170,6 +210,20 @@ type Store struct {
 	nextTxn atomic.Uint64
 	commits atomic.Uint64 // incremented after the commit flush
 	aborts  atomic.Uint64
+
+	// txnMu guards activeTxns: every transaction that has logged at least
+	// one record, keyed by id, valued with its first record's LSN. A fuzzy
+	// checkpoint may not advance the log head past the first record of any
+	// transaction still active at its begin fence — those records are the
+	// undo information recovery needs if the transaction loses.
+	txnMu      sync.Mutex
+	activeTxns map[uint64]uint64
+
+	checkpoints atomic.Uint64
+	throttles   atomic.Uint64
+	lastCkptNs  atomic.Int64
+	lastRecNs   atomic.Int64
+	recReplayed atomic.Uint64
 
 	// lifeMu serializes lifecycle operations (Close, Checkpoint, crash
 	// simulation) against each other.
@@ -225,72 +279,78 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	file = &retryFile{f: file}
-	walFile, err := vfs.OpenFile(filepath.Join(dir, walFileName))
-	if err != nil {
+	fail := func(err error) (*Store, error) {
 		file.Close()
 		return nil, err
 	}
-	walFile = &retryFile{f: walFile}
+	// A store formatted before log segmentation keeps its whole WAL in a
+	// single wal.log; its committed data cannot be recovered by this
+	// version, so refuse to touch it rather than silently discard it.
+	if names, err := vfs.ReadDir(dir); err == nil {
+		for _, n := range names {
+			if n != walLegacyFileName {
+				continue
+			}
+			lf, err := vfs.OpenFile(filepath.Join(dir, walLegacyFileName))
+			if err != nil {
+				return fail(err)
+			}
+			lsize, serr := lf.Size()
+			lf.Close()
+			if serr != nil {
+				return fail(serr)
+			}
+			if lsize != 0 {
+				return fail(fmt.Errorf("store: legacy single-file WAL present; cannot open pre-segmentation store"))
+			}
+		}
+	}
 
 	size, err := file.Size()
 	if err != nil {
-		file.Close()
-		walFile.Close()
-		return nil, err
-	}
-	walSize, err := walFile.Size()
-	if err != nil {
-		file.Close()
-		walFile.Close()
-		return nil, err
-	}
-	fail := func(err error) (*Store, error) {
-		file.Close()
-		walFile.Close()
-		return nil, err
+		return fail(err)
 	}
 	// A crash during the initial format can leave a missing, empty, or torn
 	// data file. Formatting syncs before any WAL record can exist, so a
 	// short or bad-magic header alongside an EMPTY WAL means nothing was
 	// ever committed and reformatting is safe. With a non-empty WAL the
-	// header is load-bearing — silently resetting the LSN base to zero
+	// header is load-bearing — silently resetting the redo offset to zero
 	// would let stale page LSNs mask the redo of newer log records — so
 	// the open must fail instead.
 	isNew := size < 2*PageSize
-	lsnBase, hdrSeq := uint64(0), uint64(0)
-	if isNew {
-		if walSize != 0 {
-			return fail(fmt.Errorf("store: truncated header (data file %d bytes) with non-empty WAL", size))
-		}
-	} else {
+	redoOff, hdrSeq := uint64(0), uint64(0)
+	if !isNew {
 		hdr := make([]byte, headerBytes)
 		if _, err := file.ReadAt(hdr, 0); err != nil {
 			return fail(fmt.Errorf("store: read header: %w", err))
 		}
 		if string(hdr[24:24+len(storeMagic)]) != storeMagic {
-			if walSize != 0 {
-				return fail(fmt.Errorf("store: bad magic, not a demaq store"))
-			}
-			isNew = true // torn format, never committed anything
+			isNew = true // torn format — unless the WAL says otherwise below
 		} else {
-			lsnBase, hdrSeq = parseHeaderSlots(hdr)
+			redoOff, hdrSeq = parseHeaderSlots(hdr)
 		}
 	}
-	log, err := openWAL(walFile, lsnBase, opts.SyncCommits)
+	if isNew {
+		redoOff, hdrSeq = 0, 0
+	}
+	log, err := openWALDir(vfs, dir, redoOff, opts.SyncCommits, uint64(opts.WALSegmentSize))
 	if err != nil {
-		file.Close()
-		walFile.Close()
-		return nil, err
+		return fail(err)
+	}
+	if isNew && log.size() > 0 {
+		log.close()
+		return fail(fmt.Errorf("store: truncated header (data file %d bytes) with non-empty WAL", size))
 	}
 	s := &Store{
-		dir:       dir,
-		opts:      opts,
-		file:      file,
-		log:       log,
-		hdrSeq:    hdrSeq,
-		heaps:     map[uint32]*heapInfo{},
-		heapNames: map[string]uint32{},
-		nextHeap:  1,
+		dir:        dir,
+		opts:       opts,
+		file:       file,
+		log:        log,
+		hdrSeq:     hdrSeq,
+		heaps:      map[uint32]*heapInfo{},
+		heapNames:  map[string]uint32{},
+		nextHeap:   1,
+		activeTxns: map[uint64]uint64{},
 	}
 	s.nextTxn.Store(1)
 	s.pool = newBufferPool(opts.BufferPages, file, log)
@@ -374,7 +434,8 @@ func (s *Store) load() error {
 	if err := s.rebuildChainsAndFreeList(); err != nil {
 		return err
 	}
-	// Sharp checkpoint after recovery truncates the log.
+	// Quiescent checkpoint after recovery: the next crash replays from
+	// here instead of repeating this recovery's work.
 	return s.checkpoint()
 }
 
@@ -478,44 +539,143 @@ func (s *Store) Close() error {
 	return nil
 }
 
-// Checkpoint flushes all dirty pages, syncs the data file and truncates the
-// WAL. No transactions may be active (the engine quiesces first); ckptMu
-// additionally fences stragglers so a racing commit is never truncated
-// away unflushed.
+// Checkpoint runs a fuzzy incremental checkpoint: commits and reads keep
+// flowing while dirty pages are written back. The exclusive ckptMu fence is
+// held only for the begin instant — long enough to log recCkptBegin and
+// snapshot the dirty-page set and active-transaction table — after which
+// the written-back pages are synced, recCkptEnd (with the dirty-page table)
+// is logged, the redo offset is published in the header, and log segments
+// behind it are recycled. Recovery after a crash replays only records at or
+// after the published redo offset, so checkpoint frequency — not uptime —
+// bounds recovery work.
 func (s *Store) Checkpoint() error {
 	s.lifeMu.Lock()
 	defer s.lifeMu.Unlock()
+	if s.closed {
+		return nil
+	}
+	return s.checkpointFuzzy()
+}
+
+// SharpCheckpoint is the pre-fuzzy protocol: it quiesces every data
+// operation for the whole flush. It remains as the comparison baseline of
+// experiment E19 (commit latency during checkpoint, sharp vs fuzzy).
+func (s *Store) SharpCheckpoint() error {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	if s.closed {
+		return nil
+	}
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
 	return s.checkpoint()
 }
 
+func (s *Store) checkpointFuzzy() error {
+	start := time.Now()
+	// Phase 1 — the fence. Exclusive ckptMu drains in-flight data
+	// operations, so the dirty-page snapshot is consistent: any record
+	// logged before recCkptBegin has its page's dirty flag visible (or the
+	// page already written back). clearImaged must happen here, at cycle
+	// start, so every page written back in THIS cycle logs a fresh
+	// full-page image after the redo point — an FPI before it would be
+	// recycled away while a later torn write still needs it.
+	s.ckptMu.Lock()
+	if err := s.log.err(); err != nil {
+		s.ckptMu.Unlock()
+		return err
+	}
+	beginLSN := s.log.append(&logRecord{typ: recCkptBegin})
+	s.pool.clearImaged()
+	dirty := s.pool.dirtyPages()
+	// The redo offset may not pass the first record of any transaction
+	// still active at the fence: those records are its undo information.
+	redo := beginLSN - 1
+	s.txnMu.Lock()
+	for _, first := range s.activeTxns {
+		if off := first - 1; off < redo {
+			redo = off
+		}
+	}
+	s.txnMu.Unlock()
+	s.ckptMu.Unlock()
+
+	// Phase 2 — incremental write-back of the snapshotted dirty set, page
+	// by page under per-page latches, yielding between batches so worker
+	// goroutines are never starved for long.
+	for i, pid := range dirty {
+		if err := s.pool.flushPage(pid); err != nil {
+			return err
+		}
+		if i%32 == 31 {
+			runtime.Gosched()
+		}
+	}
+	// Phase 3 — make the written-back pages durable before anything
+	// references this checkpoint.
+	if err := s.file.Sync(); err != nil {
+		return err
+	}
+	// Phase 4 — close the bracket in the log. Once recCkptEnd is durable
+	// the pages-up-to-beginLSN are known synced.
+	endLSN := s.log.append(&logRecord{typ: recCkptEnd, ckptBegin: beginLSN, ckptRedo: redo, dpt: dirty})
+	if err := s.log.flush(endLSN); err != nil {
+		return err
+	}
+	// Phase 5 — publish the redo offset in the next ping-pong header slot.
+	// A crash before this sync leaves the previous slot — which pairs with
+	// the previous on-disk state — in force; replaying the longer tail is
+	// idempotent (page LSN guards, full-page images).
+	if err := s.publishRedo(redo); err != nil {
+		return err
+	}
+	// Phase 6 — recycle segments wholly behind the published redo offset.
+	s.log.advanceHead(redo)
+	s.checkpoints.Add(1)
+	s.lastCkptNs.Store(int64(time.Since(start)))
+	return nil
+}
+
+// checkpoint is the quiescent variant, used at load (nothing concurrent)
+// and Close (ckptMu held exclusively): with no activity in flight it can
+// flush everything and publish the log end itself as the redo offset, so a
+// clean restart replays zero records.
 func (s *Store) checkpoint() error {
+	start := time.Now()
 	if err := s.log.flush(^uint64(0) >> 1); err != nil {
 		return err
 	}
 	if err := s.pool.flushAll(); err != nil {
 		return err
 	}
-	// Make the flushed pages durable BEFORE publishing the advanced LSN
-	// base: a crash that tears or loses the header write must leave the
-	// previous (base, pages) pair — which is self-consistent — on disk.
-	// The reverse order could pair a new base with lost page writes,
-	// making stale page LSNs incomparable with recomputed record LSNs.
+	// Make the flushed pages durable BEFORE publishing the advanced redo
+	// offset: a crash that tears or loses the header write must leave the
+	// previous (redo, pages) pair — which is self-consistent — on disk.
+	// The reverse order could pair a new redo offset with lost page
+	// writes, silently skipping their replay.
 	if err := s.file.Sync(); err != nil {
 		return err
 	}
 	// Pages are durable now; the next write-back of each page must log a
-	// fresh full-page image into the (about to be reset) log.
+	// fresh full-page image after the new redo point.
 	s.pool.clearImaged()
-	// Publish the advanced base in the next ping-pong slot. Only after its
-	// own sync succeeds is the log truncated; a crash in between replays
-	// the old log against the new base, which is idempotent — every record
-	// effect is already in the synced pages.
-	newBase := s.log.size()
+	redo := s.log.size()
+	if err := s.publishRedo(redo); err != nil {
+		return err
+	}
+	s.log.advanceHead(redo)
+	s.checkpoints.Add(1)
+	s.lastCkptNs.Store(int64(time.Since(start)))
+	return nil
+}
+
+// publishRedo durably writes the next ping-pong header slot carrying the
+// given redo offset. Only one checkpoint runs at a time (lifeMu), so hdrSeq
+// is stable here.
+func (s *Store) publishRedo(redo uint64) error {
 	seq := s.hdrSeq + 1
 	slot := make([]byte, hdrSlotSize)
-	writeHeaderSlot(slot, seq, newBase)
+	writeHeaderSlot(slot, seq, redo)
 	off := int64(hdrSlotA)
 	if seq%2 == 0 {
 		off = hdrSlotB
@@ -527,9 +687,6 @@ func (s *Store) checkpoint() error {
 		return err
 	}
 	s.hdrSeq = seq
-	if _, err := s.log.truncate(); err != nil {
-		return err
-	}
 	return nil
 }
 
@@ -559,6 +716,7 @@ func (s *Store) Stats() Stats {
 	pageCount := s.pageCount
 	freePages := len(s.freeList)
 	s.allocMu.Unlock()
+	segments, rolls := s.log.segmentStats()
 	return Stats{
 		PageCount:     pageCount,
 		FreePages:     freePages,
@@ -571,11 +729,61 @@ func (s *Store) Stats() Stats {
 		WALFsyncs:     fsyncs,
 		WALFlushCalls: flushCalls,
 		WALCoalesced:  coalesced,
+
+		WALLiveBytes:            s.log.liveBytes(),
+		WALSegments:             segments,
+		WALSegRolls:             rolls,
+		DirtyPages:              s.pool.dirtyCount(),
+		Checkpoints:             s.checkpoints.Load(),
+		WALThrottles:            s.throttles.Load(),
+		LastCheckpointDuration:  time.Duration(s.lastCkptNs.Load()),
+		LastRecoveryDuration:    time.Duration(s.lastRecNs.Load()),
+		RecoveryRecordsReplayed: s.recReplayed.Load(),
 	}
 }
 
-// LogBytes returns the current logical WAL size (experiment E3 metric).
+// LogBytes returns the cumulative logical WAL size (experiment E3 metric).
 func (s *Store) LogBytes() uint64 { return s.log.size() }
+
+// LiveLogBytes returns the log volume a crash right now would have to
+// replay through — the quantity the WAL soft/hard budgets bound. The engine
+// consults it for ingest admission under a hard budget.
+func (s *Store) LiveLogBytes() uint64 { return s.log.liveBytes() }
+
+// RecoveryReplayed returns how many log records the most recent Open of
+// this store replayed, and how long recovery took. Bounded-recovery tests
+// pin their guarantees on this.
+func (s *Store) RecoveryReplayed() (records uint64, dur time.Duration) {
+	return s.recReplayed.Load(), time.Duration(s.lastRecNs.Load())
+}
+
+// commitThrottle is the graceful-degradation ramp between the WAL soft and
+// hard budgets: commits pay a delay that grows from zero at the soft budget
+// to maxThrottle at the hard budget (and stays there beyond it), slowing
+// log production while the checkpointer catches up. Past the hard budget
+// the engine additionally sheds new ingest; the throttle still bounds the
+// log growth of work already admitted.
+func (s *Store) commitThrottle() {
+	hard := s.opts.WALHardBudget
+	if hard <= 0 {
+		return
+	}
+	soft := s.opts.WALSoftBudget
+	if soft <= 0 || soft >= hard {
+		soft = hard / 2
+	}
+	live := int64(s.log.liveBytes())
+	if live <= soft {
+		return
+	}
+	const maxThrottle = 5 * time.Millisecond
+	frac := float64(live-soft) / float64(hard-soft)
+	if frac > 1 {
+		frac = 1
+	}
+	s.throttles.Add(1)
+	time.Sleep(time.Duration(frac * float64(maxThrottle)))
+}
 
 // --- page allocation ---
 

@@ -408,26 +408,38 @@ func TestPageReclamation(t *testing.T) {
 	}
 }
 
-func TestCheckpointTruncatesLog(t *testing.T) {
+func TestCheckpointBoundsLiveLog(t *testing.T) {
 	s := openTemp(t, DefaultOptions())
 	h, _ := s.CreateHeap("q")
 	tx := s.Begin()
 	tx.Insert(h, bytes.Repeat([]byte("y"), 500))
 	tx.Commit()
-	if s.LogBytes() == 0 {
-		t.Fatal("log should have content")
+	before := s.LiveLogBytes()
+	if before == 0 {
+		t.Fatal("log should have live content")
 	}
 	if err := s.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
-	// LogBytes is cumulative across truncations; the file itself must be
-	// empty after a checkpoint.
-	st, err := os.Stat(filepath.Join(s.dir, walFileName))
-	if err != nil {
+	// A single fuzzy checkpoint leaves its bracket records plus the
+	// full-page images of the pages it wrote back live (they sit after the
+	// redo point for torn-page protection), so the window is bounded by the
+	// dirty-page count — not by workload history. A second checkpoint with
+	// no intervening writes has nothing dirty and collapses the live window
+	// to its own brackets.
+	if err := s.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
-	if st.Size() != 0 {
-		t.Fatalf("checkpoint should truncate the log file, size=%d", st.Size())
+	live := s.LiveLogBytes()
+	if live > 256 {
+		t.Fatalf("fuzzy checkpoint should bound the live log: before=%d after=%d", before, live)
+	}
+	// A sharp checkpoint quiesces the store and leaves nothing live at all.
+	if err := s.SharpCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if live := s.LiveLogBytes(); live != 0 {
+		t.Fatalf("sharp checkpoint should leave zero live bytes, got %d", live)
 	}
 	// Data survives checkpoint + reopen.
 	n := 0
@@ -495,7 +507,9 @@ func TestOpenShortHeaderFails(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, "data.db"), []byte("short"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, "wal.log"), []byte("records"), 0o644); err != nil {
+	recs, _ := frameWAL([]*logRecord{{typ: recBegin, txn: 1}})
+	seg := append(segHeaderBytes(1, 0), recs...)
+	if err := os.WriteFile(filepath.Join(dir, walSegName(1)), seg, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Open(dir, DefaultOptions()); err == nil {

@@ -43,8 +43,24 @@ func (t *Txn) ensureActive() error {
 		lsn := t.s.log.append(&logRecord{typ: recBegin, txn: t.id})
 		t.lastLSN = lsn
 		t.began = true
+		// Register with the active-transaction table: a fuzzy checkpoint
+		// may not advance the log head past our first record — it is the
+		// undo information recovery needs if we lose.
+		t.s.txnMu.Lock()
+		t.s.activeTxns[t.id] = lsn
+		t.s.txnMu.Unlock()
 	}
 	return nil
+}
+
+// forgetTxn drops a finished transaction from the active table.
+func (s *Store) forgetTxn(t *Txn) {
+	if !t.began {
+		return
+	}
+	s.txnMu.Lock()
+	delete(s.activeTxns, t.id)
+	s.txnMu.Unlock()
 }
 
 // Commit makes the transaction durable. The WAL flush — the expensive
@@ -53,14 +69,18 @@ func (t *Txn) ensureActive() error {
 // committing transactions is the responsibility of the logical lock layer
 // above.
 func (t *Txn) Commit() error {
+	// Graceful degradation under a WAL hard budget: when the live log has
+	// outgrown the soft budget, commits pay a growing delay — outside every
+	// lock — so the checkpointer can catch up before the engine must shed.
+	t.s.commitThrottle()
 	t.s.ckptMu.RLock()
 	t.s.glock()
 	lsn, err := t.s.prepareCommit(t)
 	t.s.gunlock()
 	t.s.ckptMu.RUnlock()
 	// The flush itself may run outside the checkpoint fence: a checkpoint
-	// that slipped in after the fence released has already flushed (and
-	// possibly truncated past) this LSN, making the flush a durable no-op.
+	// that slipped in after the fence released has already flushed this
+	// LSN, making the flush a durable no-op.
 	return t.s.finishCommit(lsn, err)
 }
 
@@ -98,6 +118,13 @@ func (s *Store) prepareCommit(t *Txn) (uint64, error) {
 	// Deferred overflow frees become visible with the commit.
 	s.freePages(t.freeOnCommit)
 	lsn := s.log.append(&logRecord{typ: recCommit, txn: t.id, prevLSN: t.lastLSN})
+	// Once the commit record is in the log the transaction no longer
+	// constrains the checkpoint redo offset: recovery treats it as finished
+	// (or, if the record misses durability, replays and undoes from the
+	// still-retained records at or after the current redo point — the head
+	// only advances past them at the NEXT checkpoint fence, by which time
+	// this transaction is out of the table).
+	s.forgetTxn(t)
 	return lsn, nil
 }
 
@@ -126,6 +153,7 @@ func (s *Store) abortTxn(t *Txn) error {
 		}
 	}
 	s.log.append(&logRecord{typ: recAbort, txn: t.id, prevLSN: t.lastLSN})
+	s.forgetTxn(t)
 	s.aborts.Add(1)
 	return nil
 }

@@ -24,9 +24,18 @@ type File interface {
 	Close() error
 }
 
-// VFS opens files by path.
+// VFS opens files by path. Remove and ReadDir exist for WAL segment
+// recycling: the log manager creates numbered segment files, lists them at
+// open, and deletes segments wholly behind the checkpoint redo point.
 type VFS interface {
 	OpenFile(path string) (File, error)
+	// Remove deletes a file. Removal is metadata: like any other mutation
+	// it may or may not survive a crash (a fault FS resolves that at its
+	// simulated crash point), so callers must tolerate removed files
+	// reappearing after recovery.
+	Remove(path string) error
+	// ReadDir lists the file names (not full paths) in a directory.
+	ReadDir(dir string) ([]string, error)
 }
 
 // Error taxonomy for injected (and, where detectable, real) I/O failures.
@@ -67,6 +76,22 @@ func (osVFS) OpenFile(path string) (File, error) {
 		return nil, err
 	}
 	return osFile{f}, nil
+}
+
+func (osVFS) Remove(path string) error { return os.Remove(path) }
+
+func (osVFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
 }
 
 type osFile struct{ *os.File }

@@ -22,26 +22,35 @@ func frameWAL(recs []*logRecord) (data []byte, ends []int) {
 	return data, ends
 }
 
-// scanWALBytes loads data as a WAL file and scans it, returning the number
-// of records recovered and the scan error.
+// segHeaderBytes builds a segment file header for tests.
+func segHeaderBytes(seq, start uint64) []byte {
+	hdr := make([]byte, walSegHdrSize)
+	copy(hdr, walSegMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], seq)
+	binary.LittleEndian.PutUint64(hdr[16:], start)
+	return hdr
+}
+
+// scanWALBytes loads data as the record area of a single WAL segment and
+// scans it, returning the number of records recovered and the scan error.
 func scanWALBytes(t *testing.T, data []byte) (int, error) {
 	t.Helper()
 	fs := NewFaultFS(1)
-	f, err := fs.OpenFile("wal.log")
+	f, err := fs.OpenFile("w/" + walSegName(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(data) > 0 {
-		if _, err := f.WriteAt(data, 0); err != nil {
-			t.Fatal(err)
-		}
+	seg := append(segHeaderBytes(1, 0), data...)
+	if _, err := f.WriteAt(seg, 0); err != nil {
+		t.Fatal(err)
 	}
-	w, err := openWAL(f, 0, false)
+	f.Close()
+	w, err := openWALDir(fs, "w", 0, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	count := 0
-	err = w.scan(func(r *logRecord) error {
+	err = w.scanFrom(0, func(r *logRecord) error {
 		count++
 		return nil
 	})
@@ -165,20 +174,22 @@ func TestWALTornTailThroughStore(t *testing.T) {
 		s.CrashForTest()
 		walLen := 0
 		fs.mu.Lock()
-		if d := fs.files["tt/wal.log"]; d != nil {
+		if d := fs.files["tt/"+walSegName(1)]; d != nil {
 			walLen = len(d.durable)
 		}
 		fs.mu.Unlock()
-		if walLen == 0 {
+		if walLen <= walSegHdrSize {
 			t.Fatal("workload left no durable WAL bytes")
 		}
 		return fs, walLen
 	}
 	_, walLen := build()
+	// Cut points cover the segment header too: a store whose only segment
+	// lost its header must reopen as an empty log.
 	for cut := 0; cut < walLen; cut++ {
 		fs, _ := build()
 		fs.mu.Lock()
-		d := fs.files["tt/wal.log"]
+		d := fs.files["tt/"+walSegName(1)]
 		d.durable = d.durable[:cut]
 		d.current = append([]byte(nil), d.durable...)
 		fs.mu.Unlock()
